@@ -1,0 +1,37 @@
+"""Benchmark ablation: optimal buffer size per communication pattern.
+
+Paper section 5: "The optimal stream buffer size for MPI communication
+inside BlueGene was highly dependent on whether point-to-point or merging
+stream communication was performed.  In general, the buffer should be much
+larger in the case of stream merging."
+"""
+
+import pytest
+
+from repro.core.experiments import run_buffer_choice_ablation
+
+BUFFER_SIZES = (500, 1000, 2000, 10_000, 100_000, 1_000_000)
+
+
+@pytest.fixture(scope="module")
+def ablation_result():
+    return run_buffer_choice_ablation(buffer_sizes=BUFFER_SIZES, repeats=3)
+
+
+def test_buffer_choice_regenerates(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_buffer_choice_ablation(buffer_sizes=(1000, 100_000), repeats=3),
+        iterations=1,
+        rounds=3,
+    )
+    assert result.optimal_buffer("p2p") == 1000
+
+
+def test_patterns_want_different_buffers(ablation_result):
+    print()
+    print(ablation_result.format_table())
+    assert ablation_result.optimal_buffer("p2p") == 1000
+    assert ablation_result.optimal_buffer("merge") >= 10_000
+    # The merge penalty of small buffers is dramatic, not marginal.
+    merge = ablation_result.merge
+    assert merge[1000].mean_mbps < 0.5 * merge[100_000].mean_mbps

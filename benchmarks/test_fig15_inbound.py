@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Figure 15 (inbound streaming, Queries 1-6).
+
+Sweeps the number of parallel back-end streams for all six inbound
+topologies, prints the figure's series, and asserts the five published
+observations of section 3.2.
+"""
+
+import pytest
+
+from repro.core.experiments import run_fig15
+
+STREAM_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8)
+
+
+@pytest.fixture(scope="module")
+def fig15_result():
+    return run_fig15(stream_counts=STREAM_COUNTS, repeats=3, array_count=5)
+
+
+def test_fig15_regenerates(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig15(stream_counts=(4,), queries=(5,), repeats=3, array_count=5),
+        iterations=1,
+        rounds=3,
+    )
+    assert result.at(5, 4).mbps > 800
+
+
+def test_fig15_shape_holds(fig15_result):
+    result = fig15_result
+    print()
+    print(result.format_table())
+    # (1) Queries 1-4 use one I/O node and are far below Queries 5-6.
+    for q in (1, 2, 3, 4):
+        for n in (3, 4, 5, 8):
+            assert result.at(q, n).mbps < 0.5 * result.at(5, n).mbps
+    # (2) Queries 3/4 slightly better than 1/2 at small n; no further gain
+    #     from more receiving compute nodes once the I/O node binds.
+    assert result.at(3, 2).mbps > 1.05 * result.at(1, 2).mbps
+    assert result.at(4, 2).mbps >= 0.99 * result.at(2, 2).mbps
+    # (3) Query 5 peaks at ~920 Mbps; n=4 is at (or within noise of) the
+    #     peak — n=8 recovers to the same NIC-bound plateau.
+    peak = result.peak(5)
+    assert 850 <= peak.mbps <= 960
+    assert result.at(5, 4).mbps >= 0.98 * peak.mbps
+    assert result.at(5, 4).mbps > 1.1 * result.at(6, 4).mbps
+    # (4) Query 1 beats Query 2 (co-locating back-end senders wins).
+    for n in (2, 3, 4, 5, 8):
+        assert result.at(1, n).mbps > 1.1 * result.at(2, n).mbps
+    # (5) Query 5 dips at n=5: compute nodes start sharing I/O nodes.
+    assert result.at(5, 5).mbps < 0.9 * result.at(5, 4).mbps

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Measure communication topologies with stream queries — the paper's core idea.
+
+Runs scaled-down versions of all three measured figures and prints the
+tables, then uses what was learned to compare the naive and knowledge-based
+node selection algorithms (the paper's stated purpose for the
+measurements).
+
+Run:  python examples/measure_topologies.py [--full]
+
+``--full`` runs the paper-scale sweeps (several minutes); the default
+scaled-down run finishes in well under a minute.
+"""
+
+import sys
+import time
+
+from repro.core.experiments import (
+    run_buffer_choice_ablation,
+    run_fig6,
+    run_fig8,
+    run_fig15,
+    run_node_selection_ablation,
+)
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    repeats = 5 if full else 2
+    fig6_sizes = None if full else (200, 1000, 5000, 100_000)
+    fig8_sizes = None if full else (1000, 10_000, 200_000)
+    stream_counts = (1, 2, 3, 4, 5, 6, 7, 8) if full else (1, 2, 4, 5)
+
+    start = time.time()
+    fig6 = run_fig6(
+        **({} if fig6_sizes is None else {"buffer_sizes": fig6_sizes}),
+        repeats=repeats,
+        target_buffers=1000 if full else 300,
+    )
+    print(fig6.format_table())
+    print(
+        f"-> optimal buffer: single={fig6.optimum(False).buffer_bytes} B, "
+        f"double={fig6.optimum(True).buffer_bytes} B"
+    )
+    print()
+
+    fig8 = run_fig8(
+        **({} if fig8_sizes is None else {"buffer_sizes": fig8_sizes}),
+        repeats=repeats,
+        target_buffers=800 if full else 250,
+    )
+    print(fig8.format_table())
+    print(f"-> balanced/sequential advantage: {fig8.balanced_advantage():.2f}x")
+    print()
+
+    fig15 = run_fig15(
+        stream_counts=stream_counts,
+        repeats=repeats,
+        array_count=10 if full else 5,
+    )
+    print(fig15.format_table())
+    peak = fig15.peak(5)
+    print(f"-> Query 5 peaks at {peak.mbps:.0f} Mbps (n={peak.n})")
+    print()
+
+    selection = run_node_selection_ablation(
+        stream_counts=(4,) if not full else (2, 4, 6, 8),
+        repeats=repeats,
+        count=4 if not full else 10,
+    )
+    print(selection.format_table())
+    print()
+
+    buffers = run_buffer_choice_ablation(
+        buffer_sizes=(1000, 2000, 100_000) if not full else None or (500, 1000, 2000, 10_000, 100_000, 1_000_000),
+        repeats=repeats,
+    )
+    print(buffers.format_table())
+    print()
+    print(f"total wall time: {time.time() - start:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

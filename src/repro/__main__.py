@@ -1,0 +1,170 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro fig6 [--repeats N] [--quick]
+    python -m repro fig8 [--repeats N] [--quick]
+    python -m repro fig15 [--repeats N] [--quick]
+    python -m repro ablations [--repeats N] [--quick]
+    python -m repro scaling [--repeats N] [--quick]
+    python -m repro all [--repeats N] [--quick]
+    python -m repro query 'select extract(a) from sp a where a=sp(iota(1,9), "bg");'
+
+``--quick`` runs a reduced sweep (seconds instead of minutes).  ``query``
+executes one SCSQL statement on a fresh default environment and prints the
+result and placements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.experiments import (
+    run_buffer_choice_ablation,
+    run_fig6,
+    run_fig8,
+    run_fig15,
+    run_node_selection_ablation,
+    run_scaling_study,
+)
+from repro.scsql.session import SCSQSession
+
+
+def _fig6(args) -> None:
+    sizes = (200, 1000, 5000, 100_000) if args.quick else None
+    result = run_fig6(
+        **({} if sizes is None else {"buffer_sizes": sizes}),
+        repeats=args.repeats,
+        target_buffers=300 if args.quick else 1500,
+    )
+    print(result.format_table())
+    print(
+        f"-> optimum: single={result.optimum(False).buffer_bytes} B, "
+        f"double={result.optimum(True).buffer_bytes} B"
+    )
+
+
+def _fig8(args) -> None:
+    sizes = (1000, 10_000, 200_000) if args.quick else None
+    result = run_fig8(
+        **({} if sizes is None else {"buffer_sizes": sizes}),
+        repeats=args.repeats,
+        target_buffers=250 if args.quick else 1200,
+    )
+    print(result.format_table())
+    print(f"-> balanced advantage: {result.balanced_advantage():.2f}x")
+
+
+def _fig15(args) -> None:
+    counts = (1, 2, 4, 5) if args.quick else (1, 2, 3, 4, 5, 6, 7, 8)
+    result = run_fig15(
+        stream_counts=counts,
+        repeats=args.repeats,
+        array_count=5 if args.quick else 10,
+    )
+    print(result.format_table())
+    peak = result.peak(5)
+    print(f"-> Query 5 peak: {peak.mbps:.0f} Mbps")
+
+
+def _ablations(args) -> None:
+    selection = run_node_selection_ablation(
+        stream_counts=(4,) if args.quick else (2, 4, 6, 8),
+        repeats=args.repeats,
+        count=4 if args.quick else 10,
+    )
+    print(selection.format_table())
+    print()
+    buffers = run_buffer_choice_ablation(
+        buffer_sizes=(1000, 2000, 100_000)
+        if args.quick
+        else (500, 1000, 2000, 10_000, 100_000, 1_000_000),
+        repeats=args.repeats,
+    )
+    print(buffers.format_table())
+
+
+def _scaling(args) -> None:
+    partitions = (((4, 4, 2), 4), ((4, 4, 4), 8)) if args.quick else None
+    study = run_scaling_study(
+        **({} if partitions is None else {"partitions": partitions}),
+        repeats=args.repeats,
+        array_count=3 if args.quick else 5,
+    )
+    print(study.format_table())
+
+
+def _all(args) -> None:
+    for name, runner in (
+        ("fig6", _fig6),
+        ("fig8", _fig8),
+        ("fig15", _fig15),
+        ("ablations", _ablations),
+        ("scaling", _scaling),
+    ):
+        start = time.time()
+        runner(args)
+        print(f"[{name}: {time.time() - start:.1f}s]")
+        print()
+
+
+def _query(args) -> None:
+    session = SCSQSession()
+    report = session.execute(args.text, stop_after=args.stop_after)
+    if report is None:
+        print("function defined")
+        return
+    print("result:", report.result)
+    print(f"simulated time: {report.duration * 1e3:.3f} ms"
+          + (" (stopped)" if report.stopped else ""))
+    print("placements:")
+    for sp_id, node in sorted(report.rp_placements.items()):
+        print(f"  {sp_id:>24} -> {node}")
+
+
+def _explain(args) -> None:
+    print(SCSQSession().explain(args.text))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SCSQ reproduction: regenerate the paper's experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, func, needs_sweep in (
+        ("fig6", _fig6, True),
+        ("fig8", _fig8, True),
+        ("fig15", _fig15, True),
+        ("ablations", _ablations, True),
+        ("scaling", _scaling, True),
+        ("all", _all, True),
+    ):
+        p = sub.add_parser(name, help=f"run the {name} experiment(s)")
+        p.add_argument("--repeats", type=int, default=3, help="runs per point")
+        p.add_argument("--quick", action="store_true", help="reduced sweep")
+        p.set_defaults(func=func)
+    q = sub.add_parser("query", help="execute one SCSQL statement")
+    q.add_argument("text", help="the SCSQL statement")
+    q.add_argument(
+        "--stop-after", type=float, default=None,
+        help="terminate the query at this simulated time (seconds)",
+    )
+    q.set_defaults(func=_query)
+    e = sub.add_parser("explain", help="show a query's process graph and placement")
+    e.add_argument("text", help="the SCSQL select query")
+    e.set_defaults(func=_explain)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Coordination layer: client manager, cluster coordinators, node selection.
+
+Implements the control plane of the paper's Figure 2: the client manager on
+the front-end cluster registers subqueries with the per-cluster
+coordinators (feCC, beCC, bgCC), which select nodes from their CNDBs —
+honouring user-supplied allocation sequences — and start running processes.
+"""
+
+from repro.coordinator.allocation import (
+    AllocationSequence,
+    KnowledgeBasedSelector,
+    NaiveSelector,
+    NodeSelector,
+    in_pset_sequence,
+    pset_round_robin_sequence,
+    urr_sequence,
+)
+from repro.coordinator.client_manager import ROOT_RP_ID, ClientManager, ExecutionReport
+from repro.coordinator.coordinator import (
+    BG_POLL_INTERVAL,
+    ClusterCoordinator,
+    CoordinatorRegistry,
+)
+from repro.coordinator.graph import QueryGraph, SPDef
+
+__all__ = [
+    "AllocationSequence",
+    "NodeSelector",
+    "NaiveSelector",
+    "KnowledgeBasedSelector",
+    "urr_sequence",
+    "in_pset_sequence",
+    "pset_round_robin_sequence",
+    "ClientManager",
+    "ExecutionReport",
+    "ROOT_RP_ID",
+    "ClusterCoordinator",
+    "CoordinatorRegistry",
+    "BG_POLL_INTERVAL",
+    "QueryGraph",
+    "SPDef",
+]

@@ -1,0 +1,157 @@
+"""Allocation sequences and node-selection algorithms.
+
+The paper's node placement (sections 2.2 and 2.4):
+
+* Normally "a naive node selection algorithm is used, returning the next
+  available node".
+* "Optionally, the SCSQL user can constrain the allowed compute nodes ...
+  by specifying a node allocation query ... This query returns a stream of
+  allowable compute nodes in preferred allocation order, called the
+  allocation sequence. ... The node selection algorithm will choose the
+  first available node in the allocation sequence.  (In case the stream
+  contains no available node, the query will fail.)"
+
+An :class:`AllocationSequence` is consumed statefully: a ``spv()`` over n
+subqueries hands the *same* sequence to n placements, so ``urr('be')``
+lands successive RPs on successive cluster nodes while the constant
+sequence ``1`` lands them all on node 1.
+
+The module also provides the :class:`KnowledgeBasedSelector`, the improved
+automatic policy the paper's conclusions call for (used by the ablation
+benchmark): co-locate back-end senders, spread BlueGene receivers over
+psets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.hardware.cndb import ComputeNodeDatabase
+from repro.hardware.node import Node
+from repro.util.errors import AllocationError
+
+
+class AllocationSequence:
+    """A stateful stream of preferred node numbers for RP placement."""
+
+    def __init__(self, source: Union[int, Iterable[int], Iterator[int]]):
+        self._constant: Optional[int] = None
+        self._iterator: Optional[Iterator[int]] = None
+        if isinstance(source, bool):
+            raise AllocationError(f"invalid allocation sequence {source!r}")
+        if isinstance(source, int):
+            self._constant = source
+        else:
+            self._iterator = iter(source)
+
+    @property
+    def is_constant(self) -> bool:
+        return self._constant is not None
+
+    def select(self, cndb: ComputeNodeDatabase) -> Node:
+        """The first available node of the sequence (consumes the stream).
+
+        Raises:
+            AllocationError: When the sequence contains no available node.
+        """
+        if self._constant is not None:
+            node = self._lookup(cndb, self._constant)
+            if not node.is_available:
+                raise AllocationError(
+                    f"explicitly selected node {self._constant} of cluster "
+                    f"{cndb.cluster!r} is busy"
+                )
+            return node
+        assert self._iterator is not None
+        visited = set()
+        while len(visited) < cndb.num_nodes():
+            try:
+                index = next(self._iterator)
+            except StopIteration:
+                break
+            node = self._lookup(cndb, index)
+            if node.is_available:
+                return node
+            visited.add(index)
+        raise AllocationError(
+            f"allocation sequence for cluster {cndb.cluster!r} contains no available node"
+        )
+
+    @staticmethod
+    def _lookup(cndb: ComputeNodeDatabase, index: int) -> Node:
+        try:
+            return cndb.node(index)
+        except Exception as exc:
+            raise AllocationError(
+                f"allocation sequence names node {index}, which does not exist "
+                f"in cluster {cndb.cluster!r}"
+            ) from exc
+
+
+def urr_sequence(cndb: ComputeNodeDatabase) -> AllocationSequence:
+    """``urr(cl)``: endless round-robin over the cluster's nodes."""
+
+    def stream() -> Iterator[int]:
+        while True:
+            yield cndb.next_round_robin()
+
+    return AllocationSequence(stream())
+
+
+def in_pset_sequence(cndb: ComputeNodeDatabase, pset_id: int) -> AllocationSequence:
+    """``inPset(k)``: the compute nodes of pset ``k``, in order."""
+    return AllocationSequence(cndb.nodes_in_pset(pset_id))
+
+
+def pset_round_robin_sequence(cndb: ComputeNodeDatabase) -> AllocationSequence:
+    """``psetrr()``: successive nodes belong to successive psets."""
+    return AllocationSequence(cndb.pset_round_robin())
+
+
+class NodeSelector:
+    """Strategy choosing a node when no allocation sequence constrains it."""
+
+    name = "selector"
+
+    def select(self, cndb: ComputeNodeDatabase) -> Node:
+        raise NotImplementedError
+
+
+class NaiveSelector(NodeSelector):
+    """The paper's default: "returning the next available node"."""
+
+    name = "naive"
+
+    def select(self, cndb: ComputeNodeDatabase) -> Node:
+        for _ in range(cndb.num_nodes()):
+            node = cndb.node(cndb.next_round_robin())
+            if node.is_available:
+                return node
+        raise AllocationError(f"no available node in cluster {cndb.cluster!r}")
+
+
+class KnowledgeBasedSelector(NodeSelector):
+    """Placement informed by the paper's measurement conclusions.
+
+    * On Linux clusters, **co-locate**: "the node selection algorithm
+      should attempt to co-locate back-end RPs to the same compute node
+      until saturation" (observation 3) — pick the available node already
+      running the most RPs.
+    * On the BlueGene, **spread psets**: use many I/O nodes (observation 1)
+      — pick an available node in the pset with the fewest placed RPs.
+    """
+
+    name = "knowledge"
+
+    def select(self, cndb: ComputeNodeDatabase) -> Node:
+        available = cndb.available_nodes()
+        if not available:
+            raise AllocationError(f"no available node in cluster {cndb.cluster!r}")
+        if available[0].pset_id is None:
+            # Linux cluster: co-locate until saturation.
+            return max(available, key=lambda n: (n.running_processes, -n.index))
+        # BlueGene: spread over psets (fewest busy RPs per pset first).
+        load = {}
+        for node in cndb.all_nodes():
+            load[node.pset_id] = load.get(node.pset_id, 0) + node.running_processes
+        return min(available, key=lambda n: (load[n.pset_id], n.index))

@@ -1,0 +1,103 @@
+"""Cluster coordinators.
+
+"When the client manager identifies an SP, the sub-query of that SP is
+registered with the coordinator of the cluster where the sub-query is to be
+executed ... Then, the coordinator starts an RP to execute the sub-query"
+(paper section 2.2).  One coordinator per cluster (feCC, beCC, bgCC) owns
+the cluster's CNDB and performs node selection.
+
+The BlueGene peculiarity is preserved: compute nodes cannot accept
+connections, so the bgCC "retrieves new sub-queries from the feCC by
+polling"; registrations destined for the BlueGene transit the front-end
+coordinator and pay a polling latency before the RP exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.coordinator.allocation import AllocationSequence, NaiveSelector, NodeSelector
+from repro.engine.rp import RunningProcess
+from repro.engine.settings import ExecutionSettings
+from repro.engine.sqep import OpSpec
+from repro.hardware.environment import BLUEGENE, Environment
+from repro.hardware.node import Node
+from repro.util.errors import AllocationError, HardwareError
+
+#: Simulated delay of one bgCC poll of the feCC registration queue.
+BG_POLL_INTERVAL = 1e-3
+
+
+class ClusterCoordinator:
+    """Registration point and node selector for one cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: str,
+        selector: Optional[NodeSelector] = None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.cndb = env.cndb(cluster)
+        self.selector = selector or NaiveSelector()
+        self.started_rps: List[RunningProcess] = []
+        self._ids = itertools.count()
+
+    @property
+    def registration_latency(self) -> float:
+        """Simulated setup latency of registering one subquery here.
+
+        Only the BlueGene pays a polling delay; direct coordinators accept
+        registrations immediately.
+        """
+        return BG_POLL_INTERVAL if self.cluster == BLUEGENE else 0.0
+
+    def select_node(self, allocation: Optional[AllocationSequence]) -> Node:
+        """Choose the node for a new RP, honouring an allocation sequence."""
+        if allocation is not None:
+            return allocation.select(self.cndb)
+        try:
+            return self.selector.select(self.cndb)
+        except HardwareError as exc:  # normalized error type for callers
+            raise AllocationError(str(exc)) from exc
+
+    def start_rp(
+        self,
+        sp_id: str,
+        plan: OpSpec,
+        settings: ExecutionSettings,
+        allocation: Optional[AllocationSequence] = None,
+    ) -> RunningProcess:
+        """Register a subquery and start its running process."""
+        node = self.select_node(allocation)
+        rp = RunningProcess(
+            rp_id=sp_id,
+            env=self.env,
+            node=node,
+            plan=plan,
+            settings=settings,
+        )
+        self.started_rps.append(rp)
+        return rp
+
+
+class CoordinatorRegistry:
+    """All cluster coordinators of one environment (feCC, beCC, bgCC)."""
+
+    def __init__(self, env: Environment, selector: Optional[NodeSelector] = None):
+        self.env = env
+        self.coordinators: Dict[str, ClusterCoordinator] = {
+            name: ClusterCoordinator(env, name, selector)
+            for name in env.cluster_names()
+        }
+
+    def __getitem__(self, cluster: str) -> ClusterCoordinator:
+        try:
+            return self.coordinators[cluster]
+        except KeyError:
+            raise AllocationError(
+                f"no coordinator for cluster {cluster!r}; "
+                f"known clusters: {sorted(self.coordinators)}"
+            ) from None

@@ -1,0 +1,70 @@
+"""Process graphs: the compiled, placement-annotated form of a query.
+
+The SCSQL compiler reduces a continuous query to a :class:`QueryGraph` —
+the set of stream-process definitions (subquery plan + target cluster +
+optional allocation sequence) plus the root plan the client manager itself
+interprets.  The client manager turns the graph into running processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.coordinator.allocation import AllocationSequence
+from repro.engine.sqep import OpSpec
+from repro.util.errors import QuerySemanticError
+
+
+@dataclass
+class SPDef:
+    """One stream process: a subquery to run somewhere in a cluster.
+
+    Attributes:
+        sp_id: Unique id of the stream process within its query.
+        cluster: Target cluster name (``'bg'``, ``'be'``, ``'fe'``).
+        plan: The subquery's execution plan.  The SCSQL compiler registers
+            stream processes before compiling their subqueries (definitions
+            may reference processes defined later), so the plan may be
+            filled in after construction; it must be set before validation.
+        allocation: Optional allocation sequence constraining placement.
+    """
+
+    sp_id: str
+    cluster: str
+    plan: Optional[OpSpec] = None
+    allocation: Optional[AllocationSequence] = None
+
+
+@dataclass
+class QueryGraph:
+    """A full continuous query ready for deployment."""
+
+    sps: Dict[str, SPDef] = field(default_factory=dict)
+    root_plan: Optional[OpSpec] = None
+
+    def add(self, sp: SPDef) -> None:
+        if sp.sp_id in self.sps:
+            raise QuerySemanticError(f"duplicate stream process id {sp.sp_id!r}")
+        self.sps[sp.sp_id] = sp
+
+    def validate(self) -> None:
+        """Check referential integrity: every subscription has a producer."""
+        if self.root_plan is None:
+            raise QuerySemanticError("query graph has no root plan")
+        for sp in self.sps.values():
+            if sp.plan is None:
+                raise QuerySemanticError(
+                    f"stream process {sp.sp_id!r} has no compiled subquery plan"
+                )
+        plans = [self.root_plan] + [sp.plan for sp in self.sps.values()]
+        for plan in plans:
+            for leaf in plan.input_leaves():
+                if leaf.producer not in self.sps:
+                    raise QuerySemanticError(
+                        f"plan subscribes to unknown stream process {leaf.producer!r}"
+                    )
+
+    def producers_of(self, plan: OpSpec) -> List[str]:
+        """The stream-process ids a plan subscribes to, in plan order."""
+        return [leaf.producer for leaf in plan.input_leaves()]  # type: ignore[misc]

@@ -1,0 +1,19 @@
+"""Core: the paper's contribution surface and its measurement harness.
+
+Everything a user of the reproduction needs: sessions speak SCSQL with
+stream processes as first-class objects (:mod:`repro.scsql`), the
+measurement harness runs queries under the paper's five-repeat protocol,
+and :mod:`repro.core.experiments` regenerates every measured figure.
+"""
+
+from repro.core.measurement import (
+    DEFAULT_REPEATS,
+    BandwidthResult,
+    measure_query_bandwidth,
+)
+
+__all__ = [
+    "measure_query_bandwidth",
+    "BandwidthResult",
+    "DEFAULT_REPEATS",
+]

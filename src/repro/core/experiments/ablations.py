@@ -1,0 +1,211 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+The paper's conclusions sketch how its measurements should change the node
+selection algorithm; these ablations close that loop:
+
+* :func:`run_node_selection_ablation` — the same inbound workload placed
+  by the *naive* selector ("the next available node") versus the
+  :class:`~repro.coordinator.allocation.KnowledgeBasedSelector` built from
+  the paper's observations (co-locate back-end senders, spread BlueGene
+  receivers over psets).  No allocation sequences: this is what automatic
+  placement achieves.
+* :func:`run_buffer_choice_ablation` — optimal MPI buffer size per
+  communication pattern, quantifying section 5's conclusion that "the
+  optimal stream buffer size ... was highly dependent on whether point-to-
+  point or merging stream communication was performed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.coordinator.allocation import (
+    KnowledgeBasedSelector,
+    NaiveSelector,
+    NodeSelector,
+)
+from repro.coordinator.client_manager import ClientManager
+from repro.coordinator.coordinator import CoordinatorRegistry
+from repro.core.experiments.fig6 import point_to_point_query, scaled_workload
+from repro.core.experiments.fig8 import merge_query
+from repro.core.measurement import BandwidthResult, measure_query_bandwidth
+from repro.engine.settings import ExecutionSettings
+from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.scsql.compiler import QueryCompiler
+from repro.scsql.parser import parse_query
+from repro.util.stats import MeasurementStats, summarize
+from repro.util.units import MEGA
+
+
+def automatic_inbound_query(n: int, array_bytes: int, count: int) -> str:
+    """An inbound query with *no* allocation sequences: placement is the
+    node selection algorithm's problem."""
+    return f"""
+select extract(c) from
+bag of sp a, bag of sp b, sp c, integer n
+where c=sp(streamof(sum(merge(b))), 'bg')
+and b=spv(
+  (select streamof(count(extract(p)))
+   from sp p
+   where p in a),
+  'bg')
+and a=spv(
+  (select gen_array({array_bytes},{count})
+   from integer i where i in iota(1,n)),
+  'be')
+and n={n};
+"""
+
+
+@dataclass
+class SelectorResult:
+    """Bandwidth of one selector on the automatic-placement workload."""
+
+    selector_name: str
+    n: int
+    mbps: MeasurementStats
+
+
+@dataclass
+class NodeSelectionAblation:
+    """Naive vs knowledge-based automatic placement."""
+
+    results: List[SelectorResult]
+
+    def mean(self, selector_name: str, n: int) -> float:
+        for result in self.results:
+            if result.selector_name == selector_name and result.n == n:
+                return result.mbps.mean
+        raise KeyError(f"no result for {selector_name!r}, n={n}")
+
+    def improvement(self, n: int) -> float:
+        """knowledge/naive bandwidth ratio at ``n`` streams."""
+        return self.mean("knowledge", n) / self.mean("naive", n)
+
+    def format_table(self) -> str:
+        ns = sorted({r.n for r in self.results})
+        lines = [
+            "Ablation: automatic node selection (inbound workload, Mbps)",
+            f"{'n':>3}  {'naive':>14}  {'knowledge':>14}  {'ratio':>6}",
+        ]
+        for n in ns:
+            naive = self.mean("naive", n)
+            knowledge = self.mean("knowledge", n)
+            lines.append(
+                f"{n:>3}  {naive:>14.1f}  {knowledge:>14.1f}  {knowledge / naive:>6.2f}"
+            )
+        return "\n".join(lines)
+
+
+def _measure_with_selector(
+    selector: NodeSelector,
+    n: int,
+    array_bytes: int,
+    count: int,
+    repeats: int,
+    template: EnvironmentConfig,
+    base_seed: int,
+) -> MeasurementStats:
+    samples = []
+    query_text = automatic_inbound_query(n, array_bytes, count)
+    for k in range(repeats):
+        config = EnvironmentConfig(
+            bluegene=template.bluegene,
+            backend_nodes=template.backend_nodes,
+            frontend_nodes=template.frontend_nodes,
+            params=template.params,
+            seed=base_seed + k,
+        )
+        env = Environment(config)
+        coordinators = CoordinatorRegistry(env, selector)
+        compiler = QueryCompiler(env)
+        graph = compiler.compile_select(parse_query(query_text))
+        manager = ClientManager(env, coordinators)
+        report = manager.execute(graph, ExecutionSettings())
+        samples.append(n * array_bytes * count * 8.0 / report.duration / MEGA)
+    return summarize(samples)
+
+
+def run_node_selection_ablation(
+    stream_counts: Sequence[int] = (2, 4, 6, 8),
+    repeats: int = 3,
+    array_bytes: int = 3_000_000,
+    count: int = 10,
+    env_config: Optional[EnvironmentConfig] = None,
+    base_seed: int = 0,
+) -> NodeSelectionAblation:
+    """Compare naive and knowledge-based automatic placement."""
+    template = env_config or EnvironmentConfig()
+    results: List[SelectorResult] = []
+    for n in stream_counts:
+        for selector in (NaiveSelector(), KnowledgeBasedSelector()):
+            stats = _measure_with_selector(
+                selector, n, array_bytes, count, repeats, template, base_seed
+            )
+            results.append(
+                SelectorResult(selector_name=selector.name, n=n, mbps=stats)
+            )
+    return NodeSelectionAblation(results=results)
+
+
+# ----------------------------------------------------------------------
+# Buffer-size choice per communication pattern
+# ----------------------------------------------------------------------
+@dataclass
+class BufferChoiceAblation:
+    """Optimal buffer size for point-to-point vs merging streams."""
+
+    p2p: Dict[int, BandwidthResult]
+    merge: Dict[int, BandwidthResult]
+
+    def optimal_buffer(self, pattern: str) -> int:
+        """The buffer size maximizing mean bandwidth for a pattern."""
+        table = {"p2p": self.p2p, "merge": self.merge}[pattern]
+        return max(table, key=lambda size: table[size].mean_mbps)
+
+    def format_table(self) -> str:
+        sizes = sorted(set(self.p2p) | set(self.merge))
+        lines = [
+            "Ablation: buffer size by communication pattern (Mbps)",
+            f"{'buffer':>10}  {'p2p':>14}  {'merge':>14}",
+        ]
+        for size in sizes:
+            p = self.p2p.get(size)
+            m = self.merge.get(size)
+            lines.append(
+                f"{size:>10}  {str(p) if p else '-':>14}  {str(m) if m else '-':>14}"
+            )
+        lines.append(
+            f"optimal: p2p={self.optimal_buffer('p2p')} B, "
+            f"merge={self.optimal_buffer('merge')} B"
+        )
+        return "\n".join(lines)
+
+
+def run_buffer_choice_ablation(
+    buffer_sizes: Sequence[int] = (500, 1000, 2000, 10_000, 100_000, 1_000_000),
+    repeats: int = 3,
+    env_config: Optional[EnvironmentConfig] = None,
+) -> BufferChoiceAblation:
+    """Sweep buffer sizes for both patterns (balanced nodes, double buffers)."""
+    p2p: Dict[int, BandwidthResult] = {}
+    merge: Dict[int, BandwidthResult] = {}
+    for buffer_bytes in buffer_sizes:
+        array_bytes, count = scaled_workload(buffer_bytes, target_buffers=800)
+        settings = ExecutionSettings(mpi_buffer_bytes=buffer_bytes, double_buffering=True)
+        p2p[buffer_bytes] = measure_query_bandwidth(
+            point_to_point_query(array_bytes, count),
+            payload_bytes=array_bytes * count,
+            settings=settings,
+            repeats=repeats,
+            env_config=env_config,
+        )
+        merge[buffer_bytes] = measure_query_bandwidth(
+            merge_query(array_bytes, count, 1, 4),
+            payload_bytes=2 * array_bytes * count,
+            settings=settings,
+            repeats=repeats,
+            env_config=env_config,
+        )
+    return BufferChoiceAblation(p2p=p2p, merge=merge)

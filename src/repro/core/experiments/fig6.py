@@ -1,0 +1,145 @@
+"""Figure 6: intra-BlueGene point-to-point streaming bandwidth.
+
+The measured query is the paper's Figure 5 set-up: ``a`` generates a finite
+stream of large arrays on BlueGene compute node 1, ``b`` counts them on
+node 0, and only the count leaves the BlueGene — "the total time measured
+is dominated by the time for streaming the data from a to b".  The buffer
+size of the MPI stream carrier is swept, with single and double buffering.
+
+Published shape being reproduced:
+
+* optimal buffer size is 1000 bytes for both buffering modes;
+* bandwidth falls for smaller buffers (1 KB minimum torus message) and for
+  larger buffers (cache misses);
+* double buffering pays off for large buffers.
+
+Runs are volume-scaled: the paper streams 100 x 3 MB; the simulation keeps
+the per-run buffer count near a target instead, which leaves steady-state
+bandwidth unchanged while keeping small-buffer sweeps tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.measurement import BandwidthResult, measure_query_bandwidth
+from repro.engine.settings import ExecutionSettings
+from repro.hardware.environment import EnvironmentConfig
+
+#: Buffer sizes swept by default (log-spaced 100 B .. 1 MB, as in Figure 6).
+DEFAULT_BUFFER_SIZES: Tuple[int, ...] = (
+    100, 200, 500, 1000, 2000, 5000, 10_000, 20_000, 50_000,
+    100_000, 200_000, 500_000, 1_000_000,
+)
+
+#: Paper workload: 100 arrays of 3 MB.
+PAPER_ARRAY_BYTES = 3_000_000
+PAPER_ARRAY_COUNT = 100
+
+
+def point_to_point_query(array_bytes: int, count: int) -> str:
+    """The paper's intra-BG point-to-point SCSQL query (section 3.1)."""
+    return f"""
+select extract(b)
+from sp a, sp b
+where b=sp(streamof(count(extract(a))), 'bg', 0)
+and a=sp(gen_array({array_bytes},{count}), 'bg', 1);
+"""
+
+
+def scaled_workload(
+    buffer_bytes: int,
+    target_buffers: int = 1500,
+    max_array_bytes: int = PAPER_ARRAY_BYTES,
+) -> Tuple[int, int]:
+    """(array_bytes, count) streaming roughly ``target_buffers`` buffers.
+
+    Steady-state bandwidth is volume-independent, so runs are scaled to a
+    fixed buffer count: small-buffer points use smaller arrays (otherwise a
+    single 3 MB array would fragment into 30,000 simulation events at
+    B=100), large-buffer points use the paper's 3 MB arrays.
+    """
+    count = 8
+    array_bytes = (buffer_bytes * target_buffers) // count
+    array_bytes = max(30_000, min(max_array_bytes, array_bytes))
+    return array_bytes, count
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    """One measured point of the Figure 6 curves."""
+
+    buffer_bytes: int
+    double_buffering: bool
+    result: BandwidthResult
+
+    @property
+    def mbps(self) -> float:
+        return self.result.mean_mbps
+
+
+@dataclass
+class Fig6Result:
+    """The full Figure 6 sweep: two curves over buffer size."""
+
+    points: List[Fig6Point]
+
+    def curve(self, double_buffering: bool) -> List[Fig6Point]:
+        """One buffering mode's curve, ordered by buffer size."""
+        selected = [p for p in self.points if p.double_buffering is double_buffering]
+        return sorted(selected, key=lambda p: p.buffer_bytes)
+
+    def optimum(self, double_buffering: bool) -> Fig6Point:
+        """The highest-bandwidth point of one curve."""
+        return max(self.curve(double_buffering), key=lambda p: p.mbps)
+
+    def format_table(self) -> str:
+        """Figure 6 as text: bandwidth vs buffer size, both modes."""
+        lines = [
+            "Figure 6: intra-BG point-to-point streaming bandwidth (Mbps)",
+            f"{'buffer':>10}  {'single':>14}  {'double':>14}",
+        ]
+        singles = {p.buffer_bytes: p for p in self.curve(False)}
+        doubles = {p.buffer_bytes: p for p in self.curve(True)}
+        for size in sorted(set(singles) | set(doubles)):
+            s = singles.get(size)
+            d = doubles.get(size)
+            lines.append(
+                f"{size:>10}  "
+                f"{str(s.result) if s else '-':>14}  "
+                f"{str(d.result) if d else '-':>14}"
+            )
+        return "\n".join(lines)
+
+
+def run_fig6(
+    buffer_sizes: Sequence[int] = DEFAULT_BUFFER_SIZES,
+    repeats: int = 5,
+    target_buffers: int = 1500,
+    env_config: Optional[EnvironmentConfig] = None,
+) -> Fig6Result:
+    """Run the Figure 6 sweep and return both curves."""
+    points: List[Fig6Point] = []
+    for buffer_bytes in buffer_sizes:
+        array_bytes, count = scaled_workload(buffer_bytes, target_buffers)
+        query = point_to_point_query(array_bytes, count)
+        for double_buffering in (False, True):
+            settings = ExecutionSettings(
+                mpi_buffer_bytes=buffer_bytes, double_buffering=double_buffering
+            )
+            result = measure_query_bandwidth(
+                query,
+                payload_bytes=array_bytes * count,
+                settings=settings,
+                repeats=repeats,
+                env_config=env_config,
+            )
+            points.append(
+                Fig6Point(
+                    buffer_bytes=buffer_bytes,
+                    double_buffering=double_buffering,
+                    result=result,
+                )
+            )
+    return Fig6Result(points=points)

@@ -1,0 +1,98 @@
+"""Export experiment results as CSV for external plotting.
+
+The paper's figures are line charts; these helpers dump the regenerated
+series in a plot-ready tabular form (no plotting dependencies required —
+the environment is offline).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.core.experiments.fig6 import Fig6Result
+from repro.core.experiments.fig8 import Fig8Result
+from repro.core.experiments.fig15 import Fig15Result
+from repro.core.experiments.scaling import ScalingStudy
+
+Row = Dict[str, Union[int, float, str, bool]]
+
+
+def fig6_rows(result: Fig6Result) -> List[Row]:
+    """Figure 6 as rows: buffer size, buffering mode, bandwidth stats."""
+    return [
+        {
+            "buffer_bytes": p.buffer_bytes,
+            "double_buffering": p.double_buffering,
+            "mbps_mean": p.result.mbps.mean,
+            "mbps_std": p.result.mbps.std,
+            "repeats": len(p.result.mbps.samples),
+        }
+        for p in sorted(result.points, key=lambda p: (p.double_buffering, p.buffer_bytes))
+    ]
+
+
+def fig8_rows(result: Fig8Result) -> List[Row]:
+    """Figure 8 as rows: buffer size, node selection, buffering, stats."""
+    return [
+        {
+            "buffer_bytes": p.buffer_bytes,
+            "node_selection": "balanced" if p.balanced else "sequential",
+            "double_buffering": p.double_buffering,
+            "mbps_mean": p.result.mbps.mean,
+            "mbps_std": p.result.mbps.std,
+            "repeats": len(p.result.mbps.samples),
+        }
+        for p in sorted(
+            result.points,
+            key=lambda p: (p.balanced, p.double_buffering, p.buffer_bytes),
+        )
+    ]
+
+
+def fig15_rows(result: Fig15Result) -> List[Row]:
+    """Figure 15 as rows: query number, stream count, bandwidth stats."""
+    return [
+        {
+            "query": p.query_number,
+            "n_streams": p.n,
+            "mbps_mean": p.result.mbps.mean,
+            "mbps_std": p.result.mbps.std,
+            "repeats": len(p.result.mbps.samples),
+        }
+        for p in sorted(result.points, key=lambda p: (p.query_number, p.n))
+    ]
+
+
+def scaling_rows(study: ScalingStudy) -> List[Row]:
+    """Scaling extension as rows."""
+    return [
+        {
+            "query": p.query_number,
+            "io_nodes": p.num_io_nodes,
+            "uplink_gbps": p.uplink_gbps,
+            "mbps_mean": p.result.mbps.mean,
+            "mbps_std": p.result.mbps.std,
+        }
+        for p in sorted(
+            study.points, key=lambda p: (p.uplink_gbps, p.query_number, p.num_io_nodes)
+        )
+    ]
+
+
+def write_csv(path: Union[str, Path], rows: Iterable[Row]) -> Path:
+    """Write rows (dicts sharing a schema) to ``path`` as CSV.
+
+    Raises:
+        ValueError: If there are no rows (no schema to write).
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to write")
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

@@ -1,0 +1,100 @@
+"""The bandwidth-measurement harness.
+
+The paper's method (section 3): "The bandwidth is computed by measuring the
+total time to communicate a finite stream of 3MB arrays between stream
+processes ... Each experiment was performed five times in order to achieve
+low variance in the measurements."
+
+:func:`measure_query_bandwidth` reproduces that method: it runs one SCSQL
+query on a *fresh* simulated environment per repeat (with a distinct jitter
+seed), divides the known payload volume by the simulated execution time,
+and summarizes the repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.coordinator.client_manager import ExecutionReport
+from repro.engine.settings import ExecutionSettings
+from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.scsql.session import SCSQSession
+from repro.util.stats import MeasurementStats, summarize
+from repro.util.units import MEGA
+
+#: The paper repeats every experiment five times.
+DEFAULT_REPEATS = 5
+
+
+@dataclass
+class BandwidthResult:
+    """Outcome of one repeated bandwidth measurement.
+
+    Attributes:
+        mbps: Bandwidth statistics over the repeats, in megabits/second.
+        payload_bytes: The payload volume each run streamed.
+        reports: The raw execution report of every repeat.
+    """
+
+    mbps: MeasurementStats
+    payload_bytes: int
+    reports: List[ExecutionReport] = field(default_factory=list)
+
+    @property
+    def mean_mbps(self) -> float:
+        return self.mbps.mean
+
+    def __str__(self) -> str:
+        return f"{self.mbps.mean:.1f} ± {self.mbps.std:.1f} Mbps"
+
+
+def measure_query_bandwidth(
+    query: str,
+    payload_bytes: int,
+    settings: Optional[ExecutionSettings] = None,
+    repeats: int = DEFAULT_REPEATS,
+    env_config: Optional[EnvironmentConfig] = None,
+    base_seed: int = 0,
+    prepare: Optional[Callable[[SCSQSession], None]] = None,
+) -> BandwidthResult:
+    """Measure the streaming bandwidth of one SCSQL query.
+
+    Args:
+        query: The SCSQL select query to run.
+        payload_bytes: Total payload the query streams over the measured
+            path (e.g. n * count * array_bytes); bandwidth is this volume
+            divided by the simulated execution time.
+        settings: Engine settings (buffer size, buffering mode).
+        repeats: Number of independent runs (paper: five).
+        env_config: Environment shape/cost model; seeds are varied per run.
+        base_seed: Seed of the first repeat; repeat k uses base_seed + k.
+        prepare: Optional callback run against each fresh session before
+            the query (e.g. defining functions or registering sources).
+
+    Returns:
+        The summarized result, with per-run reports attached.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    template = env_config or EnvironmentConfig()
+    samples: List[float] = []
+    reports: List[ExecutionReport] = []
+    for k in range(repeats):
+        config = EnvironmentConfig(
+            bluegene=template.bluegene,
+            backend_nodes=template.backend_nodes,
+            frontend_nodes=template.frontend_nodes,
+            params=template.params,
+            seed=base_seed + k,
+        )
+        session = SCSQSession(Environment(config), settings)
+        if prepare is not None:
+            prepare(session)
+        report = session.execute(query, settings)
+        assert report is not None  # select queries always report
+        reports.append(report)
+        samples.append(payload_bytes * 8.0 / report.duration / MEGA)
+    return BandwidthResult(
+        mbps=summarize(samples), payload_bytes=payload_bytes, reports=reports
+    )

@@ -1,0 +1,47 @@
+"""The SCSQ stream engine: objects, marshaling, drivers, operators, RPs.
+
+This package implements the running process of the paper's Figure 3: a
+SQEP interpreted by operator processes, fed by receiver drivers and drained
+by sender drivers, with single- or double-buffered stream carriers.
+"""
+
+from repro.engine.context import ExecutionContext
+from repro.engine.control import StopToken
+from repro.engine.drivers import ReceiverDriver, SenderDriver
+from repro.engine.inbox import Inbox
+from repro.engine.monitor import OperatorStats, RPStatistics, StreamStats, snapshot
+from repro.engine.marshal import StreamDemarshaller, StreamMarshaller
+from repro.engine.objects import (
+    END_OF_STREAM,
+    SyntheticArray,
+    TaggedObject,
+    size_of,
+)
+from repro.engine.rp import InputPort, RunningProcess
+from repro.engine.settings import ExecutionSettings
+from repro.engine.sqep import INPUT, OpSpec, plan_input, plan_op
+
+__all__ = [
+    "ExecutionContext",
+    "StopToken",
+    "RPStatistics",
+    "OperatorStats",
+    "StreamStats",
+    "snapshot",
+    "SenderDriver",
+    "ReceiverDriver",
+    "Inbox",
+    "StreamMarshaller",
+    "StreamDemarshaller",
+    "END_OF_STREAM",
+    "SyntheticArray",
+    "TaggedObject",
+    "size_of",
+    "RunningProcess",
+    "InputPort",
+    "ExecutionSettings",
+    "OpSpec",
+    "INPUT",
+    "plan_input",
+    "plan_op",
+]

@@ -1,0 +1,158 @@
+"""Sender and receiver stream-carrier drivers.
+
+These are the components of the paper's Figure 3 running process that touch
+the network: the **sender driver** marshals operator output into send
+buffers and transmits them over a channel; the **receiver driver** accepts
+wire buffers from its inbox and de-marshals them back into objects for the
+operators.
+
+Both drivers implement the single/double buffering distinction measured in
+Figures 6 and 8:
+
+* The sender owns ``slots`` send buffers (1 or 2).  Marshaling a buffer
+  requires owning it; transmission returns it when the channel reports
+  local completion.  With one buffer, marshal and send strictly alternate;
+  with two, the CPU marshals buffer k+1 while the co-processor transmits
+  buffer k.
+* The receiver's :class:`~repro.engine.inbox.Inbox` holds 1 or 2 receive
+  slots; the slot is returned only after de-marshaling, so with a single
+  slot the network stalls while the CPU drains the buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.context import ExecutionContext
+from repro.engine.inbox import Inbox
+from repro.engine.marshal import StreamDemarshaller, StreamMarshaller
+from repro.engine.objects import END_OF_STREAM
+from repro.net.channels import Channel
+from repro.sim import Store
+
+
+class SenderDriver:
+    """Marshals an object stream and sends it over one channel."""
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        source: Store,
+        channel: Channel,
+        stream_id: str,
+        buffer_bytes: Optional[int] = None,
+    ):
+        self.ctx = ctx
+        self.source = source
+        self.channel = channel
+        self.stream_id = stream_id
+        # TCP carriers impose their own segment size; MPI carriers use the
+        # query's buffer-size setting (the Figure 6/8 experimental knob).
+        self.buffer_bytes = (
+            channel.preferred_buffer_bytes
+            if channel.preferred_buffer_bytes is not None
+            else (buffer_bytes or ctx.settings.mpi_buffer_bytes)
+        )
+        self.bytes_sent = 0
+        self.buffers_sent = 0
+        self._tokens = Store(ctx.sim, capacity=2, name=f"{stream_id}.send-tokens")
+        self._outbox = Store(ctx.sim, name=f"{stream_id}.outbox")
+        self._pending_since: Optional[float] = None
+        for _ in range(ctx.settings.driver_slots):
+            self._tokens.put(None)
+
+    def run(self):
+        """Driver main process: marshal loop plus a transmit sub-process."""
+        yield from self.channel.open()
+        transmitter = self.ctx.sim.process(
+            self._transmit(), name=f"send[{self.stream_id}]"
+        )
+        marshaller = StreamMarshaller(
+            self.stream_id, self.ctx.node.node_id, self.buffer_bytes
+        )
+        while True:
+            obj = yield from self._next_object(marshaller)
+            if obj is END_OF_STREAM:
+                break
+            for buffer in marshaller.add(obj):
+                yield from self._emit(buffer)
+            if marshaller.pending_bytes and self._pending_since is None:
+                self._pending_since = self.ctx.sim.now
+            elif not marshaller.pending_bytes:
+                self._pending_since = None
+        tail = marshaller.flush()
+        if tail is not None:
+            yield from self._emit(tail)
+        yield self._tokens.get()  # own a buffer for the EOS marker too
+        yield self._outbox.put(marshaller.end_of_stream())
+        yield transmitter  # join: all buffers transmitted
+        yield from self.channel.close()
+
+    def _next_object(self, marshaller: StreamMarshaller):
+        """Wait for the next object, flushing over-age partial buffers.
+
+        In a continuous query a low-rate stream (one aggregate per window)
+        may never fill a send buffer; once the *oldest* pending byte is
+        ``flush_interval`` old the partial buffer is sent, so subscribers
+        see results promptly whether the stream trickles or stalls.
+        """
+        sim = self.ctx.sim
+        get_event = self.source.get()
+        while not get_event.triggered and marshaller.pending_bytes:
+            assert self._pending_since is not None
+            remaining = self._pending_since + self.ctx.settings.flush_interval - sim.now
+            if remaining <= 0:
+                tail = marshaller.flush()
+                self._pending_since = None
+                if tail is not None:
+                    yield from self._emit(tail)
+                break
+            yield sim.any_of([get_event, sim.timeout(remaining)])
+        obj = yield get_event
+        return obj
+
+    def _emit(self, buffer):
+        """Acquire a send buffer, marshal into it, hand it to the transmitter."""
+        yield self._tokens.get()
+        yield from self.ctx.charge_cpu(self.ctx.marshal_cost(buffer.nbytes))
+        yield self._outbox.put(buffer)
+        self.bytes_sent += buffer.nbytes
+        self.buffers_sent += 1
+
+    def _transmit(self):
+        """Send marshaled buffers in order, returning tokens on completion."""
+        while True:
+            buffer = yield self._outbox.get()
+            yield from self.channel.send(buffer)
+            yield self._tokens.put(None)
+            if buffer.eos:
+                return
+
+
+class ReceiverDriver:
+    """De-marshals wire buffers from one producer into an object store."""
+
+    def __init__(self, ctx: ExecutionContext, inbox: Inbox, output: Store, stream_id: str):
+        self.ctx = ctx
+        self.inbox = inbox
+        self.output = output
+        self.stream_id = stream_id
+        self.bytes_received = 0
+        self.buffers_received = 0
+
+    def run(self):
+        """Driver main process: drain inbox, de-marshal, emit objects + EOS."""
+        demarshaller = StreamDemarshaller()
+        while True:
+            buffer = yield self.inbox.get()
+            if buffer.eos:
+                yield self.inbox.release()
+                break
+            yield from self.ctx.charge_cpu(self.ctx.demarshal_cost(buffer.nbytes))
+            objects = demarshaller.accept(buffer)
+            yield self.inbox.release()
+            self.bytes_received += buffer.nbytes
+            self.buffers_received += 1
+            for obj in objects:
+                yield self.output.put(obj)
+        yield self.output.put(END_OF_STREAM)

@@ -1,0 +1,70 @@
+"""Receive-side buffering with explicit slot ownership.
+
+The MPI receiver driver "contains double buffers so that one buffer can be
+processed while the other one is read or written" (paper section 2.3) — and
+the Figure 6/8 experiments compare that against single buffering.  The
+difference is *who may touch the receive buffer when*:
+
+* **single buffering** — one receive buffer: while the CPU de-marshals it,
+  the communication co-processor cannot deposit the next buffer and stalls
+  (stalling, in turn, back-pressures the torus);
+* **double buffering** — two buffers: the co-processor fills one while the
+  CPU drains the other.
+
+:class:`Inbox` models this with a token pool of ``slots`` receive buffers.
+The network deposits via :meth:`put` (acquiring a free slot, blocking while
+none is free) and the receiver driver returns the slot with
+:meth:`release` once de-marshaling finishes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.message import WireBuffer
+from repro.sim import Store
+from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Simulator
+    from repro.sim.events import Event
+
+
+class Inbox:
+    """A pool of ``slots`` receive buffers between a channel and a driver."""
+
+    def __init__(self, sim: "Simulator", slots: int, name: str = ""):
+        if slots < 1:
+            raise SimulationError(f"an inbox needs at least one slot, got {slots}")
+        self.sim = sim
+        self.slots = slots
+        self.name = name
+        self._tokens = Store(sim, capacity=slots, name=f"{name}.tokens")
+        for _ in range(slots):
+            self._tokens.put(None)
+        self._items = Store(sim, name=f"{name}.items")
+
+    def put(self, buffer: WireBuffer) -> "Event":
+        """Deposit a buffer; the event triggers once a slot was free.
+
+        Returns a process-event so network models can ``yield deliver.put(b)``
+        uniformly for stores and inboxes.
+        """
+        return self.sim.process(self._put(buffer), name=f"{self.name}.put")
+
+    def _put(self, buffer: WireBuffer):
+        yield self._tokens.get()
+        yield self._items.put(buffer)
+
+    def get(self) -> "Event":
+        """Take the oldest deposited buffer (the slot stays owned)."""
+        return self._items.get()
+
+    def release(self) -> "Event":
+        """Return one slot to the pool after de-marshaling completes."""
+        return self._tokens.put(None)
+
+    @property
+    def depth(self) -> int:
+        """Buffers currently deposited and not yet taken by the driver."""
+        return self._items.size

@@ -1,0 +1,111 @@
+"""Execution monitoring: what each running process did.
+
+The paper's Figure 3 lists "(v) monitoring the execution of its SQEP"
+among an RP's responsibilities.  This module collects those observations:
+per-operator object counts, per-port receive volumes, per-subscriber send
+volumes, and CPU busy time, snapshotted into plain dataclasses that the
+client manager attaches to the execution report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+from repro.util.units import format_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.rp import RunningProcess
+
+
+@dataclass(frozen=True)
+class OperatorStats:
+    """One operator's throughput counters."""
+
+    name: str
+    objects_in: int
+    objects_out: int
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """One stream edge's volume, as seen by a driver."""
+
+    stream_id: str
+    bytes: int
+    buffers: int
+
+
+@dataclass(frozen=True)
+class RPStatistics:
+    """Everything one running process observed about its own execution."""
+
+    rp_id: str
+    node_id: str
+    operators: Tuple[OperatorStats, ...]
+    received: Tuple[StreamStats, ...]
+    sent: Tuple[StreamStats, ...]
+    cpu_busy_time: float
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(s.bytes for s in self.received)
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(s.bytes for s in self.sent)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"{self.rp_id} on {self.node_id}: "
+            f"cpu {self.cpu_busy_time * 1e3:.2f} ms, "
+            f"in {format_bytes(self.bytes_received)}, "
+            f"out {format_bytes(self.bytes_sent)}"
+        ]
+        for op in self.operators:
+            lines.append(
+                f"  {op.name}: {op.objects_in} objects in, {op.objects_out} out"
+            )
+        for stream in self.received:
+            lines.append(
+                f"  <- {stream.stream_id}: {format_bytes(stream.bytes)} "
+                f"in {stream.buffers} buffers"
+            )
+        for stream in self.sent:
+            lines.append(
+                f"  -> {stream.stream_id}: {format_bytes(stream.bytes)} "
+                f"in {stream.buffers} buffers"
+            )
+        return "\n".join(lines)
+
+
+def snapshot(rp: "RunningProcess") -> RPStatistics:
+    """Capture the current statistics of one running process."""
+    return RPStatistics(
+        rp_id=rp.rp_id,
+        node_id=rp.node.node_id,
+        operators=tuple(
+            OperatorStats(
+                name=op.name, objects_in=op.objects_in, objects_out=op.objects_out
+            )
+            for op in rp.operators
+        ),
+        received=tuple(
+            StreamStats(
+                stream_id=port.driver.stream_id,
+                bytes=port.driver.bytes_received,
+                buffers=port.driver.buffers_received,
+            )
+            for port in rp.input_ports
+        ),
+        sent=tuple(
+            StreamStats(
+                stream_id=sender.stream_id,
+                bytes=sender.bytes_sent,
+                buffers=sender.buffers_sent,
+            )
+            for sender in rp.senders
+        ),
+        cpu_busy_time=rp.ctx.cpu_busy_time,
+    )

@@ -1,0 +1,52 @@
+"""Physical stream operators of the SCSQ engine.
+
+Each operator runs as one simulation process pulling from bounded input
+stores and pushing to an output store; see :mod:`repro.engine.operators.base`.
+"""
+
+from repro.engine.operators.aggregates import Avg, Count, MaxAgg, MinAgg, Sum
+from repro.engine.operators.base import Operator
+from repro.engine.operators.fft import Fft, RadixCombine, fft_cost_seconds
+from repro.engine.operators.filters import Above, Below, Sample
+from repro.engine.operators.groupwin import GroupWindowAggregate
+from repro.engine.operators.grep import Grep
+from repro.engine.operators.merge import First, Merge, Relay
+from repro.engine.operators.registry import (
+    operator_class,
+    register_operator,
+    registered_operators,
+)
+from repro.engine.operators.sources import Constant, ExternalReceiver, GenerateArrays, Iota
+from repro.engine.operators.transforms import EvenElements, MapFunction, OddElements
+from repro.engine.operators.window import WindowAggregate
+
+__all__ = [
+    "Operator",
+    "GenerateArrays",
+    "Constant",
+    "Iota",
+    "ExternalReceiver",
+    "Count",
+    "Sum",
+    "Avg",
+    "MaxAgg",
+    "MinAgg",
+    "Merge",
+    "First",
+    "Above",
+    "Below",
+    "Sample",
+    "Relay",
+    "MapFunction",
+    "EvenElements",
+    "OddElements",
+    "Fft",
+    "RadixCombine",
+    "fft_cost_seconds",
+    "Grep",
+    "WindowAggregate",
+    "GroupWindowAggregate",
+    "operator_class",
+    "register_operator",
+    "registered_operators",
+]

@@ -1,0 +1,53 @@
+"""The grep operator behind the paper's distributed mapreduce example.
+
+"the subquery performs a grep for a pattern on the i-th filename in a
+table.  Each subquery executes in a separate process" (paper section 2.4).
+``grep(pattern, filename)`` scans the named file of the synthetic corpus
+(:mod:`repro.workloads.corpus`) and streams out the matching lines.  CPU
+cost models a streaming scan at a fixed bytes/second rate.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.engine.operators.base import Operator
+from repro.util.errors import QueryExecutionError
+
+#: Modelled scan throughput of grep on the 700 MHz baseline CPU, bytes/s.
+GREP_SCAN_RATE = 150e6
+
+#: Scan cost is charged in chunks of this many bytes so a large file does
+#: not occupy the CPU in one indivisible multi-millisecond slab.
+_CHUNK_BYTES = 256 * 1024
+
+
+class Grep(Operator):
+    """``grep(pattern, file)``: matching lines of a corpus file."""
+
+    name = "grep"
+    arity = (0, 0)
+
+    def __init__(self, ctx, inputs, output, pattern: str, filename: str):
+        super().__init__(ctx, inputs, output)
+        try:
+            self.pattern = re.compile(pattern)
+        except re.error as exc:
+            raise QueryExecutionError(f"bad grep pattern {pattern!r}: {exc}") from exc
+        self.filename = filename
+
+    def run(self):
+        from repro.workloads.corpus import read_file  # avoid an import cycle
+
+        lines = read_file(self.filename)
+        scanned = 0
+        for line in lines:
+            scanned += len(line) + 1
+            if scanned >= _CHUNK_BYTES:
+                yield from self.ctx.charge_cpu(scanned / GREP_SCAN_RATE)
+                scanned = 0
+            if self.pattern.search(line):
+                yield from self.emit(line)
+        if scanned:
+            yield from self.ctx.charge_cpu(scanned / GREP_SCAN_RATE)
+        yield from self.finish()

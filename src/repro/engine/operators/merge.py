@@ -1,0 +1,104 @@
+"""Stream combination operators: merge and relays.
+
+"The function merge(p) generalizes extract() by requesting elements from
+each stream process in p.  merge() terminates when (if ever) the last
+stream process in p terminates" (paper section 2.4).  The physical merge
+forwards objects from its inputs in arrival order and emits end-of-stream
+only after every input has ended.
+
+``Relay`` is the identity operator: it materializes ``extract(p)`` when the
+extracted stream is itself the RP's result (e.g. ``c=sp(extract(b))`` in
+Queries 1-6) and ``streamof(e)`` whose stream semantics are handled at plan
+level.
+"""
+
+from __future__ import annotations
+
+from repro.engine.objects import END_OF_STREAM
+from repro.engine.operators.base import Operator
+
+
+class Merge(Operator):
+    """Fan-in of any number of input streams, arrival order preserved."""
+
+    name = "merge"
+    arity = (1, None)
+
+    def run(self):
+        sim = self.ctx.sim
+        done = sim.event()
+        state = {"live": len(self.inputs)}
+        forwarders = [
+            sim.process(self._forward(store, state, done), name=f"merge-in[{i}]")
+            for i, store in enumerate(self.inputs)
+        ]
+        yield done
+        for forwarder in forwarders:
+            yield forwarder  # propagate any forwarder failure
+        yield from self.finish()
+
+    def _forward(self, store, state, done):
+        while True:
+            obj = yield store.get()
+            if obj is END_OF_STREAM:
+                break
+            self.objects_in += 1
+            yield from self.ctx.charge_object()
+            yield from self.emit(obj)
+        state["live"] -= 1
+        if state["live"] == 0:
+            done.succeed()
+
+
+class Relay(Operator):
+    """Identity: forward the single input stream unchanged."""
+
+    name = "relay"
+    arity = (1, 1)
+
+    def run(self):
+        while True:
+            obj = yield from self.next_object()
+            if obj is END_OF_STREAM:
+                break
+            yield from self.ctx.charge_object()
+            yield from self.emit(obj)
+        yield from self.finish()
+
+
+class First(Operator):
+    """``first(s, n)``: the first n objects of a stream — a *stop condition*.
+
+    "The execution of CQs may be stopped ... by a stop condition in the
+    query that makes the stream finite" (paper section 2.2).  After the
+    n-th object this operator ends its output stream and stops consuming;
+    the running process then cancels its upstream subscriptions with
+    control messages, which cascades to the producers (they are terminated
+    once no subscriber remains), so an unbounded source query terminates
+    by itself.
+    """
+
+    name = "first"
+    arity = (1, 1)
+
+    def __init__(self, ctx, inputs, output, limit: int):
+        super().__init__(ctx, inputs, output)
+        from repro.util.errors import QueryExecutionError
+
+        if limit < 0:
+            raise QueryExecutionError(f"first() needs a limit >= 0, got {limit}")
+        self.limit = int(limit)
+
+    def run(self):
+        taken = 0
+        while taken < self.limit:
+            obj = yield from self.next_object()
+            if obj is END_OF_STREAM:
+                yield from self.finish()
+                return
+            yield from self.ctx.charge_object()
+            yield from self.emit(obj)
+            taken += 1
+        yield from self.finish()
+        # Done without draining the input: the RP supervisor notices the
+        # still-live receiver and cancels upstream.

@@ -1,0 +1,75 @@
+"""Operator registry: plan-node names to physical operator classes.
+
+The SQEP compiler emits plan nodes by name; this registry resolves them to
+operator classes at instantiation time, so new operators plug in without
+touching the plan or compiler code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.engine.operators.aggregates import Avg, Count, MaxAgg, MinAgg, Sum
+from repro.engine.operators.base import Operator
+from repro.engine.operators.fft import Fft, RadixCombine
+from repro.engine.operators.filters import Above, Below, Sample
+from repro.engine.operators.groupwin import GroupWindowAggregate
+from repro.engine.operators.grep import Grep
+from repro.engine.operators.merge import First, Merge, Relay
+from repro.engine.operators.sources import Constant, ExternalReceiver, GenerateArrays, Iota
+from repro.engine.operators.transforms import EvenElements, MapFunction, OddElements
+from repro.engine.operators.window import WindowAggregate
+from repro.util.errors import QueryExecutionError
+
+_OPERATORS: Dict[str, Type[Operator]] = {}
+
+
+def register_operator(cls: Type[Operator]) -> Type[Operator]:
+    """Add an operator class to the registry under its ``name``."""
+    if not cls.name or cls.name == Operator.name:
+        raise QueryExecutionError(f"operator class {cls.__name__} has no registry name")
+    _OPERATORS[cls.name] = cls
+    return cls
+
+
+def operator_class(name: str) -> Type[Operator]:
+    """Look up the operator class registered under ``name``."""
+    try:
+        return _OPERATORS[name]
+    except KeyError:
+        raise QueryExecutionError(
+            f"unknown operator {name!r}; registered: {sorted(_OPERATORS)}"
+        ) from None
+
+
+def registered_operators() -> Dict[str, Type[Operator]]:
+    """A copy of the registry (name -> class)."""
+    return dict(_OPERATORS)
+
+
+for _cls in (
+    GenerateArrays,
+    Constant,
+    Iota,
+    ExternalReceiver,
+    Count,
+    Sum,
+    Avg,
+    MaxAgg,
+    MinAgg,
+    Merge,
+    Relay,
+    First,
+    Above,
+    Below,
+    Sample,
+    MapFunction,
+    EvenElements,
+    OddElements,
+    Fft,
+    RadixCombine,
+    Grep,
+    WindowAggregate,
+    GroupWindowAggregate,
+):
+    register_operator(_cls)

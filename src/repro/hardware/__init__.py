@@ -1,0 +1,45 @@
+"""Hardware environment: the simulated LOFAR testbed.
+
+Models the machines of the paper's Figure 1 — a BlueGene partition with
+torus-addressed compute nodes, psets and I/O nodes; Linux front-end and
+back-end clusters — together with the per-cluster compute node databases
+used by the coordinators for node selection.
+"""
+
+from repro.hardware.bluegene import BlueGene, BlueGeneConfig
+from repro.hardware.cndb import ComputeNodeDatabase
+from repro.hardware.environment import (
+    BACKEND,
+    BLUEGENE,
+    FRONTEND,
+    Environment,
+    EnvironmentConfig,
+)
+from repro.hardware.linux_cluster import LinuxCluster, LinuxClusterConfig
+from repro.hardware.node import (
+    PPC440D,
+    PPC970,
+    CpuSpec,
+    Node,
+    NodeCapabilities,
+    NodeKind,
+)
+
+__all__ = [
+    "BlueGene",
+    "BlueGeneConfig",
+    "ComputeNodeDatabase",
+    "Environment",
+    "EnvironmentConfig",
+    "BLUEGENE",
+    "BACKEND",
+    "FRONTEND",
+    "LinuxCluster",
+    "LinuxClusterConfig",
+    "Node",
+    "NodeKind",
+    "NodeCapabilities",
+    "CpuSpec",
+    "PPC440D",
+    "PPC970",
+]

@@ -1,0 +1,147 @@
+"""The complete simulated LOFAR hardware environment.
+
+:class:`Environment` assembles everything Figure 1 of the paper shows: a
+Linux front-end cluster (where users and the client manager live), a Linux
+back-end cluster (where sensor streams enter), and the BlueGene partition —
+plus the simulated interconnects between them and the per-cluster compute
+node databases.  One :class:`Environment` owns one
+:class:`~repro.sim.core.Simulator`; a fresh environment is created per
+measurement run so runs are independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hardware.bluegene import BlueGene, BlueGeneConfig
+from repro.hardware.cndb import ComputeNodeDatabase
+from repro.hardware.linux_cluster import LinuxCluster, LinuxClusterConfig
+from repro.hardware.node import PPC440D, Node, NodeKind
+from repro.net.channels import Channel, LatencyChannel, MpiChannel, TcpChannel
+from repro.net.ethernet import EthernetFabric
+from repro.net.jitter import Jitter
+from repro.net.params import NetworkParams
+from repro.net.torus import TorusNetwork
+from repro.sim import Resource, Simulator, Store
+from repro.util.errors import HardwareError
+
+#: Cluster names used throughout the paper's queries.
+BLUEGENE = "bg"
+BACKEND = "be"
+FRONTEND = "fe"
+
+
+@dataclass(frozen=True)
+class EnvironmentConfig:
+    """Shape and cost model of one simulated environment.
+
+    Defaults match the paper's experimental set-up: a BlueGene partition
+    with four psets/I-O nodes and a four-node back-end cluster (section 5:
+    "In the current hardware configuration, we have only four I/O nodes and
+    four nodes in the back-end cluster").
+    """
+
+    bluegene: BlueGeneConfig = BlueGeneConfig()
+    backend_nodes: int = 4
+    frontend_nodes: int = 2
+    params: NetworkParams = field(default_factory=NetworkParams)
+    seed: int = 0
+
+
+class Environment:
+    """The heterogeneous parallel computing environment under measurement."""
+
+    def __init__(self, config: EnvironmentConfig = EnvironmentConfig()):
+        self.config = config
+        self.sim = Simulator()
+        self.jitter = Jitter(magnitude=config.params.jitter, seed=config.seed)
+        self.bluegene = BlueGene(config.bluegene)
+        self.backend = LinuxCluster(LinuxClusterConfig(BACKEND, config.backend_nodes))
+        self.frontend = LinuxCluster(LinuxClusterConfig(FRONTEND, config.frontend_nodes))
+        self.torus = TorusNetwork(
+            self.sim, self.bluegene, config.params.torus, self.jitter
+        )
+        self.fabric = EthernetFabric(
+            self.sim, self.bluegene, self.torus, config.params, self.jitter
+        )
+        self.cndbs: Dict[str, ComputeNodeDatabase] = {
+            BLUEGENE: ComputeNodeDatabase(BLUEGENE, self.bluegene.compute_nodes),
+            BACKEND: ComputeNodeDatabase(BACKEND, self.backend.nodes),
+            FRONTEND: ComputeNodeDatabase(FRONTEND, self.frontend.nodes),
+        }
+        self._cpus: Dict[str, Resource] = {}
+
+    @property
+    def params(self) -> NetworkParams:
+        return self.config.params
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def cluster_names(self):
+        """The clusters of the environment, in paper order."""
+        return (FRONTEND, BACKEND, BLUEGENE)
+
+    def cndb(self, cluster: str) -> ComputeNodeDatabase:
+        """The compute node database of ``cluster``."""
+        try:
+            return self.cndbs[cluster]
+        except KeyError:
+            raise HardwareError(
+                f"unknown cluster {cluster!r}; expected one of {sorted(self.cndbs)}"
+            ) from None
+
+    def node(self, cluster: str, index: int) -> Node:
+        """The node ``index`` of ``cluster``."""
+        return self.cndb(cluster).node(index)
+
+    # ------------------------------------------------------------------
+    # Compute CPUs
+    # ------------------------------------------------------------------
+    def cpu(self, node: Node) -> Resource:
+        """The compute-CPU resource of ``node``, shared by its RPs.
+
+        BlueGene compute nodes expose a single compute CPU — "normally one
+        is used for computation and the other one for communication" (the
+        communication co-processor is modelled separately in the torus).
+        Linux nodes expose both cores.
+        """
+        if node.node_id not in self._cpus:
+            capacity = 1 if node.kind is NodeKind.BG_COMPUTE else node.cpu.cores
+            self._cpus[node.node_id] = Resource(
+                self.sim, capacity=capacity, name=f"cpu[{node.node_id}]"
+            )
+        return self._cpus[node.node_id]
+
+    def cpu_time_scale(self, node: Node) -> float:
+        """Multiplier converting baseline (PPC440) CPU costs to this node.
+
+        Cost-model rates in :class:`~repro.net.params.CpuCostParams` are
+        calibrated for the BlueGene's 700 MHz PowerPC 440d; faster CPUs
+        (the 2.2 GHz PPC970 of the Linux clusters) scale times down by
+        clock ratio.
+        """
+        return PPC440D.clock_hz / node.cpu.clock_hz
+
+    # ------------------------------------------------------------------
+    # Channel selection (paper section 2.3 driver rule)
+    # ------------------------------------------------------------------
+    def open_channel(self, source: Node, destination: Node, deliver: Store, stream_id: str) -> Channel:
+        """Create the right stream carrier for a (source, destination) pair.
+
+        MPI inside the BlueGene, TCP for back-end -> BlueGene ingress, and
+        an uncontended latency path for the remaining low-volume pairings.
+        """
+        if source.cluster == BLUEGENE and destination.cluster == BLUEGENE:
+            return MpiChannel(self.sim, source, destination, deliver, self.torus)
+        if source.cluster == BACKEND and destination.cluster == BLUEGENE:
+            return TcpChannel(self.sim, source, destination, deliver, self.fabric, stream_id)
+        return LatencyChannel(self.sim, source, destination, deliver, self.params, self.jitter)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Environment bg={self.bluegene.config.torus_shape} "
+            f"be={self.config.backend_nodes} fe={self.config.frontend_nodes} "
+            f"seed={self.config.seed}>"
+        )

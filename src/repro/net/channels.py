@@ -1,0 +1,163 @@
+"""Uniform channel abstraction over the concrete network models.
+
+The stream engine's sender drivers talk to a :class:`Channel`; the concrete
+subclass is chosen from the endpoints' clusters, mirroring the paper's
+driver selection rule (section 2.3): "MPI is always used inside the
+BlueGene as that is the only allowed protocol, while TCP is always used
+when communicating between clusters."
+
+* :class:`MpiChannel` — both endpoints on BlueGene compute nodes: the torus.
+* :class:`TcpChannel` — back-end Linux host into a BlueGene compute node:
+  the full Ethernet/I-O-node ingress path.
+* :class:`LatencyChannel` — every other pairing (result trickles to the
+  front-end, intra-Linux-cluster edges, registration traffic).  These paths
+  carry negligible volume in all of the paper's experiments ("only one
+  number is transmitted from b to the client manager"), so they are
+  modelled as an uncontended latency + serialization delay.
+
+Each channel delivers :class:`~repro.net.message.WireBuffer` objects into a
+destination :class:`~repro.sim.resources.Store` owned by the receiving
+driver; a bounded store gives back-pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.node import Node, NodeKind
+from repro.net.ethernet import EthernetFabric, TcpStreamConnection
+from repro.net.jitter import Jitter
+from repro.net.message import WireBuffer
+from repro.net.params import NetworkParams
+from repro.net.torus import TorusNetwork
+from repro.sim import Simulator, Store
+from repro.util.errors import NetworkError
+
+
+class Channel:
+    """One directed stream carrier between two nodes."""
+
+    def __init__(self, sim: Simulator, source: Node, destination: Node, deliver: Store):
+        self.sim = sim
+        self.source = source
+        self.destination = destination
+        self.deliver = deliver
+
+    def open(self):
+        """Generator establishing the channel (may cost simulated time)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def send(self, buffer: WireBuffer):
+        """Generator sending one buffer (returns at local completion)."""
+        raise NotImplementedError
+
+    def close(self):
+        """Generator releasing connection state (may drain in-flight data)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    @property
+    def preferred_buffer_bytes(self) -> Optional[int]:
+        """Carrier-imposed send-buffer size, or None when configurable.
+
+        TCP streams rely on "the buffering of the TCP stack" (paper section
+        3.2), so their flush size is the TCP segment size rather than the
+        query's MPI buffer-size setting.
+        """
+        return None
+
+
+class MpiChannel(Channel):
+    """Intra-BlueGene stream over the torus (the only allowed protocol)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: Node,
+        destination: Node,
+        deliver: Store,
+        torus: TorusNetwork,
+    ):
+        if source.kind is not NodeKind.BG_COMPUTE or destination.kind is not NodeKind.BG_COMPUTE:
+            raise NetworkError("MpiChannel endpoints must be BlueGene compute nodes")
+        super().__init__(sim, source, destination, deliver)
+        self.torus = torus
+        self._stream_id = f"mpi:{source.index}->{destination.index}:{id(self)}"
+        self._open = False
+
+    def open(self):
+        self.torus.register_stream(self.destination.index, self._stream_id)
+        self._open = True
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def send(self, buffer: WireBuffer):
+        yield from self.torus.send(buffer, self.source.index, self.destination.index, self.deliver)
+
+    def close(self):
+        if self._open:
+            self.torus.unregister_stream(self.destination.index, self._stream_id)
+            self._open = False
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+class TcpChannel(Channel):
+    """Inbound TCP stream from a Linux host into a BlueGene compute node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: Node,
+        destination: Node,
+        deliver: Store,
+        fabric: EthernetFabric,
+        stream_id: str,
+    ):
+        if source.kind is not NodeKind.LINUX or destination.kind is not NodeKind.BG_COMPUTE:
+            raise NetworkError(
+                "TcpChannel carries Linux-host -> BlueGene-compute streams; "
+                f"got {source.node_id} -> {destination.node_id}"
+            )
+        super().__init__(sim, source, destination, deliver)
+        self._connection = TcpStreamConnection(
+            fabric, source, destination.index, deliver, stream_id
+        )
+        self._params = fabric.params
+
+    def open(self):
+        yield from self._connection.open()
+
+    def send(self, buffer: WireBuffer):
+        yield from self._connection.send(buffer)
+
+    def close(self):
+        yield from self._connection.close()
+
+    @property
+    def preferred_buffer_bytes(self) -> Optional[int]:
+        return self._params.tcp.segment_bytes
+
+
+class LatencyChannel(Channel):
+    """Uncontended low-volume path (results, registrations, intra-cluster)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: Node,
+        destination: Node,
+        deliver: Store,
+        params: NetworkParams,
+        jitter: Optional[Jitter] = None,
+    ):
+        super().__init__(sim, source, destination, deliver)
+        self.params = params
+        self.jitter = jitter or Jitter()
+
+    def send(self, buffer: WireBuffer):
+        latency = self.params.ethernet.switch_latency
+        serialization = buffer.nbytes / self.params.ethernet.nic_rate
+        yield self.sim.timeout(self.jitter.apply(latency + serialization))
+        yield self.deliver.put(buffer)

@@ -1,0 +1,35 @@
+"""Deterministic cost jitter for repeated measurement runs.
+
+The paper repeats each experiment five times "in order to achieve low
+variance in the measurements" — the testbed has real noise.  The simulation
+is deterministic, so repeated runs would be identical; :class:`Jitter`
+injects a small seeded multiplicative noise on every modelled cost so the
+five-repeat statistics are meaningful while staying reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.util.errors import SimulationError
+
+
+class Jitter:
+    """Seeded multiplicative noise: ``scale()`` ~ Uniform(1-m, 1+m)."""
+
+    def __init__(self, magnitude: float = 0.0, seed: int = 0):
+        if magnitude < 0 or magnitude >= 1:
+            raise SimulationError(f"jitter magnitude must be in [0, 1), got {magnitude}")
+        self.magnitude = magnitude
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def scale(self) -> float:
+        """One noise factor; exactly 1.0 when the magnitude is zero."""
+        if self.magnitude == 0.0:
+            return 1.0
+        return 1.0 + self._rng.uniform(-self.magnitude, self.magnitude)
+
+    def apply(self, cost: float) -> float:
+        """``cost`` scaled by one noise factor (never negative)."""
+        return cost * self.scale()

@@ -1,0 +1,233 @@
+"""The BlueGene 3D-torus interconnect and its MPI stream carrier.
+
+This is the substrate behind Figures 6 and 8.  The model captures the three
+mechanisms the paper identifies:
+
+1. **Packet quantisation** — "1K is the smallest message size that can be
+   exchanged in the BlueGene 3D torus"; buffers are padded to whole packets,
+   so sub-1 KB send buffers waste wire time.
+2. **Routing through intermediate co-processors** — "when messages are sent
+   between non-adjacent nodes in BlueGene, they must be routed through the
+   communication co-processors of the nodes in between.  Communication will
+   be slower if these co-processors are busy."  Every node's co-processor is
+   a capacity-1 :class:`~repro.sim.resources.Resource`; forwarded traffic
+   and the node's own sends contend on it.
+3. **Source switching at the receiver** — the "single-threaded communication
+   co-processor of c must handle data streams from both a and b ... it
+   switches between receiving messages from a and b.  Less frequent
+   switching improves communication."  A switch penalty is charged whenever
+   consecutive buffers received by a node come from different senders.
+
+Routing is dimension-ordered (X, then Y, then Z) with wrap-around links,
+which is how BlueGene/L's torus actually routes and is what makes the
+paper's "sequential" node selection (nodes 0,1,2 in a line) route b->c
+traffic through a's co-processor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.bluegene import BlueGene
+from repro.net.jitter import Jitter
+from repro.net.message import WireBuffer
+from repro.net.params import TorusParams
+from repro.sim import Resource, Simulator, Store
+from repro.util.errors import NetworkError
+
+
+def _axis_steps(src: int, dst: int, size: int) -> List[int]:
+    """Signed unit steps along one torus axis, taking the shorter way around.
+
+    Ties (exactly half way around an even-sized axis) go in the negative
+    direction, matching the paper's Figure 7A set-up where traffic from
+    node 2 to node 0 is routed through node 1 (2 -> 1 -> 0, not 2 -> 3 -> 0
+    around the wrap link).
+    """
+    if size == 1 or src == dst:
+        return []
+    forward = (dst - src) % size
+    backward = (src - dst) % size
+    if forward < backward:
+        return [+1] * forward
+    return [-1] * backward
+
+
+class TorusNetwork:
+    """Contention-aware 3D torus carrying MPI stream buffers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bluegene: BlueGene,
+        params: TorusParams = TorusParams(),
+        jitter: Optional[Jitter] = None,
+    ):
+        self.sim = sim
+        self.bluegene = bluegene
+        self.params = params
+        self.jitter = jitter or Jitter()
+        self._links: Dict[Tuple[int, int], Resource] = {}
+        self._coprocessors: Dict[int, Resource] = {}
+        self._last_source: Dict[int, Optional[str]] = {}
+        self._stream_windows: Dict[str, Store] = {}
+        self._active_streams: Dict[int, set] = {}
+        # Statistics for experiment reports.
+        self.bytes_on_wire = 0
+        self.buffers_delivered = 0
+        self.source_switches = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def route(self, src: int, dst: int) -> List[int]:
+        """Compute-node path from ``src`` to ``dst`` (inclusive), XYZ-ordered."""
+        shape = self.bluegene.config.torus_shape
+        if src == dst:
+            return [src]
+        path = [src]
+        coord = list(self.bluegene.coord_of(src))
+        target = self.bluegene.coord_of(dst)
+        for axis in range(3):
+            for step in _axis_steps(coord[axis], target[axis], shape[axis]):
+                coord[axis] = (coord[axis] + step) % shape[axis]
+                path.append(self.bluegene.index_of(tuple(coord)))
+        return path
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Number of torus links on the route from ``src`` to ``dst``."""
+        return len(self.route(src, dst)) - 1
+
+    def coprocessor(self, node_index: int) -> Resource:
+        """The (lazily created) communication co-processor of a compute node."""
+        if node_index not in self._coprocessors:
+            self.bluegene.node(node_index)  # validate index
+            self._coprocessors[node_index] = Resource(
+                self.sim, capacity=1, name=f"coproc[{node_index}]"
+            )
+        return self._coprocessors[node_index]
+
+    def link(self, a: int, b: int) -> Resource:
+        """The directional link resource from node ``a`` to node ``b``."""
+        key = (a, b)
+        if key not in self._links:
+            self._links[key] = Resource(self.sim, capacity=1, name=f"link[{a}->{b}]")
+        return self._links[key]
+
+    # ------------------------------------------------------------------
+    # Stream registry (drives the receive switching cost)
+    # ------------------------------------------------------------------
+    def register_stream(self, node: int, stream_id: str) -> None:
+        """Record that a stream now terminates at compute node ``node``."""
+        self._active_streams.setdefault(node, set()).add(stream_id)
+
+    def unregister_stream(self, node: int, stream_id: str) -> None:
+        """Record the end of a stream terminating at ``node``."""
+        streams = self._active_streams.get(node)
+        if streams is not None:
+            streams.discard(stream_id)
+
+    def incoming_stream_count(self, node: int) -> int:
+        """Streams currently terminating at ``node`` (min 1 for costing)."""
+        return max(1, len(self._active_streams.get(node, ())))
+
+    def _switch_cost(self, node: int) -> float:
+        """Per-buffer source-switching cost at ``node``.
+
+        ``penalty * (k-1)``: zero for a single incoming stream (point-to-
+        point pays no switching), the full penalty per buffer when two
+        streams alternate, escalating as more streams contend.
+        """
+        k = self.incoming_stream_count(node)
+        return self.params.source_switch_penalty * (k - 1)
+
+    def _stream_window(self, stream_id: str) -> Store:
+        """Token pool bounding in-flight buffers of one stream."""
+        if stream_id not in self._stream_windows:
+            window = Store(
+                self.sim,
+                capacity=self.params.stream_window,
+                name=f"torus-window[{stream_id}]",
+            )
+            for _ in range(self.params.stream_window):
+                window.put(None)
+            self._stream_windows[stream_id] = window
+        return self._stream_windows[stream_id]
+
+    # ------------------------------------------------------------------
+    # Transfer
+    # ------------------------------------------------------------------
+    def send(self, buffer: WireBuffer, src: int, dst: int, deliver: Store):
+        """Inject ``buffer`` at ``src`` bound for ``dst`` (generator).
+
+        Mirrors MPI local-completion semantics: the generator returns once
+        the sending co-processor has finished injecting the buffer; the rest
+        of the journey (forwarding hops, receive processing, delivery into
+        ``deliver``) continues as an independent simulation process.
+        """
+        if src == dst:
+            raise NetworkError(f"torus send with src == dst == {src}")
+        path = self.route(src, dst)
+        # Shallow-FIFO back-pressure: stall if too many of this stream's
+        # buffers are still travelling or waiting at a busy co-processor.
+        yield self._stream_window(buffer.stream_id).get()
+        wire = self.params.handling_time(buffer.nbytes) if not buffer.eos else 0.0
+        # Injection: sending co-processor streams the packets onto the first
+        # link; both are occupied for the buffer's handling time.
+        with self.coprocessor(src).request() as coproc_req:
+            yield coproc_req
+            with self.link(path[0], path[1]).request() as link_req:
+                yield link_req
+                cost = self.jitter.apply(self.params.injection_overhead + wire)
+                yield self.sim.timeout(cost)
+        self.bytes_on_wire += buffer.nbytes
+        # The remaining hops proceed asynchronously (cut-through across
+        # buffers: the sender may inject buffer k+1 while k is forwarded).
+        self.sim.process(
+            self._forward(buffer, path, wire, deliver),
+            name=f"torus-forward[{buffer.stream_id}#{buffer.buffer_id}]",
+        )
+
+    def _forward(self, buffer: WireBuffer, path: List[int], wire: float, deliver: Store):
+        """Forward ``buffer`` hop by hop and deliver it at the destination."""
+        yield self.sim.timeout(self.params.hop_latency * (len(path) - 1))
+        for position in range(1, len(path) - 1):
+            node = path[position]
+            with self.coprocessor(node).request() as coproc_req:
+                yield coproc_req
+                with self.link(path[position], path[position + 1]).request() as link_req:
+                    yield link_req
+                    cost = self.jitter.apply(self.params.forward_overhead + wire)
+                    yield self.sim.timeout(cost)
+        receive_work = self.params.receive_time(buffer.nbytes) if not buffer.eos else 0.0
+        yield from self._receive(buffer, path[-1], receive_work, deliver)
+        # Delivery complete: free one in-flight slot of this stream.
+        yield self._stream_window(buffer.stream_id).put(None)
+
+    def receive_at(self, buffer: WireBuffer, node: int, receive_work: float, deliver: Store):
+        """Receive processing for a buffer arriving from *outside* the torus.
+
+        Inbound TCP traffic forwarded by an I/O node over the tree network
+        ends at the same single-threaded co-processor as torus traffic and
+        pays the same source-switch penalty; the Ethernet fabric delegates
+        its final hop here so the mechanism is shared.  ``receive_work`` is
+        the co-processor occupancy, computed by the caller for its medium.
+        """
+        yield from self._receive(buffer, node, receive_work, deliver)
+
+    def _receive(self, buffer: WireBuffer, node: int, receive_work: float, deliver: Store):
+        """Receive processing at the destination co-processor."""
+        with self.coprocessor(node).request() as coproc_req:
+            yield coproc_req
+            cost = self.params.receive_overhead + receive_work
+            if not buffer.eos:
+                cost += self._switch_cost(node)
+            previous = self._last_source.get(node)
+            if previous is not None and previous != buffer.source:
+                self.source_switches += 1  # diagnostic only; cost is rate-based
+            self._last_source[node] = buffer.source
+            yield self.sim.timeout(self.jitter.apply(cost))
+            # Depositing into a full receive buffer blocks the co-processor:
+            # this is the back-pressure that stalls upstream senders.
+            yield deliver.put(buffer)
+        self.buffers_delivered += 1

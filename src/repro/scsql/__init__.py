@@ -1,0 +1,56 @@
+"""SCSQL: the stream query language of SCSQ.
+
+The pipeline: :mod:`repro.scsql.lexer` tokenizes, :mod:`repro.scsql.parser`
+builds the AST, :mod:`repro.scsql.compiler` evaluates the setup level
+(stream-process creation, allocation sequences) and compiles the stream
+level into execution plans, and :class:`repro.scsql.session.SCSQSession`
+runs the result on a simulated environment.
+"""
+
+from repro.scsql.ast import (
+    CondKind,
+    Condition,
+    CreateFunction,
+    Decl,
+    Expr,
+    FuncCall,
+    Literal,
+    Param,
+    SelectQuery,
+    SetExpr,
+    Var,
+)
+from repro.scsql.compiler import FunctionDef, QueryCompiler
+from repro.scsql.handles import SPHandle, SPVHandle
+from repro.scsql.lexer import Token, TokenKind, tokenize
+from repro.scsql.parser import parse, parse_query
+from repro.scsql.scopes import Scope
+from repro.scsql.session import SCSQSession
+from repro.scsql.unparse import unparse, unparse_expr
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "parse",
+    "parse_query",
+    "unparse",
+    "unparse_expr",
+    "QueryCompiler",
+    "FunctionDef",
+    "SCSQSession",
+    "SPHandle",
+    "SPVHandle",
+    "Scope",
+    "CondKind",
+    "Condition",
+    "CreateFunction",
+    "Decl",
+    "Expr",
+    "FuncCall",
+    "Literal",
+    "Param",
+    "SelectQuery",
+    "SetExpr",
+    "Var",
+]

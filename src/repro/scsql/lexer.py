@@ -1,0 +1,162 @@
+"""Tokenizer for SCSQL.
+
+SCSQL is "a query language similar to SQL, but extended with streams and
+stream processes as first-class objects" (paper section 2.4).  The token
+set covers the paper's published queries: identifiers, integer/real
+literals, single-quoted strings, keywords, and the punctuation of function
+calls, set expressions, and ``create function`` signatures (``->``).
+
+Keywords are case-insensitive, as in SQL; identifiers keep their case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.util.errors import QueryParseError
+
+KEYWORDS = frozenset(
+    [
+        "select",
+        "from",
+        "where",
+        "and",
+        "in",
+        "bag",
+        "of",
+        "create",
+        "function",
+        "as",
+    ]
+)
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    SEMICOLON = ";"
+    EQUALS = "="
+    ARROW = "->"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def value(self):
+        """The literal value of a NUMBER token (int if integral)."""
+        if self.kind is not TokenKind.NUMBER:
+            raise QueryParseError(f"token {self.text!r} is not a number", self.line, self.column)
+        if any(c in self.text for c in ".eE"):
+            return float(self.text)
+        return int(self.text)
+
+    def __str__(self) -> str:
+        return self.text or self.kind.value
+
+
+_SINGLE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMICOLON,
+    "=": TokenKind.EQUALS,
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SCSQL source text.
+
+    Raises:
+        QueryParseError: On unterminated strings or unexpected characters.
+    """
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    line, column = 1, 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            column += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            # SQL-style line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_line, start_column = line, column
+        if ch == "-" and text[i : i + 2] == "->":
+            yield Token(TokenKind.ARROW, "->", start_line, start_column)
+            i += 2
+            column += 2
+            continue
+        if ch in _SINGLE_CHAR:
+            yield Token(_SINGLE_CHAR[ch], ch, start_line, start_column)
+            i += 1
+            column += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                if text[j] == "\n":
+                    raise QueryParseError("unterminated string literal", start_line, start_column)
+                j += 1
+            if j >= n:
+                raise QueryParseError("unterminated string literal", start_line, start_column)
+            yield Token(TokenKind.STRING, text[i + 1 : j], start_line, start_column)
+            column += j + 1 - i
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1 if ch == "-" else i
+            while j < n and (text[j].isdigit() or text[j] in ".eE"):
+                if text[j] in "eE" and j + 1 < n and text[j + 1] in "+-":
+                    j += 1
+                j += 1
+            lexeme = text[i:j]
+            try:
+                float(lexeme)
+            except ValueError:
+                raise QueryParseError(f"bad number literal {lexeme!r}", start_line, start_column)
+            yield Token(TokenKind.NUMBER, lexeme, start_line, start_column)
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = TokenKind.KEYWORD if word.lower() in KEYWORDS else TokenKind.IDENT
+            lexeme = word.lower() if kind is TokenKind.KEYWORD else word
+            yield Token(kind, lexeme, start_line, start_column)
+            column += j - i
+            i = j
+            continue
+        raise QueryParseError(f"unexpected character {ch!r}", start_line, start_column)
+    yield Token(TokenKind.END, "", line, column)

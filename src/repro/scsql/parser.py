@@ -1,0 +1,230 @@
+"""Recursive-descent parser for SCSQL.
+
+Grammar (the subset exercised by the paper plus user-defined functions)::
+
+    statement   := select_query | create_function
+    create_function
+                := "create" "function" IDENT "(" [param ("," param)*] ")"
+                   "->" IDENT "as" select_query
+    param       := IDENT IDENT                      -- type name
+    select_query:= "select" expr "from" decl ("," decl)*
+                   ["where" condition ("and" condition)*]
+    decl        := ["bag" "of"] IDENT IDENT         -- type name
+    condition   := IDENT "=" expr | IDENT "in" expr
+    expr        := literal | set_expr | nested_select | call_or_var
+    call_or_var := IDENT ["(" [expr ("," expr)*] ")"]
+    set_expr    := "{" expr ("," expr)* "}"
+    nested_select := "(" select_query ")"
+
+A trailing semicolon after a statement is accepted and ignored.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.scsql.ast import (
+    CondKind,
+    Condition,
+    CreateFunction,
+    Decl,
+    Expr,
+    FuncCall,
+    Literal,
+    Param,
+    SelectQuery,
+    SetExpr,
+    Statement,
+    Var,
+)
+from repro.scsql.lexer import Token, TokenKind, tokenize
+from repro.util.errors import QueryParseError
+
+#: Types a from-clause may declare.  ``sp`` is the paper's stream-process
+#: type; the rest are conventional scalar/stream types.
+DECLARABLE_TYPES = frozenset(
+    ["sp", "integer", "real", "string", "stream", "object", "charstring"]
+)
+
+
+def parse(text: str) -> Statement:
+    """Parse one SCSQL statement.
+
+    Raises:
+        QueryParseError: On any syntax error, with source position.
+    """
+    return _Parser(tokenize(text)).parse_statement()
+
+
+def parse_query(text: str) -> SelectQuery:
+    """Parse a select query (rejecting ``create function``)."""
+    statement = parse(text)
+    if not isinstance(statement, SelectQuery):
+        raise QueryParseError("expected a select query, got a function definition")
+    return statement
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.END:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        token = self._current
+        return token.kind is kind and (text is None or token.text == text)
+
+    def _accept(self, kind: TokenKind, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            token = self._current
+            wanted = text or kind.value
+            raise QueryParseError(
+                f"expected {wanted!r}, found {str(token) or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        if self._check(TokenKind.KEYWORD, "create"):
+            statement: Statement = self._create_function()
+        else:
+            statement = self._select_query()
+        self._accept(TokenKind.SEMICOLON)
+        end = self._current
+        if end.kind is not TokenKind.END:
+            raise QueryParseError(
+                f"unexpected trailing input starting at {str(end)!r}", end.line, end.column
+            )
+        return statement
+
+    def _create_function(self) -> CreateFunction:
+        self._expect(TokenKind.KEYWORD, "create")
+        self._expect(TokenKind.KEYWORD, "function")
+        name = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.LPAREN)
+        params: List[Param] = []
+        if not self._check(TokenKind.RPAREN):
+            while True:
+                type_name = self._expect(TokenKind.IDENT).text
+                param_name = self._expect(TokenKind.IDENT).text
+                params.append(Param(name=param_name, type_name=type_name))
+                if not self._accept(TokenKind.COMMA):
+                    break
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.ARROW)
+        return_type = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.KEYWORD, "as")
+        body = self._select_query()
+        return CreateFunction(
+            name=name, params=tuple(params), return_type=return_type, body=body
+        )
+
+    # ------------------------------------------------------------------
+    # Select queries
+    # ------------------------------------------------------------------
+    def _select_query(self) -> SelectQuery:
+        self._expect(TokenKind.KEYWORD, "select")
+        select_expr = self._expr()
+        self._expect(TokenKind.KEYWORD, "from")
+        decls = [self._decl()]
+        while self._accept(TokenKind.COMMA):
+            decls.append(self._decl())
+        conditions: List[Condition] = []
+        if self._accept(TokenKind.KEYWORD, "where"):
+            conditions.append(self._condition())
+            while self._accept(TokenKind.KEYWORD, "and"):
+                conditions.append(self._condition())
+        return SelectQuery(
+            select=select_expr, decls=tuple(decls), conditions=tuple(conditions)
+        )
+
+    def _decl(self) -> Decl:
+        is_bag = False
+        if self._accept(TokenKind.KEYWORD, "bag"):
+            self._expect(TokenKind.KEYWORD, "of")
+            is_bag = True
+        type_token = self._expect(TokenKind.IDENT)
+        if type_token.text not in DECLARABLE_TYPES:
+            raise QueryParseError(
+                f"unknown type {type_token.text!r} in from clause",
+                type_token.line,
+                type_token.column,
+            )
+        name = self._expect(TokenKind.IDENT).text
+        return Decl(name=name, type_name=type_token.text, is_bag=is_bag)
+
+    def _condition(self) -> Condition:
+        var = self._expect(TokenKind.IDENT).text
+        if self._accept(TokenKind.EQUALS):
+            return Condition(kind=CondKind.EQ, var=var, expr=self._expr())
+        if self._accept(TokenKind.KEYWORD, "in"):
+            return Condition(kind=CondKind.IN, var=var, expr=self._expr())
+        token = self._current
+        raise QueryParseError(
+            f"expected '=' or 'in' after {var!r}", token.line, token.column
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _expr(self) -> Expr:
+        token = self._current
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return Literal(token.value)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return Literal(token.text)
+        if token.kind is TokenKind.LBRACE:
+            return self._set_expr()
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self._select_query()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._accept(TokenKind.LPAREN):
+                args: List[Expr] = []
+                if not self._check(TokenKind.RPAREN):
+                    while True:
+                        args.append(self._expr())
+                        if not self._accept(TokenKind.COMMA):
+                            break
+                self._expect(TokenKind.RPAREN)
+                return FuncCall(name=token.text, args=tuple(args))
+            return Var(name=token.text)
+        raise QueryParseError(
+            f"expected an expression, found {str(token) or 'end of input'!r}",
+            token.line,
+            token.column,
+        )
+
+    def _set_expr(self) -> SetExpr:
+        self._expect(TokenKind.LBRACE)
+        items = [self._expr()]
+        while self._accept(TokenKind.COMMA):
+            items.append(self._expr())
+        self._expect(TokenKind.RBRACE)
+        return SetExpr(items=tuple(items))

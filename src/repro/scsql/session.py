@@ -1,0 +1,145 @@
+"""User sessions: the front door of the SCSQ reproduction.
+
+A :class:`SCSQSession` plays the role of the paper's client manager
+interaction: users submit SCSQL statements; select queries are compiled,
+deployed on the session's environment, executed to completion, and their
+results returned together with an execution report.  ``create function``
+statements register user-defined query functions (e.g. the paper's
+``radix2``) for use in later queries.
+
+Because one simulated environment accumulates state (node placements,
+simulated time), a *measurement* typically uses a fresh session per run;
+:mod:`repro.core.measurement` automates that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro.coordinator.client_manager import ClientManager, ExecutionReport
+from repro.coordinator.coordinator import CoordinatorRegistry
+from repro.engine.operators.sources import ExternalReceiver
+from repro.engine.settings import ExecutionSettings
+from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.scsql.ast import CreateFunction, SelectQuery
+from repro.scsql.compiler import FunctionDef, QueryCompiler
+from repro.scsql.parser import parse
+from repro.util.errors import QuerySemanticError
+
+
+class SCSQSession:
+    """An interactive session against one simulated environment."""
+
+    def __init__(
+        self,
+        env: Optional[Environment] = None,
+        settings: Optional[ExecutionSettings] = None,
+        coordinators: Optional[CoordinatorRegistry] = None,
+    ):
+        self.env = env or Environment(EnvironmentConfig())
+        self.settings = settings or ExecutionSettings()
+        self.client_manager = ClientManager(self.env, coordinators)
+        self.functions: Dict[str, FunctionDef] = {}
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        text: str,
+        settings: Optional[ExecutionSettings] = None,
+        stop_after: Optional[float] = None,
+        optimize: bool = False,
+    ) -> Optional[ExecutionReport]:
+        """Run one SCSQL statement.
+
+        Select queries return an :class:`ExecutionReport`; ``create
+        function`` statements register the function and return None.
+        ``stop_after`` terminates the query at that simulated time — needed
+        for unbounded continuous queries (e.g. ``gen_array(n, -1)``), and
+        usable to truncate finite ones.  ``optimize=True`` runs the
+        cost-based placer over stream processes that carry no explicit
+        allocation sequence (user-specified topologies always win).
+        """
+        statement = parse(text)
+        if isinstance(statement, CreateFunction):
+            self._define_function(statement)
+            return None
+        assert isinstance(statement, SelectQuery)
+        compiler = QueryCompiler(self.env, self.functions)
+        graph = compiler.compile_select(statement)
+        effective = settings or self.settings
+        if optimize:
+            from repro.optimizer import CostBasedPlacer  # avoid an import cycle
+
+            CostBasedPlacer(self.env, effective).place(graph)
+        return self.client_manager.execute(graph, effective, stop_after=stop_after)
+
+    def compile(self, text: str):
+        """Compile a select query without executing it (for inspection)."""
+        statement = parse(text)
+        if not isinstance(statement, SelectQuery):
+            raise QuerySemanticError("compile() takes a select query")
+        compiler = QueryCompiler(self.env, self.functions)
+        return compiler.compile_select(statement)
+
+    def explain(self, text: str, settings: Optional[ExecutionSettings] = None) -> str:
+        """Compile a query and describe its process graph without running it.
+
+        Shows each stream process's cluster, subquery plan, and subscription
+        edges, plus — for stream processes without explicit allocation
+        sequences — the placement the cost-based optimizer would choose and
+        its predicted bottleneck bandwidth.
+        """
+        from repro.optimizer import CostBasedPlacer  # avoid an import cycle
+        from repro.util.units import format_rate
+
+        graph = self.compile(text)
+        effective = settings or self.settings
+        lines = []
+        for sp in graph.sps.values():
+            pinned = sp.allocation is not None
+            lines.append(
+                f"stream process {sp.sp_id} on cluster {sp.cluster!r}"
+                + (" (explicit allocation)" if pinned else "")
+            )
+            assert sp.plan is not None
+            lines.append(sp.plan.describe(indent=1))
+        assert graph.root_plan is not None
+        lines.append("client manager root plan:")
+        lines.append(graph.root_plan.describe(indent=1))
+        placeable = [sp for sp in graph.sps.values() if sp.allocation is None]
+        if placeable:
+            placer = CostBasedPlacer(self.env, effective)
+            assignment = placer.place(graph)
+            predicted = placer.predicted_bandwidth(graph, assignment)
+            lines.append("optimizer placement:")
+            for sp_id, index in sorted(assignment.items()):
+                cluster = graph.sps[sp_id].cluster
+                lines.append(f"  {sp_id} -> {cluster}:{index}")
+            if predicted != float("inf"):
+                lines.append(f"predicted bottleneck bandwidth: {format_rate(predicted)}")
+            # explain() must not mutate placement state for later queries.
+            for sp in placeable:
+                sp.allocation = None
+        return "\n".join(lines)
+
+    def _define_function(self, definition: CreateFunction) -> None:
+        if definition.name in self.functions:
+            raise QuerySemanticError(
+                f"function {definition.name!r} is already defined in this session"
+            )
+        self.functions[definition.name] = FunctionDef(definition)
+
+    # ------------------------------------------------------------------
+    # External sources
+    # ------------------------------------------------------------------
+    @staticmethod
+    def register_source(name: str, factory: Callable[[], Iterable[Any]]) -> None:
+        """Register a named external stream source for ``receiver(name)``."""
+        ExternalReceiver.register(name, factory)
+
+    @staticmethod
+    def unregister_source(name: str) -> None:
+        """Remove a named external stream source."""
+        ExternalReceiver.unregister(name)

@@ -1,0 +1,88 @@
+"""Render SCSQL ASTs back to query text.
+
+The unparser produces canonical text that re-parses to an identical AST —
+the round-trip property is enforced by the test suite with
+hypothesis-generated ASTs.  Useful for logging compiled queries, for
+error messages, and for generating query variants programmatically.
+"""
+
+from __future__ import annotations
+
+from repro.scsql.ast import (
+    CondKind,
+    Condition,
+    CreateFunction,
+    Decl,
+    Expr,
+    FuncCall,
+    Literal,
+    SelectQuery,
+    SetExpr,
+    Statement,
+    Var,
+)
+from repro.util.errors import QueryError
+
+
+def unparse(statement: Statement) -> str:
+    """Render a statement (select query or function definition) as SCSQL."""
+    if isinstance(statement, CreateFunction):
+        return _function(statement)
+    if isinstance(statement, SelectQuery):
+        return _select(statement) + ";"
+    raise QueryError(f"cannot unparse {type(statement).__name__}")
+
+
+def unparse_expr(expr: Expr) -> str:
+    """Render one expression as SCSQL text."""
+    if isinstance(expr, Literal):
+        return _literal(expr)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, FuncCall):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, SetExpr):
+        items = ", ".join(unparse_expr(i) for i in expr.items)
+        return "{" + items + "}"
+    if isinstance(expr, SelectQuery):
+        return "(" + _select(expr) + ")"
+    raise QueryError(f"cannot unparse expression {type(expr).__name__}")
+
+
+def _literal(literal: Literal) -> str:
+    value = literal.value
+    if isinstance(value, str):
+        if "'" in value or "\n" in value:
+            raise QueryError(
+                f"string literal {value!r} cannot be represented in SCSQL "
+                "(no quote escaping in the grammar)"
+            )
+        return f"'{value}'"
+    return repr(value)
+
+
+def _decl(decl: Decl) -> str:
+    prefix = "bag of " if decl.is_bag else ""
+    return f"{prefix}{decl.type_name} {decl.name}"
+
+
+def _condition(condition: Condition) -> str:
+    operator = "=" if condition.kind is CondKind.EQ else " in "
+    return f"{condition.var}{operator}{unparse_expr(condition.expr)}"
+
+
+def _select(query: SelectQuery) -> str:
+    text = f"select {unparse_expr(query.select)} from "
+    text += ", ".join(_decl(d) for d in query.decls)
+    if query.conditions:
+        text += " where " + " and ".join(_condition(c) for c in query.conditions)
+    return text
+
+
+def _function(definition: CreateFunction) -> str:
+    params = ", ".join(f"{p.type_name} {p.name}" for p in definition.params)
+    return (
+        f"create function {definition.name}({params}) -> {definition.return_type} "
+        f"as {_select(definition.body)};"
+    )

@@ -1,0 +1,29 @@
+"""Discrete-event simulation kernel.
+
+A small, self-contained process-interaction simulator in the style of SimPy:
+:class:`Simulator` owns virtual time and the event queue; simulation
+processes are Python generators yielding :class:`Event` objects; shared
+devices are modelled with :class:`Resource` and bounded queues with
+:class:`Store`.
+
+Everything else in the library — the torus network, the MPI/TCP drivers, the
+running processes of the stream engine — executes on this kernel, so a whole
+SCSQ deployment runs deterministically inside one OS process.
+"""
+
+from repro.sim.core import Simulator
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
+from repro.sim.resources import Request, Resource, Store
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "Request",
+    "Store",
+]

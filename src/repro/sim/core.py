@@ -1,0 +1,149 @@
+"""The discrete-event simulator: event queue and scheduler.
+
+:class:`Simulator` owns simulated time.  Time only advances when the event
+queue is stepped; all network transfers, buffer marshaling, and co-processor
+contention in the library are expressed as events on one simulator instance.
+
+Typical use::
+
+    sim = Simulator()
+
+    def producer(sim, store):
+        for i in range(3):
+            yield sim.timeout(1.0)
+            yield store.put(i)
+
+    store = Store(sim)
+    sim.process(producer(sim, store))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+from repro.util.errors import SimulationError
+
+# Queue entries: (time, priority, sequence, event).  ``priority`` orders
+# same-time events (urgent events such as process initialization first) and
+# ``sequence`` keeps insertion order for determinism.
+_URGENT = 0
+_NORMAL = 1
+
+
+class Simulator:
+    """A deterministic discrete-event simulation scheduler."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._sequence = count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, list(events))
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: bool = False) -> None:
+        """Put a triggered event on the queue for processing."""
+        rank = _URGENT if priority else _NORMAL
+        heapq.heappush(self._queue, (self._now + delay, rank, next(self._sequence), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises:
+            SimulationError: If the queue is empty, or an event failed and no
+                process handled (defused) its exception.
+        """
+        if not self._queue:
+            raise SimulationError("cannot step an empty event queue")
+        when, _rank, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past (scheduler bug)")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            exc = event._value
+            raise SimulationError(
+                f"unhandled failure in simulation: {exc!r}"
+            ) from exc
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Returns:
+            The simulated time when the run stopped.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"cannot run until {until!r}, already at {self._now!r}")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                break
+            self.step()
+        return self._now
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Start ``generator`` as a process, run to completion, return its value.
+
+        This is the main entry point used by the measurement harness: it runs
+        the whole simulation until the queue drains and returns the root
+        process's return value (re-raising its exception if it failed).
+        """
+        proc = self.process(generator, name=name)
+        # The root process's failure is re-raised below, so its exception is
+        # handled; mark it defused to keep step() from flagging it first.
+        proc._add_callback(lambda event: setattr(event, "_defused", True))
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"simulation deadlocked: process {proc.name!r} never finished "
+                f"(no more events at t={self._now})"
+            )
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,294 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style (as popularized by
+SimPy): simulation *processes* are Python generators that ``yield`` events;
+the scheduler resumes a process when the event it waits on is triggered.
+
+Event life cycle::
+
+    created --> triggered (scheduled, has value) --> processed (callbacks ran)
+
+An event may be triggered exactly once, either successfully (:meth:`Event.succeed`)
+or with an exception (:meth:`Event.fail`).  Failing events propagate their
+exception into every waiting process, which may catch it with ``try/except``
+around the ``yield``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional, Sequence
+
+from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Simulator
+
+# Sentinel distinguishing "no value yet" from a legitimate None value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time that processes can wait on."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        # A failed event whose exception was delivered somewhere is "defused";
+        # an undelivered failure crashes the simulation (errors never pass
+        # silently).
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled for processing."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event was triggered successfully.
+
+        Raises:
+            SimulationError: If the event has not been triggered yet.
+        """
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception if it failed).
+
+        Raises:
+            SimulationError: If the event has not been triggered yet.
+        """
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value`` as payload."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception as payload.
+
+        The exception is re-raised inside every process waiting on the event.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() requires an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately at the current time.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r}>"
+
+
+class Initialize(Event):
+    """Internal event used to start a newly created process."""
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, priority=True)
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    Attributes:
+        cause: Arbitrary value describing why the interrupt happened.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    A process is itself an event that triggers when the generator finishes:
+    successfully with the generator's return value, or with the exception
+    that escaped it.  Waiting on a process (``yield other_process``) is the
+    join operation.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True  # failure is delivered, never unhandled
+        interrupt_event.callbacks.append(self._resume)
+        self.sim._schedule(interrupt_event, priority=True)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        if self.triggered:
+            # Interrupted after completion of the same step; nothing to do.
+            return
+        # Detach from the event we were actually waiting on (relevant for
+        # interrupts, which arrive while self._target is still pending).
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                # Mark the failure as handled: it is being delivered.
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self._ok = True
+            self._value = stop.value
+            self.sim._schedule(self)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process bodies may raise anything
+            self.sim._active_process = None
+            self._ok = False
+            self._value = exc
+            self.sim._schedule(self)
+            return
+        self.sim._active_process = None
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded a non-event: {next_event!r}"
+            )
+        if next_event.sim is not self.sim:
+            raise SimulationError(
+                f"process {self.name!r} yielded an event from another simulator"
+            )
+        self._target = next_event
+        next_event._add_callback(self._resume)
+
+    def __repr__(self) -> str:
+        state = "finished" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Condition(Event):
+    """Base for composite events over a fixed set of sub-events."""
+
+    def __init__(self, sim: "Simulator", events: Sequence[Event]):
+        super().__init__(sim)
+        self._events = tuple(events)
+        self._pending = len(self._events)
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("all condition sub-events must share one simulator")
+        if not self._events:
+            self.succeed(self._collect())
+            return
+        for event in self._events:
+            event._add_callback(self._check)
+
+    def _collect(self) -> dict:
+        """Values of all *fired* sub-events, keyed by the event object.
+
+        Filters on ``processed`` rather than ``triggered``: a Timeout is
+        triggered (scheduled, value known) from construction, but has not
+        occurred until the scheduler processes it.
+        """
+        return {e: e._value for e in self._events if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _fail_with(self, event: Event) -> None:
+        if not self.triggered:
+            event._defused = True
+            self.fail(event._value)
+
+
+class AllOf(Condition):
+    """Triggers when every sub-event has triggered (fails fast on failure)."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self._fail_with(event)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Triggers as soon as one sub-event triggers (fails fast on failure)."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self._fail_with(event)
+            return
+        self.succeed(self._collect())

@@ -1,0 +1,169 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Two primitives cover everything the network and engine models need:
+
+* :class:`Resource` — a capacity-limited device (a torus link, an I/O node
+  NIC, a communication co-processor).  Processes ``request()`` a slot, hold
+  it for however long the modelled operation takes, then ``release()`` it.
+  Waiters are served FIFO, which makes contention deterministic.
+
+* :class:`Store` — a bounded FIFO queue of items (the double buffers of the
+  MPI drivers, the inbox of a running process).  ``put()`` blocks when the
+  store is full, ``get()`` blocks when it is empty, giving natural
+  back-pressure / flow control between producer and consumer processes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List
+
+from repro.sim.events import Event
+from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Simulator
+
+
+class Request(Event):
+    """Pending acquisition of one :class:`Resource` slot.
+
+    Usable as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            yield sim.timeout(cost)
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        self.resource._withdraw(self)
+
+
+class Resource:
+    """A device with ``capacity`` identical slots and a FIFO wait queue."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: List[Request] = []
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event triggers when it is granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a slot; grants it to the longest-waiting request, if any.
+
+        Releasing a request that was never granted simply withdraws it, so
+        the ``with resource.request()`` idiom is safe even when a process is
+        interrupted while waiting.
+        """
+        try:
+            self._users.remove(request)
+        except ValueError:
+            self._withdraw(request)
+            return
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.append(nxt)
+            nxt.succeed(nxt)
+
+    def _withdraw(self, request: Request) -> None:
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Resource{label} {self.count}/{self.capacity} used,"
+            f" {self.queue_length} waiting>"
+        )
+
+
+class Store:
+    """A bounded FIFO buffer of items shared between processes."""
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf"), name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._putters: Deque[Event] = deque()  # events carrying the item to add
+        self._getters: Deque[Event] = deque()
+
+    @property
+    def size(self) -> int:
+        """Number of items currently buffered."""
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Add ``item``; the returned event triggers once there is room."""
+        event = Event(self.sim)
+        event.item = item
+        if len(self._items) < self.capacity and not self._putters:
+            self._items.append(item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append(event)
+        return event
+
+    def get(self) -> Event:
+        """Remove the oldest item; the event's value is the item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._serve_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _serve_getters(self) -> None:
+        while self._getters and self._items:
+            self._getters.popleft().succeed(self._items.popleft())
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self._items) < self.capacity:
+            putter = self._putters.popleft()
+            self._items.append(putter.item)
+            putter.succeed()
+            self._serve_getters()
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Store{label} {self.size} items>"

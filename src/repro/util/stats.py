@@ -1,0 +1,66 @@
+"""Small statistics helpers for repeated measurements.
+
+The paper performs every experiment five times "in order to achieve low
+variance in the measurements" (section 3).  The measurement harness in
+:mod:`repro.core.measurement` repeats runs with different random seeds and
+summarizes them with these helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class MeasurementStats:
+    """Summary statistics of a repeated measurement.
+
+    Attributes:
+        samples: The raw sample values, in measurement order.
+        mean: Arithmetic mean of the samples.
+        std: Sample standard deviation (ddof=1; 0.0 for a single sample).
+        minimum: Smallest sample.
+        maximum: Largest sample.
+    """
+
+    samples: tuple
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def relative_std(self) -> float:
+        """Coefficient of variation (std/mean); 0.0 when the mean is 0."""
+        if self.mean == 0.0:
+            return 0.0
+        return self.std / abs(self.mean)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.6g} ± {self.std:.2g} (n={len(self.samples)})"
+
+
+def summarize(samples: Sequence[float]) -> MeasurementStats:
+    """Summarize a non-empty sequence of samples.
+
+    Raises:
+        ValueError: If ``samples`` is empty.
+    """
+    values = tuple(float(s) for s in samples)
+    if not values:
+        raise ValueError("cannot summarize an empty sample sequence")
+    mean = sum(values) / len(values)
+    if len(values) > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return MeasurementStats(
+        samples=values,
+        mean=mean,
+        std=std,
+        minimum=min(values),
+        maximum=max(values),
+    )

@@ -1,0 +1,109 @@
+"""Property tests: allocation sequences under arbitrary node load."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.coordinator.allocation import (
+    AllocationSequence,
+    NaiveSelector,
+    pset_round_robin_sequence,
+    urr_sequence,
+)
+from repro.hardware.bluegene import BlueGene
+from repro.hardware.cndb import ComputeNodeDatabase
+from repro.util.errors import AllocationError
+
+
+def make_cndb(busy_mask):
+    cndb = ComputeNodeDatabase("bg", BlueGene().compute_nodes)
+    for index, busy in enumerate(busy_mask):
+        if busy:
+            cndb.node(index).acquire()
+    return cndb
+
+
+@given(busy_mask=st.lists(st.booleans(), min_size=32, max_size=32))
+@settings(max_examples=100, deadline=None)
+def test_sequence_selection_is_sound(busy_mask):
+    """Whatever nodes are busy, a list sequence either returns an available
+    node *from the sequence* or raises AllocationError."""
+    cndb = make_cndb(busy_mask)
+    sequence_nodes = [3, 17, 5, 29, 11]
+    sequence = AllocationSequence(list(sequence_nodes))
+    try:
+        node = sequence.select(cndb)
+    except AllocationError:
+        assert all(busy_mask[i] for i in sequence_nodes)
+        return
+    assert node.index in sequence_nodes
+    assert node.is_available
+    # It is the *first* available node of the sequence.
+    for candidate in sequence_nodes:
+        if candidate == node.index:
+            break
+        assert busy_mask[candidate]
+
+
+@given(busy_mask=st.lists(st.booleans(), min_size=32, max_size=32))
+@settings(max_examples=100, deadline=None)
+def test_urr_finds_any_available_node(busy_mask):
+    cndb = make_cndb(busy_mask)
+    sequence = urr_sequence(cndb)
+    if all(busy_mask):
+        with pytest.raises(AllocationError):
+            sequence.select(cndb)
+        return
+    node = sequence.select(cndb)
+    assert node.is_available
+
+
+@given(
+    busy_mask=st.lists(st.booleans(), min_size=32, max_size=32),
+    placements=st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_psetrr_is_sound_under_load(busy_mask, placements):
+    """psetrr placements are always free, distinct nodes from the sequence.
+
+    (psetrr is a *static* preference order — "the first available node in
+    the allocation sequence" — so under arbitrary pre-existing load it does
+    not guarantee maximal pset coverage, only soundness.)
+    """
+    cndb = make_cndb(busy_mask)
+    total_free = 32 - sum(busy_mask)
+    sequence = pset_round_robin_sequence(cndb)
+    chosen = []
+    for _ in range(min(placements, total_free)):
+        node = sequence.select(cndb)
+        assert node.is_available
+        node.acquire()
+        chosen.append(node.index)
+    assert len(set(chosen)) == len(chosen)  # CNK: one RP per node
+    assert all(not busy_mask[index] for index in chosen)
+
+
+def test_psetrr_spreads_on_an_idle_partition():
+    """On an idle partition, successive placements land in successive psets
+    — the guarantee Queries 5/6 rely on."""
+    cndb = make_cndb([False] * 32)
+    sequence = pset_round_robin_sequence(cndb)
+    chosen = []
+    for _ in range(6):
+        node = sequence.select(cndb)
+        node.acquire()
+        chosen.append(node.index // 8)
+    assert chosen == [0, 1, 2, 3, 0, 1]
+
+
+@given(busy_mask=st.lists(st.booleans(), min_size=32, max_size=32))
+@settings(max_examples=60, deadline=None)
+def test_naive_selector_sound(busy_mask):
+    cndb = make_cndb(busy_mask)
+    selector = NaiveSelector()
+    if all(busy_mask):
+        with pytest.raises(AllocationError):
+            selector.select(cndb)
+    else:
+        assert selector.select(cndb).is_available

@@ -1,0 +1,117 @@
+"""Unit tests for cluster coordinators and the client manager."""
+
+import pytest
+
+from repro.coordinator.allocation import AllocationSequence
+from repro.coordinator.client_manager import ROOT_RP_ID, ClientManager
+from repro.coordinator.coordinator import (
+    BG_POLL_INTERVAL,
+    ClusterCoordinator,
+    CoordinatorRegistry,
+)
+from repro.coordinator.graph import QueryGraph, SPDef
+from repro.engine.settings import ExecutionSettings
+from repro.engine.sqep import plan_input, plan_op
+from repro.util.errors import AllocationError, QuerySemanticError
+
+
+class TestCoordinator:
+    def test_start_rp_places_and_reserves(self, env):
+        coordinator = ClusterCoordinator(env, "bg")
+        rp = coordinator.start_rp("x", plan_op("iota", 1, 3), ExecutionSettings())
+        assert rp.node.cluster == "bg"
+        assert not rp.node.is_available  # CNK: one process per node
+
+    def test_allocation_sequence_honoured(self, env):
+        coordinator = ClusterCoordinator(env, "bg")
+        rp = coordinator.start_rp(
+            "x", plan_op("iota", 1, 3), ExecutionSettings(), AllocationSequence(7)
+        )
+        assert rp.node.index == 7
+
+    def test_bluegene_pays_polling_latency(self, env):
+        registry = CoordinatorRegistry(env)
+        assert registry["bg"].registration_latency == BG_POLL_INTERVAL
+        assert registry["be"].registration_latency == 0.0
+        assert registry["fe"].registration_latency == 0.0
+
+    def test_unknown_cluster(self, env):
+        registry = CoordinatorRegistry(env)
+        with pytest.raises(AllocationError):
+            registry["gpu"]
+
+
+class TestQueryGraph:
+    def test_duplicate_sp_rejected(self):
+        graph = QueryGraph()
+        graph.add(SPDef("a", "bg", plan_op("iota", 1, 2)))
+        with pytest.raises(QuerySemanticError):
+            graph.add(SPDef("a", "bg", plan_op("iota", 1, 2)))
+
+    def test_validate_needs_root(self):
+        with pytest.raises(QuerySemanticError):
+            QueryGraph().validate()
+
+    def test_validate_rejects_unknown_producer(self):
+        graph = QueryGraph()
+        graph.root_plan = plan_input("ghost")
+        with pytest.raises(QuerySemanticError, match="ghost"):
+            graph.validate()
+
+    def test_validate_rejects_missing_plan(self):
+        graph = QueryGraph()
+        graph.add(SPDef("a", "bg"))
+        graph.root_plan = plan_input("a")
+        with pytest.raises(QuerySemanticError, match="no compiled subquery"):
+            graph.validate()
+
+    def test_producers_of(self):
+        graph = QueryGraph()
+        plan = plan_op("merge", children=(plan_input("x"), plan_input("y")))
+        assert graph.producers_of(plan) == ["x", "y"]
+
+
+class TestClientManager:
+    def _simple_graph(self):
+        graph = QueryGraph()
+        graph.add(SPDef("a", "bg", plan_op("iota", 1, 5), AllocationSequence(1)))
+        graph.add(
+            SPDef(
+                "b",
+                "bg",
+                plan_op("sum", children=(plan_input("a"),)),
+                AllocationSequence(0),
+            )
+        )
+        graph.root_plan = plan_input("b")
+        return graph
+
+    def test_executes_and_reports(self, env):
+        report = ClientManager(env).execute(self._simple_graph())
+        assert report.result == [15]
+        assert report.scalar_result == 15
+        assert report.duration > 0
+        assert report.rp_placements["a"] == "bg:1"
+        assert report.rp_placements["b"] == "bg:0"
+        assert ROOT_RP_ID in report.rp_placements
+        assert report.torus_bytes > 0
+
+    def test_scalar_result_needs_single_object(self, env):
+        graph = QueryGraph()
+        graph.add(SPDef("a", "bg", plan_op("iota", 1, 3), AllocationSequence(1)))
+        graph.root_plan = plan_input("a")
+        report = ClientManager(env).execute(graph)
+        assert report.result == [1, 2, 3]
+        with pytest.raises(Exception):
+            _ = report.scalar_result
+
+    def test_nodes_released_after_execution(self, env):
+        ClientManager(env).execute(self._simple_graph())
+        assert env.node("bg", 0).is_available
+        assert env.node("bg", 1).is_available
+
+    def test_allocation_failure_surfaces(self, env):
+        graph = self._simple_graph()
+        env.node("bg", 1).acquire()  # the explicit target is busy
+        with pytest.raises(AllocationError):
+            ClientManager(env).execute(graph)

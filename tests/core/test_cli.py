@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("fig6", "fig8", "fig15", "ablations", "scaling", "all", "query"):
+            args = parser.parse_args(
+                [command, "select extract(a) from sp a where a=sp(iota(1,2), 'bg');"]
+                if command == "query"
+                else [command]
+            )
+            assert args.command == command
+
+    def test_repeats_and_quick_flags(self):
+        args = build_parser().parse_args(["fig6", "--repeats", "7", "--quick"])
+        assert args.repeats == 7
+        assert args.quick
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_query_subcommand_runs(self, capsys):
+        code = main(
+            [
+                "query",
+                "select extract(b) from sp a, sp b "
+                "where b=sp(sum(extract(a)), 'bg') and a=sp(iota(1,4), 'bg');",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "result: [10]" in out
+        assert "placements:" in out
+
+    def test_query_with_stop(self, capsys):
+        code = main(
+            [
+                "query",
+                "--stop-after",
+                "0.02",
+                "select extract(a) from sp a where a=sp(gen_array(10000,-1), 'bg');",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(stopped)" in out
+
+    def test_function_definition_via_cli(self, capsys):
+        code = main(
+            [
+                "query",
+                "create function f() -> stream as select extract(a) from sp a "
+                "where a=sp(iota(1,2), 'bg');",
+            ]
+        )
+        assert code == 0
+        assert "function defined" in capsys.readouterr().out
+
+    def test_quick_fig6(self, capsys):
+        code = main(["fig6", "--quick", "--repeats", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 6" in out
+        assert "optimum: single=1000" in out

@@ -1,0 +1,59 @@
+"""Unit tests for the bandwidth-measurement harness."""
+
+import pytest
+
+from repro.core.measurement import measure_query_bandwidth
+from repro.engine.settings import ExecutionSettings
+
+QUERY = (
+    "select extract(b) from sp a, sp b "
+    "where b=sp(count(extract(a)), 'bg', 0) "
+    "and a=sp(gen_array(100000,5), 'bg', 1);"
+)
+PAYLOAD = 100_000 * 5
+
+
+class TestMeasureQueryBandwidth:
+    def test_repeats_and_summary(self):
+        result = measure_query_bandwidth(QUERY, PAYLOAD, repeats=3)
+        assert len(result.mbps.samples) == 3
+        assert len(result.reports) == 3
+        assert result.mean_mbps > 0
+        assert result.payload_bytes == PAYLOAD
+
+    def test_each_repeat_is_an_independent_environment(self):
+        result = measure_query_bandwidth(QUERY, PAYLOAD, repeats=3)
+        durations = [r.duration for r in result.reports]
+        # Jitter seeds differ, so runs are close but not identical.
+        assert len(set(durations)) > 1
+        assert result.mbps.relative_std < 0.05
+
+    def test_base_seed_controls_reproducibility(self):
+        first = measure_query_bandwidth(QUERY, PAYLOAD, repeats=2, base_seed=7)
+        second = measure_query_bandwidth(QUERY, PAYLOAD, repeats=2, base_seed=7)
+        assert first.mbps.samples == second.mbps.samples
+
+    def test_settings_are_applied(self):
+        small = measure_query_bandwidth(
+            QUERY, PAYLOAD, settings=ExecutionSettings(mpi_buffer_bytes=200), repeats=1
+        )
+        tuned = measure_query_bandwidth(
+            QUERY, PAYLOAD, settings=ExecutionSettings(mpi_buffer_bytes=1000), repeats=1
+        )
+        assert tuned.mean_mbps > small.mean_mbps
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            measure_query_bandwidth(QUERY, PAYLOAD, repeats=0)
+
+    def test_prepare_hook_runs(self):
+        calls = []
+        measure_query_bandwidth(
+            QUERY, PAYLOAD, repeats=2, prepare=lambda session: calls.append(session)
+        )
+        assert len(calls) == 2
+        assert calls[0] is not calls[1]
+
+    def test_str_rendering(self):
+        result = measure_query_bandwidth(QUERY, PAYLOAD, repeats=1)
+        assert "Mbps" in str(result)

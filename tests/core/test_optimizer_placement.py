@@ -1,0 +1,111 @@
+"""Integration tests: the cost-based placer rediscovers the paper's topologies."""
+
+import pytest
+
+from repro.coordinator import ClientManager
+from repro.core.experiments.ablations import automatic_inbound_query
+from repro.engine import ExecutionSettings
+from repro.hardware import Environment
+from repro.optimizer import CostBasedPlacer
+from repro.scsql import SCSQSession
+from repro.scsql.compiler import QueryCompiler
+from repro.scsql.parser import parse_query
+
+MERGE_QUERY = """
+select extract(c)
+from sp a, sp b, sp c
+where c=sp(count(merge({a,b})), 'bg')
+and a=sp(gen_array(200000,10), 'bg')
+and b=sp(gen_array(200000,10), 'bg');
+"""
+
+
+def compile_graph(env, text):
+    return QueryCompiler(env).compile_select(parse_query(text))
+
+
+class TestMergePlacement:
+    def test_rediscovers_the_balanced_topology(self):
+        """The placer puts both producers one hop from the merger over
+        independent channels — Figure 7B, derived from the cost model."""
+        env = Environment()
+        graph = compile_graph(env, MERGE_QUERY)
+        settings = ExecutionSettings(mpi_buffer_bytes=100_000)
+        assignment = CostBasedPlacer(env, settings).place(graph)
+        by_role = {sp_id.split("@")[0]: index for sp_id, index in assignment.items()}
+        consumer = by_role["c"]
+        for producer in (by_role["a"], by_role["b"]):
+            assert env.torus.hop_count(producer, consumer) == 1
+
+    def test_placement_improves_measured_bandwidth(self):
+        settings = ExecutionSettings(mpi_buffer_bytes=100_000)
+
+        def run(optimize):
+            env = Environment()
+            graph = compile_graph(env, MERGE_QUERY)
+            if optimize:
+                CostBasedPlacer(env, settings).place(graph)
+            report = ClientManager(env).execute(graph, settings)
+            return 2 * 200_000 * 10 * 8 / report.duration / 1e6
+
+        assert run(True) > 1.1 * run(False)
+
+
+class TestInboundPlacement:
+    def test_rediscovers_the_query5_topology(self):
+        """Senders co-located on one back-end host, receivers spread over
+        all psets — the paper's best inbound configuration."""
+        env = Environment()
+        graph = compile_graph(env, automatic_inbound_query(4, 3_000_000, 5))
+        assignment = CostBasedPlacer(env, ExecutionSettings()).place(graph)
+        senders = {v for k, v in assignment.items() if k.startswith("a[")}
+        receivers = [v for k, v in assignment.items() if k.startswith("b[")]
+        assert len(senders) == 1  # co-located
+        psets = {env.bluegene.pset_of(node) for node in receivers}
+        assert psets == {0, 1, 2, 3}  # spread
+
+    def test_measured_speedup_over_naive(self):
+        def run(optimize):
+            env = Environment()
+            graph = compile_graph(env, automatic_inbound_query(4, 3_000_000, 4))
+            if optimize:
+                CostBasedPlacer(env, ExecutionSettings()).place(graph)
+            report = ClientManager(env).execute(graph, ExecutionSettings())
+            return 4 * 3_000_000 * 4 * 8 / report.duration / 1e6
+
+        assert run(True) > 5 * run(False)
+
+
+class TestSessionIntegration:
+    def test_optimize_flag_places_unallocated_sps(self):
+        session = SCSQSession()
+        report = session.execute(
+            automatic_inbound_query(4, 1_000_000, 3), optimize=True
+        )
+        receivers = [
+            int(node.split(":")[1])
+            for sp, node in report.rp_placements.items()
+            if sp.startswith("b[")
+        ]
+        psets = {node // 8 for node in receivers}
+        assert psets == {0, 1, 2, 3}
+
+    def test_explicit_allocations_win(self):
+        """User topologies are never overridden (the paper's contract)."""
+        session = SCSQSession()
+        report = session.execute(
+            "select extract(b) from sp a, sp b "
+            "where b=sp(count(extract(a)), 'bg', 5) "
+            "and a=sp(gen_array(100000,3), 'bg', 9);",
+            optimize=True,
+        )
+        assert report.rp_placements["a@1"] == "bg:9"
+        assert report.rp_placements["b@2"] == "bg:5"
+
+    def test_predicted_bandwidth_exposed(self):
+        env = Environment()
+        graph = compile_graph(env, MERGE_QUERY)
+        placer = CostBasedPlacer(env, ExecutionSettings(mpi_buffer_bytes=100_000))
+        assignment = placer.place(graph)
+        predicted = placer.predicted_bandwidth(graph, assignment)
+        assert predicted > 0

@@ -1,0 +1,79 @@
+"""Unit tests for the execution context (CPU charging, cost plumbing)."""
+
+import pytest
+
+from repro.engine.context import ExecutionContext
+from repro.engine.settings import ExecutionSettings
+
+
+class TestChargeCpu:
+    def test_charges_scaled_time(self, quiet_env):
+        env = quiet_env
+        ctx = ExecutionContext(env, env.node("bg", 0), ExecutionSettings())
+
+        def work():
+            yield from ctx.charge_cpu(1e-3)
+
+        env.sim.run_process(work())
+        assert env.sim.now == pytest.approx(1e-3)
+        assert ctx.cpu_busy_time == pytest.approx(1e-3)
+
+    def test_linux_cpu_is_faster(self, quiet_env):
+        env = quiet_env
+        ctx = ExecutionContext(env, env.node("be", 0), ExecutionSettings())
+
+        def work():
+            yield from ctx.charge_cpu(1e-3)
+
+        env.sim.run_process(work())
+        # PPC970 at 2.2 GHz vs the 700 MHz baseline.
+        assert env.sim.now == pytest.approx(1e-3 * 700 / 2200)
+
+    def test_contention_on_one_bluegene_cpu(self, quiet_env):
+        env = quiet_env
+        node = env.node("bg", 3)
+        ctx = ExecutionContext(env, node, ExecutionSettings())
+        done = []
+
+        def work(tag):
+            yield from ctx.charge_cpu(1e-3)
+            done.append((tag, env.sim.now))
+
+        env.sim.process(work("a"))
+        env.sim.process(work("b"))
+        env.sim.run()
+        # One compute CPU: the second charge waits for the first.
+        assert done[0][1] == pytest.approx(1e-3)
+        assert done[1][1] == pytest.approx(2e-3)
+
+    def test_linux_two_cores_run_in_parallel(self, quiet_env):
+        env = quiet_env
+        ctx = ExecutionContext(env, env.node("be", 1), ExecutionSettings())
+        done = []
+
+        def work():
+            yield from ctx.charge_cpu(1e-3)
+            done.append(env.sim.now)
+
+        env.sim.process(work())
+        env.sim.process(work())
+        env.sim.run()
+        assert done[0] == pytest.approx(done[1])
+
+
+class TestCostPlumb:
+    def test_double_buffering_adds_sync_overhead(self, env):
+        single = ExecutionContext(
+            env, env.node("bg", 0), ExecutionSettings(double_buffering=False)
+        )
+        double = ExecutionContext(
+            env, env.node("bg", 0), ExecutionSettings(double_buffering=True)
+        )
+        assert double.marshal_cost(1000) > single.marshal_cost(1000)
+        assert double.demarshal_cost(1000) > single.demarshal_cost(1000)
+        expected = env.params.cpu.double_buffer_sync_overhead
+        assert double.marshal_cost(1000) - single.marshal_cost(1000) == pytest.approx(expected)
+
+    def test_driver_slots_follow_buffering_mode(self):
+        assert ExecutionSettings(double_buffering=False).driver_slots == 1
+        assert ExecutionSettings(double_buffering=True).driver_slots == 2

@@ -1,0 +1,126 @@
+"""Unit tests for the sender/receiver drivers and the inbox."""
+
+import pytest
+
+from repro.engine.context import ExecutionContext
+from repro.engine.drivers import ReceiverDriver, SenderDriver
+from repro.engine.inbox import Inbox
+from repro.engine.objects import END_OF_STREAM, SyntheticArray
+from repro.engine.settings import ExecutionSettings
+from repro.net.channels import MpiChannel
+from repro.sim import Store
+from repro.util.errors import SimulationError
+from tests.conftest import drain_store, feed_store
+
+
+def pipe(env, objects, buffer_bytes=1000, double_buffering=True):
+    """Send objects bg:1 -> bg:0 through real drivers over the torus."""
+    settings = ExecutionSettings(
+        mpi_buffer_bytes=buffer_bytes, double_buffering=double_buffering
+    )
+    src_ctx = ExecutionContext(env, env.node("bg", 1), settings)
+    dst_ctx = ExecutionContext(env, env.node("bg", 0), settings)
+    inbox = Inbox(env.sim, slots=settings.driver_slots, name="test")
+    channel = MpiChannel(env.sim, env.node("bg", 1), env.node("bg", 0), inbox, env.torus)
+    feed = Store(env.sim, capacity=4)
+    output = Store(env.sim, capacity=4)
+    sender = SenderDriver(src_ctx, feed, channel, "s")
+    receiver = ReceiverDriver(dst_ctx, inbox, output, "s")
+    feed_store(env.sim, feed, objects)
+    env.sim.process(sender.run(), name="sender")
+    env.sim.process(receiver.run(), name="receiver")
+    collector = drain_store(env.sim, output)
+    env.sim.run()
+    assert collector.ok, collector.value
+    return collector.value, sender, receiver, env.sim.now
+
+
+class TestDriverPipe:
+    def test_objects_survive_the_pipe(self, env):
+        objects = [SyntheticArray(nbytes=2500, sequence=i) for i in range(5)]
+        received, sender, receiver, _ = pipe(env, objects)
+        assert received == objects
+
+    def test_mixed_small_objects(self, env):
+        objects = [1, "two", 3.0, SyntheticArray(nbytes=5000)]
+        received, *_ = pipe(env, objects)
+        assert received == objects
+
+    def test_empty_stream_only_eos(self, env):
+        received, sender, receiver, _ = pipe(env, [])
+        assert received == []
+        assert sender.buffers_sent == 0
+
+    def test_statistics_track_bytes(self, env):
+        objects = [SyntheticArray(nbytes=1000) for _ in range(4)]
+        received, sender, receiver, _ = pipe(env, objects)
+        assert sender.bytes_sent == 4000
+        assert receiver.bytes_received == 4000
+        assert sender.buffers_sent == receiver.buffers_received
+
+    def test_double_buffering_is_faster_for_large_buffers(self):
+        from repro.hardware.environment import Environment, EnvironmentConfig
+
+        objects = [SyntheticArray(nbytes=400_000) for _ in range(10)]
+        _, _, _, single_time = pipe(
+            Environment(EnvironmentConfig()), objects, 100_000, double_buffering=False
+        )
+        _, _, _, double_time = pipe(
+            Environment(EnvironmentConfig()), objects, 100_000, double_buffering=True
+        )
+        assert double_time < single_time
+
+    def test_tcp_channel_overrides_buffer_size(self, env):
+        settings = ExecutionSettings(mpi_buffer_bytes=123)
+        ctx = ExecutionContext(env, env.node("be", 0), settings)
+        inbox = Inbox(env.sim, slots=2)
+        channel = env.open_channel(env.node("be", 0), env.node("bg", 0), inbox, "s")
+        sender = SenderDriver(ctx, Store(env.sim), channel, "s")
+        assert sender.buffer_bytes == env.params.tcp.segment_bytes
+
+
+class TestInbox:
+    def test_slot_validation(self, sim):
+        with pytest.raises(SimulationError):
+            Inbox(sim, slots=0)
+
+    def test_put_blocks_until_release(self, sim):
+        from repro.net.message import WireBuffer
+
+        inbox = Inbox(sim, slots=1)
+        deposited = []
+
+        def network():
+            for i in range(2):
+                yield inbox.put(WireBuffer.data("s", "n", 10, []))
+                deposited.append((i, sim.now))
+
+        def driver():
+            yield inbox.get()
+            yield sim.timeout(5.0)  # de-marshal the first buffer
+            yield inbox.release()
+            yield inbox.get()
+            yield inbox.release()
+
+        sim.process(network())
+        sim.process(driver())
+        sim.run()
+        # The second deposit had to wait for the release at t=5.
+        assert deposited[0][1] == 0.0
+        assert deposited[1][1] == pytest.approx(5.0)
+
+    def test_two_slots_allow_overlap(self, sim):
+        from repro.net.message import WireBuffer
+
+        inbox = Inbox(sim, slots=2)
+        deposited = []
+
+        def network():
+            for i in range(2):
+                yield inbox.put(WireBuffer.data("s", "n", 10, []))
+                deposited.append(sim.now)
+
+        sim.process(network())
+        sim.run()
+        assert deposited == [0.0, 0.0]
+        assert inbox.depth == 2

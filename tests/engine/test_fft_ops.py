@@ -1,0 +1,112 @@
+"""Unit and property tests for the FFT operators vs numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.objects import TaggedObject
+from repro.engine.operators import EvenElements, Fft, OddElements, RadixCombine
+from repro.engine.operators.fft import fft_cost_seconds
+from repro.util.errors import QueryExecutionError
+from tests.conftest import run_operator
+
+
+class TestParitySelect:
+    def test_even_odd_split(self, env):
+        array = np.arange(8.0)
+        evens = run_operator(env, EvenElements, [[array]])
+        odds = run_operator(env, OddElements, [[array]])
+        assert np.array_equal(evens[0].payload, [0, 2, 4, 6])
+        assert np.array_equal(odds[0].payload, [1, 3, 5, 7])
+        assert evens[0].tag == "even" and odds[0].tag == "odd"
+
+    def test_sequence_numbers_assigned(self, env):
+        arrays = [np.arange(4.0), np.arange(4.0) + 1]
+        out = run_operator(env, EvenElements, [arrays])
+        assert [o.sequence for o in out] == [0, 1]
+
+    def test_non_array_rejected(self, env):
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, EvenElements, [["not an array"]])
+
+
+class TestFft:
+    def test_matches_numpy(self, env):
+        array = np.random.default_rng(0).standard_normal(64)
+        out = run_operator(env, Fft, [[array]])
+        assert np.allclose(out[0], np.fft.fft(array))
+
+    def test_preserves_tags(self, env):
+        tagged = TaggedObject(tag="odd", sequence=2, payload=np.arange(4.0))
+        out = run_operator(env, Fft, [[tagged]])
+        assert out[0].tag == "odd" and out[0].sequence == 2
+        assert np.allclose(out[0].payload, np.fft.fft(np.arange(4.0)))
+
+    def test_cost_grows_nloglogn(self):
+        assert fft_cost_seconds(1024) > fft_cost_seconds(512) * 2
+        assert fft_cost_seconds(1) > 0
+
+
+class TestRadixCombine:
+    def _partials(self, signal):
+        even = np.fft.fft(signal[0::2])
+        odd = np.fft.fft(signal[1::2])
+        return (
+            TaggedObject(tag="even", sequence=0, payload=even),
+            TaggedObject(tag="odd", sequence=0, payload=odd),
+        )
+
+    def test_butterfly_matches_full_fft(self, env):
+        signal = np.random.default_rng(1).standard_normal(128)
+        even, odd = self._partials(signal)
+        out = run_operator(env, RadixCombine, [[even, odd]])
+        assert np.allclose(out[0], np.fft.fft(signal))
+
+    def test_pairs_matched_out_of_order(self, env):
+        s0 = np.random.default_rng(2).standard_normal(32)
+        s1 = np.random.default_rng(3).standard_normal(32)
+        e0, o0 = self._partials(s0)
+        e1_, o1_ = self._partials(s1)
+        e1 = TaggedObject(tag="even", sequence=1, payload=e1_.payload)
+        o1 = TaggedObject(tag="odd", sequence=1, payload=o1_.payload)
+        # Interleave across sequences: odd of 1 arrives before even of 1.
+        out = run_operator(env, RadixCombine, [[e0, o1, o0, e1]])
+        assert len(out) == 2
+        assert np.allclose(out[0], np.fft.fft(s0))
+        assert np.allclose(out[1], np.fft.fft(s1))
+
+    def test_untagged_input_rejected(self, env):
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, RadixCombine, [[np.arange(4.0)]])
+
+    def test_duplicate_half_rejected(self, env):
+        even = TaggedObject(tag="even", sequence=0, payload=np.arange(2.0))
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, RadixCombine, [[even, even]])
+
+    def test_unpaired_at_eos_rejected(self, env):
+        even = TaggedObject(tag="even", sequence=0, payload=np.arange(2.0))
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, RadixCombine, [[even]])
+
+    def test_mismatched_halves_rejected(self, env):
+        even = TaggedObject(tag="even", sequence=0, payload=np.arange(4.0))
+        odd = TaggedObject(tag="odd", sequence=0, payload=np.arange(2.0))
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, RadixCombine, [[even, odd]])
+
+
+@given(
+    log_n=st.integers(2, 9),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_radix2_identity_holds_for_random_signals(log_n, seed):
+    """even/odd decimation + butterfly == full FFT, for any signal."""
+    n = 2 ** log_n
+    signal = np.random.default_rng(seed).standard_normal(n)
+    even = np.fft.fft(signal[0::2])
+    odd = np.fft.fft(signal[1::2])
+    combined = RadixCombine._butterfly(even, odd)
+    assert np.allclose(combined, np.fft.fft(signal))

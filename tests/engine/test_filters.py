@@ -1,0 +1,88 @@
+"""Unit tests for the selection operators (above/below/sample)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.operators import Above, Below, Sample
+from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.scsql.session import SCSQSession
+from repro.util.errors import QueryExecutionError
+from tests.conftest import run_operator
+
+
+class TestThresholdFilters:
+    def test_above(self, env):
+        assert run_operator(env, Above, [[1, 5, 3, 9]], threshold=3) == [5, 9]
+
+    def test_below(self, env):
+        assert run_operator(env, Below, [[1, 5, 3, 9]], threshold=3) == [1]
+
+    def test_strictness(self, env):
+        assert run_operator(env, Above, [[3, 3.0]], threshold=3) == []
+
+    def test_non_numeric_element_rejected(self, env):
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, Above, [["high"]], threshold=3)
+
+    def test_non_numeric_threshold_rejected(self, env):
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, Above, [[1]], threshold="three")
+
+
+class TestSample:
+    def test_takes_every_kth(self, env):
+        assert run_operator(env, Sample, [list(range(10))], every=3) == [0, 3, 6, 9]
+
+    def test_every_one_is_identity(self, env):
+        assert run_operator(env, Sample, [[7, 8]], every=1) == [7, 8]
+
+    def test_bad_period_rejected(self, env):
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, Sample, [[1]], every=0)
+
+
+class TestScsqlIntegration:
+    def test_filters_in_a_query(self):
+        session = SCSQSession()
+        report = session.execute(
+            "select extract(b) from sp a, sp b "
+            "where b=sp(above(extract(a), 95), 'bg') "
+            "and a=sp(iota(1,100), 'bg');"
+        )
+        assert report.result == [96, 97, 98, 99, 100]
+
+    def test_sample_then_count(self):
+        session = SCSQSession()
+        report = session.execute(
+            "select extract(b) from sp a, sp b "
+            "where b=sp(count(sample(extract(a), 4)), 'bg') "
+            "and a=sp(iota(1,100), 'bg');"
+        )
+        assert report.scalar_result == 25
+
+    def test_threshold_type_error_at_compile(self):
+        from repro.util.errors import QuerySemanticError
+
+        session = SCSQSession()
+        with pytest.raises(QuerySemanticError, match="numeric"):
+            session.compile(
+                "select above(extract(a), 'hot') from sp a "
+                "where a=sp(iota(1,3), 'bg');"
+            )
+
+
+@given(
+    values=st.lists(st.integers(-100, 100), max_size=40),
+    threshold=st.integers(-100, 100),
+    every=st.integers(1, 7),
+)
+@settings(max_examples=30, deadline=None)
+def test_filter_composition_property(values, threshold, every):
+    """above + sample behave like their Python equivalents, end to end."""
+    env = Environment(EnvironmentConfig())
+    above = run_operator(env, Above, [values], threshold=threshold)
+    assert above == [v for v in values if v > threshold]
+    env2 = Environment(EnvironmentConfig())
+    sampled = run_operator(env2, Sample, [values], every=every)
+    assert sampled == values[::every]

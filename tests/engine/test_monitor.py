@@ -1,0 +1,47 @@
+"""Tests for execution monitoring (paper Figure 3, responsibility v)."""
+
+import pytest
+
+from repro.scsql.session import SCSQSession
+
+
+@pytest.fixture(scope="module")
+def report():
+    session = SCSQSession()
+    return session.execute(
+        "select extract(b) from sp a, sp b "
+        "where b=sp(count(extract(a)), 'bg', 0) "
+        "and a=sp(gen_array(50000,4), 'bg', 1);"
+    )
+
+
+class TestRpStatistics:
+    def test_every_rp_has_a_snapshot(self, report):
+        assert set(report.rp_statistics) == set(report.rp_placements)
+
+    def test_operator_counters(self, report):
+        generator = report.rp_statistics["a@1"]
+        counter = report.rp_statistics["b@2"]
+        gen_op = {op.name: op for op in generator.operators}["gen_array"]
+        count_op = {op.name: op for op in counter.operators}["count"]
+        assert gen_op.objects_out == 4
+        assert count_op.objects_in == 4
+        assert count_op.objects_out == 1
+
+    def test_stream_volumes_balance(self, report):
+        generator = report.rp_statistics["a@1"]
+        counter = report.rp_statistics["b@2"]
+        assert generator.bytes_sent == 4 * 50_000
+        assert counter.bytes_received == generator.bytes_sent
+
+    def test_cpu_time_recorded(self, report):
+        assert report.rp_statistics["a@1"].cpu_busy_time > 0
+        assert report.rp_statistics["b@2"].cpu_busy_time > 0
+
+    def test_describe_renders(self, report):
+        text = report.describe()
+        assert "result: [4]" in text
+        assert "gen_array" in text
+        assert "duration" in text
+        per_rp = report.rp_statistics["a@1"].describe()
+        assert "a@1" in per_rp and "bg:1" in per_rp

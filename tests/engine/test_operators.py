@@ -1,0 +1,120 @@
+"""Unit tests for the physical operators (sources, aggregates, merge, map)."""
+
+import pytest
+
+from repro.engine.objects import SyntheticArray
+from repro.engine.operators import (
+    Avg,
+    Constant,
+    Count,
+    GenerateArrays,
+    Iota,
+    MapFunction,
+    MaxAgg,
+    Merge,
+    MinAgg,
+    Relay,
+    Sum,
+    operator_class,
+    registered_operators,
+)
+from repro.util.errors import QueryExecutionError
+from tests.conftest import run_operator
+
+
+class TestRegistry:
+    def test_known_names_resolve(self):
+        assert operator_class("count") is Count
+        assert operator_class("gen_array") is GenerateArrays
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(QueryExecutionError):
+            operator_class("teleport")
+
+    def test_registry_covers_the_paper_functions(self):
+        names = set(registered_operators())
+        assert {"gen_array", "iota", "count", "sum", "merge", "grep",
+                "fft", "odd", "even", "radixcombine", "receiver"} <= names
+
+
+class TestSources:
+    def test_gen_array_emits_sized_sequence(self, env):
+        out = run_operator(env, GenerateArrays, [], nbytes=500, count=4)
+        assert [a.sequence for a in out] == [0, 1, 2, 3]
+        assert all(isinstance(a, SyntheticArray) and a.nbytes == 500 for a in out)
+
+    def test_gen_array_validation(self, env):
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, GenerateArrays, [], nbytes=0, count=4)
+
+    def test_iota_inclusive_range(self, env):
+        assert run_operator(env, Iota, [], low=3, high=7) == [3, 4, 5, 6, 7]
+
+    def test_iota_empty_range(self, env):
+        assert run_operator(env, Iota, [], low=5, high=4) == []
+
+    def test_constant(self, env):
+        assert run_operator(env, Constant, [], value="x") == ["x"]
+
+
+class TestAggregates:
+    def test_count(self, env):
+        assert run_operator(env, Count, [["a", "b", "c"]]) == [3]
+
+    def test_count_empty_stream(self, env):
+        assert run_operator(env, Count, [[]]) == [0]
+
+    def test_sum(self, env):
+        assert run_operator(env, Sum, [[1, 2, 3.5]]) == [6.5]
+
+    def test_sum_rejects_non_numeric(self, env):
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, Sum, [["oops"]])
+
+    def test_avg(self, env):
+        assert run_operator(env, Avg, [[2, 4, 6]]) == [4.0]
+
+    def test_avg_empty_is_none(self, env):
+        assert run_operator(env, Avg, [[]]) == [None]
+
+    def test_max_min(self, env):
+        assert run_operator(env, MaxAgg, [[3, 9, 1]]) == [9]
+        assert run_operator(env, MinAgg, [[3, 9, 1]]) == [1]
+
+    def test_arity_enforced(self, env):
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, Count, [[1], [2]])
+
+
+class TestMergeAndRelay:
+    def test_merge_delivers_everything(self, env):
+        out = run_operator(env, Merge, [[1, 2, 3], [10, 20], [100]])
+        assert sorted(out) == [1, 2, 3, 10, 20, 100]
+
+    def test_merge_terminates_on_last_input(self, env):
+        out = run_operator(env, Merge, [[], [], [42]])
+        assert out == [42]
+
+    def test_merge_needs_an_input(self, env):
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, Merge, [])
+
+    def test_relay_is_identity(self, env):
+        assert run_operator(env, Relay, [[1, "a", None]]) == [1, "a", None]
+
+
+class TestMapFunction:
+    def test_applies_function(self, env):
+        out = run_operator(env, MapFunction, [[1, 2, 3]], fn=lambda x: x * 10)
+        assert out == [10, 20, 30]
+
+    def test_custom_cost_function_used(self, env):
+        out = run_operator(
+            env,
+            MapFunction,
+            [[1, 2]],
+            fn=lambda x: x,
+            cost_fn=lambda obj: 1e-3,
+        )
+        assert out == [1, 2]
+        assert env.sim.now >= 2e-3 * env.cpu_time_scale(env.node("bg", 0))

@@ -1,0 +1,68 @@
+"""Unit tests for window aggregation and grep operators."""
+
+import pytest
+
+from repro.engine.operators import Grep, WindowAggregate
+from repro.util.errors import QueryExecutionError
+from repro.workloads import corpus
+from tests.conftest import run_operator
+
+
+class TestWindowAggregate:
+    def test_sliding_sum(self, env):
+        out = run_operator(env, WindowAggregate, [[1, 2, 3, 4, 5]], fn="sum", size=3)
+        assert out == [6, 9, 12]
+
+    def test_slide_skips_emissions(self, env):
+        out = run_operator(
+            env, WindowAggregate, [[1, 2, 3, 4, 5, 6]], fn="sum", size=2, slide=2
+        )
+        assert out == [3, 7, 11]
+
+    def test_avg_max_min_count(self, env):
+        stream = [4, 8, 6]
+        assert run_operator(env, WindowAggregate, [stream], fn="avg", size=2) == [6.0, 7.0]
+        assert run_operator(env, WindowAggregate, [stream], fn="max", size=2) == [8, 8]
+        assert run_operator(env, WindowAggregate, [stream], fn="min", size=2) == [4, 6]
+        assert run_operator(env, WindowAggregate, [stream], fn="count", size=2) == [2, 2]
+
+    def test_short_stream_emits_nothing(self, env):
+        assert run_operator(env, WindowAggregate, [[1]], fn="sum", size=3) == []
+
+    def test_unknown_function_rejected(self, env):
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, WindowAggregate, [[1]], fn="median", size=2)
+
+    def test_bad_geometry_rejected(self, env):
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, WindowAggregate, [[1]], fn="sum", size=0)
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, WindowAggregate, [[1]], fn="sum", size=2, slide=0)
+
+
+class TestGrep:
+    def test_finds_planted_markers(self, env):
+        name = corpus.filename(3)
+        out = run_operator(env, Grep, [], pattern=corpus.MARKER, filename=name)
+        assert len(out) == corpus.expected_marker_count()
+        assert all(corpus.MARKER in line for line in out)
+
+    def test_no_matches(self, env):
+        out = run_operator(
+            env, Grep, [], pattern="DEFINITELY-ABSENT", filename=corpus.filename(0)
+        )
+        assert out == []
+
+    def test_regex_patterns_supported(self, env):
+        out = run_operator(
+            env, Grep, [], pattern=r"NE{2}DLE", filename=corpus.filename(1)
+        )
+        assert len(out) == corpus.expected_marker_count()
+
+    def test_bad_pattern_rejected(self, env):
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, Grep, [], pattern="(unclosed", filename=corpus.filename(0))
+
+    def test_unknown_file_rejected(self, env):
+        with pytest.raises(QueryExecutionError):
+            run_operator(env, Grep, [], pattern="x", filename="no-such-file.txt")

@@ -1,0 +1,87 @@
+"""Unit tests for the compute node database."""
+
+import pytest
+
+from repro.hardware.bluegene import BlueGene
+from repro.hardware.cndb import ComputeNodeDatabase
+from repro.hardware.linux_cluster import LinuxCluster, LinuxClusterConfig
+from repro.util.errors import HardwareError
+
+
+@pytest.fixture
+def bg_cndb():
+    return ComputeNodeDatabase("bg", BlueGene().compute_nodes)
+
+
+@pytest.fixture
+def be_cndb():
+    return ComputeNodeDatabase("be", LinuxCluster(LinuxClusterConfig("be", 4)).nodes)
+
+
+class TestBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(HardwareError):
+            ComputeNodeDatabase("x", [])
+
+    def test_lookup(self, bg_cndb):
+        assert bg_cndb.node(5).index == 5
+        with pytest.raises(HardwareError):
+            bg_cndb.node(99)
+
+    def test_available_nodes(self, bg_cndb):
+        assert len(bg_cndb.available_nodes()) == 32
+        bg_cndb.node(0).acquire()
+        assert len(bg_cndb.available_nodes()) == 31
+
+
+class TestRoundRobin:
+    def test_next_round_robin_cycles(self, be_cndb):
+        seen = [be_cndb.next_round_robin() for _ in range(6)]
+        assert seen == [0, 1, 2, 3, 0, 1]
+
+    def test_round_robin_iterator_covers_cluster(self, be_cndb):
+        assert sorted(be_cndb.round_robin()) == [0, 1, 2, 3]
+
+    def test_advance_cursor(self, be_cndb):
+        be_cndb.advance_round_robin(3)
+        assert be_cndb.next_round_robin() == 3
+
+
+class TestPsetQueries:
+    def test_nodes_in_pset(self, bg_cndb):
+        assert bg_cndb.nodes_in_pset(2) == list(range(16, 24))
+
+    def test_unknown_pset(self, bg_cndb):
+        with pytest.raises(HardwareError):
+            bg_cndb.nodes_in_pset(9)
+
+    def test_psetrr_alternates_psets(self, bg_cndb):
+        sequence = bg_cndb.pset_round_robin()
+        # Successive entries belong to successive psets (0,1,2,3,0,1,...).
+        machine = BlueGene()
+        psets = [machine.pset_of(i) for i in sequence[:8]]
+        assert psets == [0, 1, 2, 3, 0, 1, 2, 3]
+        assert sorted(sequence) == list(range(32))
+
+    def test_psetrr_requires_psets(self, be_cndb):
+        with pytest.raises(HardwareError):
+            be_cndb.pset_round_robin()
+
+
+class TestFirstAvailable:
+    def test_naive_takes_next_available(self, bg_cndb):
+        assert bg_cndb.first_available().index == 0
+        bg_cndb.node(0).acquire()
+        # Without an allocation sequence the cursor has not moved (the
+        # iterator starts at the cursor and skips busy nodes).
+        assert bg_cndb.first_available().index == 1
+
+    def test_allocation_sequence_order_respected(self, bg_cndb):
+        assert bg_cndb.first_available([5, 3, 1]).index == 5
+        bg_cndb.node(5).acquire()
+        assert bg_cndb.first_available([5, 3, 1]).index == 3
+
+    def test_no_available_node_fails(self, bg_cndb):
+        bg_cndb.node(7).acquire()
+        with pytest.raises(HardwareError):
+            bg_cndb.first_available([7])

@@ -1,0 +1,45 @@
+"""Reproducibility: identical seeds give identical simulations."""
+
+from repro.engine import ExecutionSettings
+from repro.hardware import Environment, EnvironmentConfig
+from repro.scsql import SCSQSession
+
+QUERY = (
+    "select extract(c) from sp a, sp b, sp c "
+    "where c=sp(count(merge({a,b})), 'bg', 0) "
+    "and a=sp(gen_array(100000,6), 'bg', 1) "
+    "and b=sp(gen_array(100000,6), 'bg', 4);"
+)
+
+
+def run_once(seed):
+    session = SCSQSession(Environment(EnvironmentConfig(seed=seed)))
+    report = session.execute(QUERY, ExecutionSettings(mpi_buffer_bytes=10_000))
+    return report
+
+
+class TestDeterminism:
+    def test_same_seed_same_everything(self):
+        first = run_once(seed=42)
+        second = run_once(seed=42)
+        assert first.duration == second.duration
+        assert first.result == second.result
+        assert first.torus_bytes == second.torus_bytes
+        assert first.source_switches == second.source_switches
+        stats_a = first.rp_statistics["a@1"]
+        stats_b = second.rp_statistics["a@1"]
+        assert stats_a.cpu_busy_time == stats_b.cpu_busy_time
+
+    def test_different_seed_different_timing(self):
+        assert run_once(seed=1).duration != run_once(seed=2).duration
+
+    def test_jitter_zero_is_seed_independent(self):
+        def run(seed):
+            config = EnvironmentConfig(
+                params=EnvironmentConfig().params.with_overrides(jitter=0.0),
+                seed=seed,
+            )
+            session = SCSQSession(Environment(config))
+            return session.execute(QUERY, ExecutionSettings(mpi_buffer_bytes=10_000))
+
+        assert run(1).duration == run(2).duration

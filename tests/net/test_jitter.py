@@ -1,0 +1,42 @@
+"""Unit tests for the jitter model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.jitter import Jitter
+from repro.util.errors import SimulationError
+
+
+class TestJitter:
+    def test_zero_magnitude_is_exact(self):
+        jitter = Jitter(magnitude=0.0, seed=1)
+        assert all(jitter.scale() == 1.0 for _ in range(10))
+        assert jitter.apply(3.5) == 3.5
+
+    def test_same_seed_same_sequence(self):
+        a = Jitter(magnitude=0.05, seed=42)
+        b = Jitter(magnitude=0.05, seed=42)
+        assert [a.scale() for _ in range(20)] == [b.scale() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = Jitter(magnitude=0.05, seed=1)
+        b = Jitter(magnitude=0.05, seed=2)
+        assert [a.scale() for _ in range(5)] != [b.scale() for _ in range(5)]
+
+    def test_magnitude_validation(self):
+        with pytest.raises(SimulationError):
+            Jitter(magnitude=-0.1)
+        with pytest.raises(SimulationError):
+            Jitter(magnitude=1.0)
+
+    @given(
+        magnitude=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(0, 1000),
+        cost=st.floats(min_value=0.0, max_value=1e3),
+    )
+    def test_scaled_costs_stay_within_bounds(self, magnitude, seed, cost):
+        jitter = Jitter(magnitude=magnitude, seed=seed)
+        for _ in range(5):
+            scaled = jitter.apply(cost)
+            assert cost * (1 - magnitude) <= scaled <= cost * (1 + magnitude)

@@ -1,0 +1,320 @@
+"""Unit tests for the SCSQL compiler (setup evaluation, plan building)."""
+
+import pytest
+
+from repro.scsql.compiler import QueryCompiler
+from repro.scsql.parser import parse_query
+from repro.util.errors import QuerySemanticError
+
+
+def compile_text(env, text, functions=None):
+    return QueryCompiler(env, functions or {}).compile_select(parse_query(text))
+
+
+class TestBasicCompilation:
+    def test_simple_sp_graph(self, env):
+        graph = compile_text(
+            env,
+            "select extract(b) from sp a, sp b "
+            "where b=sp(count(extract(a)), 'bg', 0) "
+            "and a=sp(gen_array(1000,3), 'bg', 1)",
+        )
+        assert len(graph.sps) == 2
+        assert graph.root_plan.name == "input"
+        plans = {sp.plan.name for sp in graph.sps.values()}
+        assert plans == {"count", "gen_array"}
+
+    def test_definitions_in_any_order(self, env):
+        """Query 1 defines c before b; the compiler reorders."""
+        graph = compile_text(
+            env,
+            "select extract(c) from sp b, sp c "
+            "where c=sp(extract(b), 'bg') and b=sp(iota(1,3), 'bg')",
+        )
+        assert len(graph.sps) == 2
+
+    def test_forward_stream_reference_is_not_a_cycle(self, env):
+        """The radix2 pattern: a extracts from c, c defined later."""
+        graph = compile_text(
+            env,
+            "select extract(a) from sp a, sp c "
+            "where a=sp(count(extract(c)), 'bg') and c=sp(iota(1,9), 'bg')",
+        )
+        assert len(graph.sps) == 2
+
+    def test_true_setup_cycle_rejected(self, env):
+        with pytest.raises(QuerySemanticError, match="cyclic"):
+            compile_text(
+                env,
+                "select n from integer n, integer m where n=iota(1,m) and m=iota(1,n)",
+            )
+
+    def test_spv_expands_iteration(self, env):
+        graph = compile_text(
+            env,
+            "select merge(a) from bag of sp a, integer n "
+            "where a=spv((select gen_array(100,1) from integer i "
+            "where i in iota(1,n)), 'be', 1) and n=5",
+        )
+        assert len(graph.sps) == 5
+        assert len(list(graph.root_plan.input_leaves())) == 5
+
+    def test_spv_over_sp_bag(self, env):
+        graph = compile_text(
+            env,
+            "select extract(c) from bag of sp a, bag of sp b, sp c, integer n "
+            "where c=sp(sum(merge(b)), 'bg') "
+            "and b=spv((select count(extract(p)) from sp p where p in a), 'bg') "
+            "and a=spv((select gen_array(100,2) from integer i "
+            "where i in iota(1,n)), 'be') and n=3",
+        )
+        # 3 generators + 3 counters + 1 summer.
+        assert len(graph.sps) == 7
+
+    def test_spv_set_expression(self, env):
+        graph = compile_text(
+            env,
+            "select merge(a) from bag of sp a "
+            "where a=spv({iota(1,3), iota(4,6)}, 'bg')",
+        )
+        assert len(graph.sps) == 2
+
+    def test_name_hints_in_sp_ids(self, env):
+        graph = compile_text(
+            env,
+            "select extract(b) from sp a, sp b "
+            "where b=sp(count(extract(a)), 'bg') and a=sp(iota(1,2), 'bg')",
+        )
+        hints = {sp_id.split("@")[0] for sp_id in graph.sps}
+        assert hints == {"a", "b"}
+
+
+class TestAllocationResolution:
+    def _allocations(self, env, text):
+        graph = compile_text(env, text)
+        return {sp.sp_id.split("@")[0]: sp.allocation for sp in graph.sps.values()}
+
+    def test_constant_allocation(self, env):
+        allocations = self._allocations(
+            env,
+            "select extract(a) from sp a where a=sp(iota(1,2), 'bg', 7)",
+        )
+        node = allocations["a"].select(env.cndb("bg"))
+        assert node.index == 7
+
+    def test_urr_allocation(self, env):
+        graph = compile_text(
+            env,
+            "select merge(a) from bag of sp a "
+            "where a=spv((select gen_array(10,1) from integer i "
+            "where i in iota(1,3)), 'be', urr('be'))",
+        )
+        # urr was resolved once and shared; placements spread over be nodes.
+        placements = set()
+        for sp in graph.sps.values():
+            node = sp.allocation.select(env.cndb("be"))
+            node.acquire()
+            placements.add(node.index)
+        assert placements == {0, 1, 2}
+
+    def test_inpset_resolved_against_target_cluster(self, env):
+        allocations = self._allocations(
+            env,
+            "select extract(b) from sp b where b=sp(iota(1,2), 'bg', inPset(1))",
+        )
+        node = allocations["b"].select(env.cndb("bg"))
+        assert env.bluegene.pset_of(node.index) == 1
+
+    def test_allocation_query_outside_sp_rejected(self, env):
+        with pytest.raises(QuerySemanticError, match="allocation sequence"):
+            compile_text(env, "select n from integer n where n=psetrr()")
+
+    def test_bad_allocation_value_rejected(self, env):
+        with pytest.raises(QuerySemanticError, match="allocation"):
+            compile_text(
+                env, "select extract(a) from sp a where a=sp(iota(1,2), 'bg', 'east')"
+            )
+
+
+class TestSemanticErrors:
+    def test_unknown_cluster(self, env):
+        with pytest.raises(QuerySemanticError, match="unknown cluster"):
+            compile_text(env, "select extract(a) from sp a where a=sp(iota(1,2), 'gpu')")
+
+    def test_undeclared_variable(self, env):
+        with pytest.raises(QuerySemanticError, match="not declared"):
+            compile_text(env, "select extract(a) from sp a where q=sp(iota(1,2), 'bg')")
+
+    def test_unbound_variable(self, env):
+        with pytest.raises(QuerySemanticError, match="undeclared variable"):
+            compile_text(env, "select extract(q) from sp a where a=sp(iota(1,2), 'bg')")
+
+    def test_double_definition(self, env):
+        with pytest.raises(QuerySemanticError, match="defined twice"):
+            compile_text(
+                env,
+                "select n from integer n where n=1 and n=2",
+            )
+
+    def test_top_level_iteration_rejected(self, env):
+        with pytest.raises(QuerySemanticError, match="spv"):
+            compile_text(env, "select i from integer i where i in iota(1,3)")
+
+    def test_extract_needs_sp(self, env):
+        with pytest.raises(QuerySemanticError, match="extract"):
+            compile_text(env, "select extract(n) from integer n where n=4")
+
+    def test_extract_of_bag_rejected(self, env):
+        with pytest.raises(QuerySemanticError, match="merge"):
+            compile_text(
+                env,
+                "select extract(a) from bag of sp a "
+                "where a=spv({iota(1,2)}, 'bg')",
+            )
+
+    def test_merge_of_scalar_rejected(self, env):
+        with pytest.raises(QuerySemanticError, match="merge"):
+            compile_text(env, "select merge(n) from integer n where n=4")
+
+    def test_unknown_function(self, env):
+        with pytest.raises(QuerySemanticError, match="unknown function"):
+            compile_text(env, "select teleport(a) from sp a where a=sp(iota(1,2), 'bg')")
+
+    def test_sp_in_stream_context_rejected(self, env):
+        with pytest.raises(QuerySemanticError, match="stream process"):
+            compile_text(env, "select sp(iota(1,2), 'bg') from integer n where n=1")
+
+    def test_bad_arity(self, env):
+        with pytest.raises(QuerySemanticError, match="argument"):
+            compile_text(env, "select count() from integer n where n=1")
+
+    def test_set_expr_is_not_a_stream(self, env):
+        with pytest.raises(QuerySemanticError, match="set expression"):
+            compile_text(
+                env,
+                "select {a,b} from sp a, sp b "
+                "where a=sp(iota(1,2), 'bg') and b=sp(iota(1,2), 'bg')",
+            )
+
+
+class TestUserFunctions:
+    def _radix2(self, env):
+        from repro.scsql.ast import CreateFunction
+        from repro.scsql.compiler import FunctionDef
+        from repro.scsql.parser import parse
+
+        definition = parse(
+            """
+            create function radix2(string s) -> stream
+            as select radixcombine(merge({a,b}))
+            from sp a, sp b, sp c
+            where a=sp(fft(odd(extract(c))), 'bg')
+            and b=sp(fft(even(extract(c))), 'bg')
+            and c=sp(receiver(s), 'bg');
+            """
+        )
+        assert isinstance(definition, CreateFunction)
+        return {"radix2": FunctionDef(definition)}
+
+    def test_function_expansion_creates_sps(self, env):
+        from repro.engine.operators.sources import ExternalReceiver
+
+        ExternalReceiver.register("test-sig", lambda: iter([]))
+        try:
+            graph = compile_text(
+                env,
+                "select radix2('test-sig') from integer z where z=0",
+                functions=self._radix2(env),
+            )
+            assert len(graph.sps) == 3
+            assert graph.root_plan.name == "radixcombine"
+        finally:
+            ExternalReceiver.unregister("test-sig")
+
+    def test_wrong_arity_rejected(self, env):
+        with pytest.raises(QuerySemanticError, match="argument"):
+            compile_text(
+                env,
+                "select radix2('a','b') from integer z where z=0",
+                functions=self._radix2(env),
+            )
+
+    def test_function_body_cannot_see_caller_vars(self, env):
+        from repro.scsql.ast import CreateFunction
+        from repro.scsql.compiler import FunctionDef
+        from repro.scsql.parser import parse
+
+        definition = parse(
+            "create function leaky() -> stream as "
+            "select extract(a) from sp a where a=sp(iota(1,hidden), 'bg')"
+        )
+        functions = {"leaky": FunctionDef(definition)}
+        with pytest.raises(QuerySemanticError, match="hidden"):
+            compile_text(
+                env,
+                "select leaky() from integer hidden where hidden=4",
+                functions=functions,
+            )
+
+
+class TestSetupLevelNestedSelects:
+    def test_nested_select_as_setup_bag(self, env):
+        """A nested select in setup context denotes a bag of values."""
+        graph = compile_text(
+            env,
+            "select merge(g) from bag of sp g, integer n "
+            "where g=spv((select grep('NEEDLE', filename(i)) "
+            "from integer i where i in iota(1,n)), 'be') and n=3",
+        )
+        assert len(graph.sps) == 3
+        patterns = {sp.plan.args for sp in graph.sps.values()}
+        # Each grep got a distinct filename from the setup-level filename(i).
+        assert len(patterns) == 3
+
+    def test_cartesian_iteration(self, env):
+        graph = compile_text(
+            env,
+            "select merge(g) from bag of sp g "
+            "where g=spv((select gen_array(100,1) "
+            "from integer i, integer j "
+            "where i in iota(1,2) and j in iota(1,3)), 'be')",
+        )
+        assert len(graph.sps) == 6
+
+    def test_allocation_from_set_expression(self, env):
+        graph = compile_text(
+            env,
+            "select merge(a) from bag of sp a "
+            "where a=spv({iota(1,2), iota(3,4)}, 'bg', {5, 6})",
+        )
+        placements = []
+        for sp in graph.sps.values():
+            node = sp.allocation.select(env.cndb("bg"))
+            node.acquire()
+            placements.append(node.index)
+        assert placements == [5, 6]
+
+    def test_duplicate_iteration_variable_rejected(self, env):
+        with pytest.raises(QuerySemanticError, match="two 'in' conditions"):
+            compile_text(
+                env,
+                "select merge(a) from bag of sp a "
+                "where a=spv((select gen_array(100,1) "
+                "from integer i where i in iota(1,2) and i in iota(1,2)), 'be')",
+            )
+
+    def test_iteration_over_scalar_rejected(self, env):
+        with pytest.raises(QuerySemanticError, match="bag"):
+            compile_text(
+                env,
+                "select merge(a) from bag of sp a, integer n "
+                "where n=4 and a=spv((select gen_array(100,1) "
+                "from integer i where i in n), 'be')",
+            )
+
+    def test_first_requires_two_args(self, env):
+        with pytest.raises(QuerySemanticError, match="first"):
+            compile_text(
+                env,
+                "select first(extract(a)) from sp a where a=sp(iota(1,3), 'bg')",
+            )

@@ -1,0 +1,89 @@
+"""Unit tests for the SCSQL tokenizer."""
+
+import pytest
+
+from repro.scsql.lexer import TokenKind, tokenize
+from repro.util.errors import QueryParseError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop END
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT From wHeRe")
+        assert [t.kind for t in tokens[:-1]] == [TokenKind.KEYWORD] * 3
+        assert [t.text for t in tokens[:-1]] == ["select", "from", "where"]
+
+    def test_identifiers_keep_case(self):
+        token = tokenize("gen_Array")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "gen_Array"
+
+    def test_punctuation(self):
+        assert kinds("(){},;=") == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.COMMA,
+            TokenKind.SEMICOLON,
+            TokenKind.EQUALS,
+        ]
+
+    def test_arrow(self):
+        assert kinds("->") == [TokenKind.ARROW]
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].kind is TokenKind.END
+
+
+class TestLiterals:
+    def test_integers_and_floats(self):
+        assert tokenize("3000000")[0].value == 3_000_000
+        assert tokenize("2.5")[0].value == 2.5
+        assert tokenize("1e3")[0].value == 1000.0
+
+    def test_negative_number(self):
+        assert tokenize("-5")[0].value == -5
+
+    def test_strings(self):
+        token = tokenize("'bg'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.text == "bg"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QueryParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_value_on_non_number_rejected(self):
+        with pytest.raises(QueryParseError):
+            tokenize("abc")[0].value
+
+
+class TestPositionsAndComments:
+    def test_line_and_column_tracked(self):
+        tokens = tokenize("select\n  extract(b)")
+        extract = tokens[1]
+        assert (extract.line, extract.column) == (2, 3)
+
+    def test_comments_skipped(self):
+        tokens = tokenize("select -- this is a comment\nx")
+        assert [t.text for t in tokens[:-1]] == ["select", "x"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(QueryParseError, match="unexpected character"):
+            tokenize("select @")
+
+
+class TestPaperQueries:
+    def test_query1_tokenizes(self):
+        text = """
+        select extract(c) from
+        bag of sp a, sp b, sp c, integer n
+        where c=sp(extract(b), 'bg') and n=4;
+        """
+        tokens = tokenize(text)
+        assert tokens[-1].kind is TokenKind.END
+        assert sum(1 for t in tokens if t.kind is TokenKind.STRING) == 1

@@ -1,0 +1,134 @@
+"""Unit tests for the SCSQL parser."""
+
+import pytest
+
+from repro.scsql.ast import (
+    CondKind,
+    CreateFunction,
+    FuncCall,
+    Literal,
+    SelectQuery,
+    SetExpr,
+    Var,
+)
+from repro.scsql.parser import parse, parse_query
+from repro.util.errors import QueryParseError
+
+
+class TestSelectQueries:
+    def test_minimal_query(self):
+        query = parse_query("select extract(a) from sp a")
+        assert isinstance(query.select, FuncCall)
+        assert query.decls[0].name == "a"
+        assert query.decls[0].type_name == "sp"
+        assert not query.decls[0].is_bag
+
+    def test_bag_of_declaration(self):
+        query = parse_query("select merge(a) from bag of sp a")
+        assert query.decls[0].is_bag
+
+    def test_conditions_parsed(self):
+        query = parse_query(
+            "select extract(b) from sp a, sp b, integer n "
+            "where b=sp(count(extract(a)), 'bg') and n=4"
+        )
+        assert [c.kind for c in query.conditions] == [CondKind.EQ, CondKind.EQ]
+        assert query.conditions[1].expr == Literal(4)
+
+    def test_in_condition(self):
+        query = parse_query(
+            "select gen_array(10,2) from integer i where i in iota(1,5)"
+        )
+        condition = query.conditions[0]
+        assert condition.kind is CondKind.IN
+        assert condition.var == "i"
+
+    def test_set_expression(self):
+        query = parse_query("select radixcombine(merge({a,b})) from sp a, sp b")
+        merge = query.select.args[0]
+        assert isinstance(merge.args[0], SetExpr)
+        assert merge.args[0].items == (Var("a"), Var("b"))
+
+    def test_nested_select_as_argument(self):
+        query = parse_query(
+            "select merge(x) from bag of sp x where x=spv("
+            "(select gen_array(100,1) from integer i where i in iota(1,3)),"
+            " 'be', 1)"
+        )
+        spv = query.conditions[0].expr
+        assert isinstance(spv.args[0], SelectQuery)
+
+    def test_trailing_semicolon_ok(self):
+        parse_query("select extract(a) from sp a;")
+
+
+class TestCreateFunction:
+    def test_radix2_definition(self):
+        statement = parse(
+            """
+            create function radix2(string s) -> stream
+            as select radixcombine(merge({a,b}))
+            from sp a, sp b, sp c
+            where a=sp(fft(odd(extract(c))), 'bg')
+            and b=sp(fft(even(extract(c))), 'bg')
+            and c=sp(receiver(s), 'bg');
+            """
+        )
+        assert isinstance(statement, CreateFunction)
+        assert statement.name == "radix2"
+        assert statement.params[0].name == "s"
+        assert statement.params[0].type_name == "string"
+        assert statement.return_type == "stream"
+        assert len(statement.body.conditions) == 3
+
+    def test_zero_parameter_function(self):
+        statement = parse(
+            "create function f() -> stream as select extract(a) from sp a "
+            "where a=sp(iota(1,3), 'bg')"
+        )
+        assert statement.params == ()
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(QueryParseError, match="from"):
+            parse("select extract(a)")
+
+    def test_unknown_type(self):
+        with pytest.raises(QueryParseError, match="unknown type"):
+            parse("select x from gadget x")
+
+    def test_condition_needs_eq_or_in(self):
+        with pytest.raises(QueryParseError, match="'=' or 'in'"):
+            parse("select x from sp x where x")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryParseError, match="trailing"):
+            parse("select extract(a) from sp a extra")
+
+    def test_parse_query_rejects_function(self):
+        with pytest.raises(QueryParseError):
+            parse_query(
+                "create function f() -> stream as select extract(a) from sp a"
+            )
+
+    def test_unclosed_paren(self):
+        with pytest.raises(QueryParseError):
+            parse("select extract(a from sp a")
+
+    def test_error_carries_position(self):
+        try:
+            parse("select x from\ngadget x")
+        except QueryParseError as error:
+            assert error.line == 2
+        else:
+            pytest.fail("expected a parse error")
+
+
+class TestFreeVars:
+    def test_select_query_free_vars(self):
+        query = parse_query(
+            "select merge(a) from bag of sp a where a=spv("
+            "(select gen_array(10,1) from integer i where i in iota(1,n)), 'be')"
+        )
+        assert query.free_vars() == {"n"}

@@ -1,0 +1,165 @@
+"""Round-trip tests for the SCSQL unparser: parse(unparse(ast)) == ast."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scsql.ast import (
+    CondKind,
+    Condition,
+    CreateFunction,
+    Decl,
+    FuncCall,
+    Literal,
+    Param,
+    SelectQuery,
+    SetExpr,
+    Var,
+)
+from repro.scsql.parser import parse
+from repro.scsql.unparse import unparse, unparse_expr
+from repro.util.errors import QueryError
+
+PAPER_QUERIES = [
+    """
+    select extract(b)
+    from sp a, sp b
+    where b=sp(streamof(count(extract(a))), 'bg', 0)
+    and a=sp(gen_array(3000000,100), 'bg', 1);
+    """,
+    """
+    select extract(c)
+    from sp a, sp b, sp c
+    where c=sp(count(merge({a,b})), 'bg', 0)
+    and a=sp(gen_array(3000000,100), 'bg', 1)
+    and b=sp(gen_array(3000000,100), 'bg', 2);
+    """,
+    """
+    select extract(c) from
+    bag of sp a, bag of sp b, sp c, integer n
+    where c=sp(streamof(sum(merge(b))), 'bg')
+    and b=spv(
+      (select streamof(count(extract(p)))
+       from sp p
+       where p in a),
+      'bg', psetrr())
+    and a=spv(
+      (select gen_array(3000000,100)
+       from integer i where i in iota(1,n)),
+      'be', urr('be'))
+    and n=4;
+    """,
+    """
+    create function radix2(string s) -> stream
+    as select radixcombine(merge({a,b}))
+    from sp a, sp b, sp c
+    where a=sp(fft(odd(extract(c))), 'bg')
+    and b=sp(fft(even(extract(c))), 'bg')
+    and c=sp(receiver(s), 'bg');
+    """,
+]
+
+
+class TestPaperQueriesRoundTrip:
+    @pytest.mark.parametrize("text", PAPER_QUERIES)
+    def test_roundtrip(self, text):
+        ast = parse(text)
+        rendered = unparse(ast)
+        assert parse(rendered) == ast
+
+    def test_unparse_is_stable(self):
+        ast = parse(PAPER_QUERIES[0])
+        once = unparse(ast)
+        assert unparse(parse(once)) == once
+
+
+class TestErrors:
+    def test_unrepresentable_string(self):
+        with pytest.raises(QueryError, match="quote"):
+            unparse_expr(Literal("it's"))
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: generated ASTs survive the round trip.
+# ----------------------------------------------------------------------
+_names = st.sampled_from(["a", "b", "c", "p", "n", "x", "stream_1", "Gen"])
+_safe_strings = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127),
+    max_size=8,
+)
+_literals = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6).map(Literal),
+    _safe_strings.map(Literal),
+)
+
+
+def _exprs(depth: int = 2):
+    if depth == 0:
+        return st.one_of(_literals, _names.map(Var))
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        _literals,
+        _names.map(Var),
+        st.builds(
+            FuncCall,
+            name=_names,
+            args=st.lists(sub, max_size=3).map(tuple),
+        ),
+        st.builds(SetExpr, items=st.lists(sub, min_size=1, max_size=3).map(tuple)),
+    )
+
+
+_decls = st.builds(
+    Decl,
+    name=_names,
+    type_name=st.sampled_from(["sp", "integer", "string", "stream"]),
+    is_bag=st.booleans(),
+)
+
+_conditions = st.builds(
+    Condition,
+    kind=st.sampled_from([CondKind.EQ, CondKind.IN]),
+    var=_names,
+    expr=_exprs(),
+)
+
+_queries = st.builds(
+    SelectQuery,
+    select=_exprs(),
+    decls=st.lists(_decls, min_size=1, max_size=3).map(tuple),
+    conditions=st.lists(_conditions, max_size=3).map(tuple),
+)
+
+_functions = st.builds(
+    CreateFunction,
+    name=_names,
+    params=st.lists(
+        st.builds(Param, name=_names, type_name=st.sampled_from(["string", "integer", "stream"])),
+        max_size=2,
+    ).map(tuple),
+    return_type=st.sampled_from(["stream", "integer"]),
+    body=_queries,
+)
+
+
+@given(query=_queries)
+@settings(max_examples=200, deadline=None)
+def test_generated_selects_roundtrip(query):
+    assert parse(unparse(query)) == query
+
+
+@given(definition=_functions)
+@settings(max_examples=100, deadline=None)
+def test_generated_functions_roundtrip(definition):
+    assert parse(unparse(definition)) == definition
+
+
+@given(query=_queries)
+@settings(max_examples=100, deadline=None)
+def test_nested_queries_roundtrip_as_expressions(query):
+    outer = SelectQuery(
+        select=FuncCall(name="merge", args=(query,)),
+        decls=(Decl(name="z", type_name="integer"),),
+        conditions=(Condition(kind=CondKind.EQ, var="z", expr=Literal(1)),),
+    )
+    assert parse(unparse(outer)) == outer

@@ -1,0 +1,110 @@
+"""Unit tests for the simulator scheduler."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.util.errors import SimulationError
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_peek_empty_is_infinite(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_peek_reports_next_event_time(self, sim):
+        sim.timeout(5.0)
+        sim.timeout(2.0)
+        assert sim.peek() == pytest.approx(2.0)
+
+    def test_step_empty_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+
+class TestRun:
+    def test_run_until_stops_the_clock(self, sim):
+        ticks = []
+
+        def ticker():
+            while True:
+                yield sim.timeout(1.0)
+                ticks.append(sim.now)
+
+        sim.process(ticker())
+        sim.run(until=3.5)
+        assert sim.now == pytest.approx(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_run_until_in_the_past_raises(self, sim):
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_events_processed_in_time_order(self, sim):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            sim.process(self._at(sim, delay, order))
+        sim.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    @staticmethod
+    def _at(sim, delay, order):
+        def body():
+            yield sim.timeout(delay)
+            order.append(sim.now)
+
+        return body()
+
+    def test_same_time_events_keep_insertion_order(self, sim):
+        order = []
+
+        def body(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.process(body(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestRunProcess:
+    def test_returns_the_process_value(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            return {"answer": 42}
+
+        assert sim.run_process(body()) == {"answer": 42}
+
+    def test_reraises_the_process_exception(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            raise LookupError("missing")
+
+        with pytest.raises(LookupError, match="missing"):
+            sim.run_process(body())
+
+    def test_detects_deadlock(self, sim):
+        def body():
+            yield sim.event()  # never triggered
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_process(body())
+
+    def test_determinism_across_instances(self):
+        def workload(sim, log):
+            def worker(tag, delay):
+                yield sim.timeout(delay)
+                log.append((sim.now, tag))
+
+            for tag, delay in (("x", 2.0), ("y", 1.0), ("z", 2.0)):
+                sim.process(worker(tag, delay))
+            sim.run()
+
+        log1, log2 = [], []
+        workload(Simulator(), log1)
+        workload(Simulator(), log2)
+        assert log1 == log2

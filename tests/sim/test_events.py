@@ -1,0 +1,243 @@
+"""Unit tests for the event primitives of the simulation kernel."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, Simulator, Timeout
+from repro.util.errors import SimulationError
+
+
+class TestEventLifecycle:
+    def test_new_event_is_pending(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_before_trigger_raises(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+    def test_succeed_carries_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_succeed_none_is_a_value(self, sim):
+        event = sim.event()
+        event.succeed()
+        assert event.triggered
+        assert event.value is None
+
+    def test_double_trigger_raises(self, sim):
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+        with pytest.raises(SimulationError):
+            event.fail(RuntimeError("nope"))
+
+    def test_fail_requires_exception(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_fail_carries_exception(self, sim):
+        event = sim.event()
+        error = RuntimeError("boom")
+        event.fail(error)
+        event._defused = True
+        sim.run()
+        assert not event.ok
+        assert event.value is error
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        event = sim.event()
+        event.succeed("x")
+        sim.run()
+        seen = []
+        event._add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, sim):
+        sim.timeout(2.5)
+        sim.run()
+        assert sim.now == pytest.approx(2.5)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_timeout_value(self, sim):
+        result = {}
+
+        def proc():
+            result["v"] = yield sim.timeout(1.0, value="hello")
+
+        sim.process(proc())
+        sim.run()
+        assert result["v"] == "hello"
+
+    def test_zero_delay_is_fine(self, sim):
+        timeout = sim.timeout(0.0)
+        sim.run()
+        assert timeout.processed
+        assert sim.now == 0.0
+
+
+class TestUnhandledFailure:
+    def test_unhandled_failure_crashes_simulation(self, sim):
+        event = sim.event()
+        event.fail(ValueError("lost"))
+        with pytest.raises(SimulationError, match="unhandled failure"):
+            sim.run()
+
+    def test_handled_failure_is_fine(self, sim):
+        event = sim.event()
+
+        def waiter():
+            try:
+                yield event
+            except ValueError:
+                return "caught"
+
+        proc = sim.process(waiter())
+        event.fail(ValueError("lost"))
+        sim.run()
+        assert proc.value == "caught"
+
+
+class TestConditions:
+    def test_all_of_collects_values(self, sim):
+        t1 = sim.timeout(1.0, value="a")
+        t2 = sim.timeout(2.0, value="b")
+        result = {}
+
+        def waiter():
+            result["v"] = yield sim.all_of([t1, t2])
+
+        sim.process(waiter())
+        sim.run()
+        assert result["v"] == {t1: "a", t2: "b"}
+        assert sim.now == pytest.approx(2.0)
+
+    def test_any_of_triggers_on_first(self, sim):
+        t1 = sim.timeout(1.0, value="fast")
+        t2 = sim.timeout(5.0, value="slow")
+        result = {}
+
+        def waiter():
+            result["v"] = yield sim.any_of([t1, t2])
+
+        sim.process(waiter())
+        sim.run()
+        assert t1 in result["v"]
+        assert t2 not in result["v"]
+
+    def test_empty_all_of_triggers_immediately(self, sim):
+        condition = sim.all_of([])
+        assert condition.triggered
+
+    def test_all_of_fails_fast(self, sim):
+        bad = sim.event()
+
+        def failer():
+            yield sim.timeout(1.0)
+            bad.fail(RuntimeError("dead"))
+
+        def waiter():
+            try:
+                yield sim.all_of([bad, sim.timeout(10.0)])
+            except RuntimeError:
+                return sim.now
+
+        sim.process(failer())
+        proc = sim.process(waiter())
+        sim.run()
+        assert proc.value == pytest.approx(1.0)
+
+
+class TestProcess:
+    def test_join_returns_value(self, sim):
+        def inner():
+            yield sim.timeout(1.0)
+            return 99
+
+        def outer():
+            value = yield sim.process(inner())
+            return value + 1
+
+        proc = sim.process(outer())
+        sim.run()
+        assert proc.value == 100
+
+    def test_process_failure_propagates_to_joiner(self, sim):
+        def inner():
+            yield sim.timeout(1.0)
+            raise KeyError("gone")
+
+        def outer():
+            try:
+                yield sim.process(inner())
+            except KeyError:
+                return "handled"
+
+        proc = sim.process(outer())
+        sim.run()
+        assert proc.value == "handled"
+
+    def test_yield_non_event_raises(self, sim):
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError, match="non-event"):
+            sim.run()
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_interrupt_delivers_cause(self, sim):
+        caught = {}
+
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                caught["cause"] = interrupt.cause
+                caught["at"] = sim.now
+
+        target = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(3.0)
+            target.interrupt("enough")
+
+        sim.process(interrupter())
+        sim.run()
+        assert caught == {"cause": "enough", "at": 3.0}
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def quick():
+            return "done"
+            yield  # pragma: no cover
+
+        proc = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_is_alive(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body())
+        assert proc.is_alive
+        sim.run()
+        assert not proc.is_alive

@@ -1,0 +1,175 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Interrupt, Resource, Simulator, Store
+from repro.util.errors import SimulationError
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_grants_up_to_capacity(self, sim):
+        resource = Resource(sim, capacity=2)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+        assert resource.count == 2
+        assert resource.queue_length == 1
+
+    def test_fifo_service_order(self, sim):
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(tag, hold):
+            with resource.request() as request:
+                yield request
+                order.append((sim.now, tag))
+                yield sim.timeout(hold)
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 1.0))
+        sim.process(worker("c", 1.0))
+        sim.run()
+        assert order == [(0.0, "a"), (2.0, "b"), (3.0, "c")]
+
+    def test_release_ungranted_request_withdraws_it(self, sim):
+        resource = Resource(sim, capacity=1)
+        held = resource.request()
+        waiting = resource.request()
+        resource.release(waiting)  # withdraw from the queue
+        assert resource.queue_length == 0
+        resource.release(held)
+        assert resource.count == 0
+
+    def test_context_manager_releases_on_interrupt(self, sim):
+        resource = Resource(sim, capacity=1)
+
+        def holder():
+            with resource.request() as request:
+                yield request
+                try:
+                    yield sim.timeout(100.0)
+                except Interrupt:
+                    pass
+
+        def waiter():
+            with resource.request() as request:
+                yield request
+                return sim.now
+
+        holding = sim.process(holder())
+        waiting = sim.process(waiter())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            holding.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert waiting.value == pytest.approx(1.0)
+        assert resource.count == 0
+
+    def test_released_slot_goes_to_longest_waiter(self, sim):
+        resource = Resource(sim, capacity=1)
+        grants = []
+
+        def worker(tag):
+            with resource.request() as request:
+                yield request
+                grants.append(tag)
+                yield sim.timeout(1.0)
+
+        for tag in range(5):
+            sim.process(worker(tag))
+        sim.run()
+        assert grants == [0, 1, 2, 3, 4]
+
+
+class TestStore:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+    def test_put_get_fifo(self, sim):
+        store = Store(sim)
+        received = []
+
+        def producer():
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(5):
+                received.append((yield store.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = {}
+
+        def consumer():
+            got["value"] = yield store.get()
+            got["at"] = sim.now
+
+        def producer():
+            yield sim.timeout(3.0)
+            yield store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == {"value": "late", "at": 3.0}
+
+    def test_put_blocks_when_full(self, sim):
+        store = Store(sim, capacity=1)
+        times = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+                times.append(sim.now)
+
+        def consumer():
+            for _ in range(3):
+                yield sim.timeout(2.0)
+                yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        # First put is immediate; each later put waits for a get (t=2, 4).
+        assert times == [0.0, 2.0, 4.0]
+
+    def test_waiting_getters_served_in_order(self, sim):
+        store = Store(sim)
+        order = []
+
+        def consumer(tag):
+            value = yield store.get()
+            order.append((tag, value))
+
+        for tag in ("a", "b"):
+            sim.process(consumer(tag))
+
+        def producer():
+            yield store.put(1)
+            yield store.put(2)
+
+        sim.process(producer())
+        sim.run()
+        assert order == [("a", 1), ("b", 2)]
+
+    def test_size_property(self, sim):
+        store = Store(sim)
+        store.put("x")
+        store.put("y")
+        assert store.size == 2

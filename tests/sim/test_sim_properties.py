@@ -1,0 +1,73 @@
+"""Property-based tests of the simulation kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    """Whatever the schedule, observed firing times never go backwards."""
+    sim = Simulator()
+    observed = []
+
+    def waiter(delay):
+        yield sim.timeout(delay)
+        observed.append(sim.now)
+
+    for delay in delays:
+        sim.process(waiter(delay))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(items=st.lists(st.integers(), max_size=100), capacity=st.integers(1, 5))
+@settings(max_examples=100, deadline=None)
+def test_store_preserves_fifo_order_under_any_capacity(items, capacity):
+    """A bounded store delivers exactly the items put, in order."""
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in range(len(items)):
+            received.append((yield store.get()))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == items
+
+
+@given(
+    holds=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=30),
+    capacity=st.integers(1, 4),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_never_exceeds_capacity(holds, capacity):
+    """Concurrent users of a resource never exceed its capacity."""
+    sim = Simulator()
+    resource = Resource(sim, capacity=capacity)
+    active = {"count": 0, "peak": 0}
+
+    def worker(hold):
+        with resource.request() as request:
+            yield request
+            active["count"] += 1
+            active["peak"] = max(active["peak"], active["count"])
+            yield sim.timeout(hold)
+            active["count"] -= 1
+
+    for hold in holds:
+        sim.process(worker(hold))
+    sim.run()
+    assert active["count"] == 0
+    assert active["peak"] <= capacity
+    assert active["peak"] == min(capacity, len(holds))

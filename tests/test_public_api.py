@@ -1,0 +1,50 @@
+"""The public API surface: every exported name resolves and works."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.net",
+    "repro.hardware",
+    "repro.engine",
+    "repro.engine.operators",
+    "repro.coordinator",
+    "repro.scsql",
+    "repro.optimizer",
+    "repro.core",
+    "repro.core.experiments",
+    "repro.workloads",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{package} should declare __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.{name} is exported but missing"
+
+
+def test_version_present():
+    import repro
+
+    assert repro.__version__
+
+
+def test_top_level_quickstart_surface():
+    """The README quickstart works through the top-level imports alone."""
+    from repro import ExecutionSettings, SCSQSession
+
+    session = SCSQSession()
+    report = session.execute(
+        "select extract(b) from sp a, sp b "
+        "where b=sp(count(extract(a)), 'bg', 0) "
+        "and a=sp(gen_array(10000,3), 'bg', 1);",
+        ExecutionSettings(mpi_buffer_bytes=2000),
+    )
+    assert report.scalar_result == 3

@@ -1,0 +1,47 @@
+"""Unit tests for measurement statistics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import summarize
+
+
+class TestSummarize:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_single_sample(self):
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.minimum == stats.maximum == 5.0
+
+    def test_known_values(self):
+        stats = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.std == pytest.approx(math.sqrt(32 / 7))
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+
+    def test_relative_std(self):
+        stats = summarize([9.0, 11.0])
+        assert stats.relative_std == pytest.approx(stats.std / 10.0)
+
+    def test_relative_std_zero_mean(self):
+        assert summarize([-1.0, 1.0]).relative_std == 0.0
+
+    def test_str_rendering(self):
+        assert "n=2" in str(summarize([1.0, 2.0]))
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
+def test_bounds_hold(samples):
+    stats = summarize(samples)
+    tolerance = 1e-9 * max(1.0, abs(stats.minimum), abs(stats.maximum))
+    assert stats.minimum - tolerance <= stats.mean <= stats.maximum + tolerance
+    assert stats.std >= 0.0
+    assert len(stats.samples) == len(samples)

@@ -1,0 +1,71 @@
+"""Unit tests for the synthetic workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.errors import QueryExecutionError
+from repro.workloads import (
+    MARKER,
+    expected_marker_count,
+    filename,
+    make_signal_source,
+    read_file,
+    signal_stream,
+    sinusoid_mixture,
+)
+
+
+class TestCorpus:
+    def test_filenames_are_stable(self):
+        assert filename(3) == "stream-log-0003.txt"
+
+    def test_files_are_deterministic(self):
+        assert read_file(filename(5)) == read_file(filename(5))
+
+    def test_files_differ(self):
+        assert read_file(filename(1)) != read_file(filename(2))
+
+    def test_marker_density(self):
+        lines = read_file(filename(0))
+        planted = sum(1 for line in lines if MARKER in line)
+        assert planted == expected_marker_count()
+
+    def test_unknown_file_rejected(self):
+        with pytest.raises(QueryExecutionError):
+            read_file("random.txt")
+
+    def test_line_count_parameter(self):
+        assert len(read_file(filename(0), lines=50)) == 50
+        planted = sum(1 for line in read_file(filename(0), lines=50) if MARKER in line)
+        assert planted == expected_marker_count(50)
+
+
+class TestSignals:
+    def test_tone_shows_up_in_fft_bin(self):
+        signal = sinusoid_mixture(256, [(10, 1.0)], noise=0.0)
+        spectrum = np.abs(np.fft.fft(signal))
+        assert np.argmax(spectrum[1:129]) + 1 == 10
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(QueryExecutionError):
+            sinusoid_mixture(100, [(1, 1.0)])
+
+    def test_stream_is_deterministic(self):
+        a = signal_stream(3, n_points=64, seed=5)
+        b = signal_stream(3, n_points=64, seed=5)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_source_factory_restarts(self):
+        factory = make_signal_source(2, n_points=64)
+        first = list(factory())
+        second = list(factory())
+        assert len(first) == len(second) == 2
+        assert all(np.array_equal(x, y) for x, y in zip(first, second))
+
+
+@given(st.integers(0, 9999))
+def test_every_filename_reads(i):
+    lines = read_file(filename(i), lines=20)
+    assert len(lines) == 20
