@@ -1,0 +1,13 @@
+"""Benchmark suite configuration: everything here is marked ``slow``.
+
+The benchmarks are excluded from quick test runs with ``-m "not slow"``
+(CI runs the tier-1 tests that way); run them explicitly with
+``pytest benchmarks``.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.slow)

@@ -1,0 +1,50 @@
+"""Observability overhead: kernel throughput with and without instrumentation.
+
+The contract is near-zero cost when disabled — every hook site is one
+attribute check on the shared null hub.  These benchmarks quantify it, and
+show what enabling metrics or full tracing costs (which is allowed to be
+substantial: it is opt-in).
+"""
+
+from repro.obs import Instrumentation
+from repro.obs.tracer import NULL_TRACER
+from repro.sim import Resource, Simulator, Store
+
+ITEMS = 5000
+
+
+def _pingpong(sim):
+    store = Store(sim, capacity=8, name="box")
+    device = Resource(sim, capacity=1, name="dev")
+
+    def producer():
+        for i in range(ITEMS):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(ITEMS):
+            yield store.get()
+            if _ % 100 == 0:
+                with device.request() as req:
+                    yield req
+                    yield sim.timeout(0.001)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    return sim
+
+
+def test_kernel_throughput_uninstrumented(benchmark):
+    """Baseline: the shared NULL_OBS hub (the default on every simulator)."""
+    benchmark(lambda: _pingpong(Simulator()))
+
+
+def test_kernel_throughput_metrics_only(benchmark):
+    """Metrics enabled, tracing off — the cheap always-on-able mode."""
+    benchmark(lambda: _pingpong(Simulator(obs=Instrumentation(tracer=NULL_TRACER))))
+
+
+def test_kernel_throughput_full_tracing(benchmark):
+    """Metrics plus a full timeline trace — the heavyweight opt-in."""
+    benchmark(lambda: _pingpong(Simulator(obs=Instrumentation())))

@@ -34,6 +34,7 @@ from repro.hardware import (
     EnvironmentConfig,
 )
 from repro.net import NetworkParams
+from repro.obs import Instrumentation
 from repro.optimizer import CostBasedPlacer
 from repro.scsql import SCSQSession
 
@@ -54,5 +55,6 @@ __all__ = [
     "measure_query_bandwidth",
     "BandwidthResult",
     "CostBasedPlacer",
+    "Instrumentation",
     "__version__",
 ]

@@ -2,17 +2,23 @@
 
 Usage::
 
-    python -m repro fig6 [--repeats N] [--quick]
-    python -m repro fig8 [--repeats N] [--quick]
-    python -m repro fig15 [--repeats N] [--quick]
+    python -m repro fig6 [--repeats N] [--quick] [--trace T] [--metrics-out M]
+    python -m repro fig8 [--repeats N] [--quick] [--trace T] [--metrics-out M]
+    python -m repro fig15 [--repeats N] [--quick] [--trace T] [--metrics-out M]
     python -m repro ablations [--repeats N] [--quick]
     python -m repro scaling [--repeats N] [--quick]
     python -m repro all [--repeats N] [--quick]
-    python -m repro query 'select extract(a) from sp a where a=sp(iota(1,9), "bg");'
+    python -m repro query 'select ...;' [--trace T] [--metrics-out M]
 
 ``--quick`` runs a reduced sweep (seconds instead of minutes).  ``query``
 executes one SCSQL statement on a fresh default environment and prints the
 result and placements.
+
+``--trace PATH`` records every simulated run and writes a Chrome
+``trace_event`` file (open it at ``chrome://tracing`` or
+https://ui.perfetto.dev); a path ending in ``.jsonl`` writes raw JSON-lines
+records instead.  ``--metrics-out PATH`` writes plain-text utilization
+summaries (``-`` prints to stdout).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.experiments import (
     run_buffer_choice_ablation,
@@ -30,7 +36,64 @@ from repro.core.experiments import (
     run_node_selection_ablation,
     run_scaling_study,
 )
+from repro.obs import Instrumentation, utilization_summary
+from repro.obs.export import write_chrome_trace, write_trace_jsonl
+from repro.obs.tracer import NULL_TRACER
 from repro.scsql.session import SCSQSession
+
+
+def _wants_observation(args) -> bool:
+    return bool(getattr(args, "trace", None) or getattr(args, "metrics_out", None))
+
+
+def _obs_factory(args):
+    """Instrumentation factory for observed runs (metrics-only without --trace)."""
+    if not _wants_observation(args):
+        return None
+    tracing = bool(getattr(args, "trace", None))
+
+    def factory(_repeat: int) -> Instrumentation:
+        return Instrumentation(tracer=None if tracing else NULL_TRACER)
+
+    return factory
+
+
+def _export_observations(args, sections: List[Tuple[str, Instrumentation]]) -> None:
+    """Write the collected instrumentations per the --trace/--metrics-out flags."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        if trace_path.endswith(".jsonl"):
+            with open(trace_path, "w", encoding="utf-8") as fh:
+                lines = 0
+                for label, obs in sections:
+                    fh.write('{"section": %s}\n' % _json_str(label))
+                    lines += write_trace_jsonl(fh, obs.tracer)
+            print(f"trace: {lines} records -> {trace_path} (JSON-lines)")
+        else:
+            document = write_chrome_trace(
+                trace_path, [(label, obs.tracer) for label, obs in sections]
+            )
+            print(
+                f"trace: {len(document['traceEvents'])} events -> {trace_path} "
+                "(open at chrome://tracing or ui.perfetto.dev)"
+            )
+    metrics_path = getattr(args, "metrics_out", None)
+    if metrics_path:
+        text = "\n\n".join(
+            f"== {label} ==\n{utilization_summary(obs)}" for label, obs in sections
+        )
+        if metrics_path == "-":
+            print(text)
+        else:
+            with open(metrics_path, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"metrics: {len(sections)} run summaries -> {metrics_path}")
+
+
+def _json_str(value: str) -> str:
+    import json
+
+    return json.dumps(value)
 
 
 def _fig6(args) -> None:
@@ -39,12 +102,23 @@ def _fig6(args) -> None:
         **({} if sizes is None else {"buffer_sizes": sizes}),
         repeats=args.repeats,
         target_buffers=300 if args.quick else 1500,
+        obs_factory=_obs_factory(args),
     )
     print(result.format_table())
     print(
         f"-> optimum: single={result.optimum(False).buffer_bytes} B, "
         f"double={result.optimum(True).buffer_bytes} B"
     )
+    if _wants_observation(args):
+        _export_observations(args, [
+            (
+                f"fig6 B={p.buffer_bytes} "
+                f"{'double' if p.double_buffering else 'single'} r{i}",
+                obs,
+            )
+            for p in result.points
+            for i, obs in enumerate(p.result.observations)
+        ])
 
 
 def _fig8(args) -> None:
@@ -53,9 +127,21 @@ def _fig8(args) -> None:
         **({} if sizes is None else {"buffer_sizes": sizes}),
         repeats=args.repeats,
         target_buffers=250 if args.quick else 1200,
+        obs_factory=_obs_factory(args),
     )
     print(result.format_table())
     print(f"-> balanced advantage: {result.balanced_advantage():.2f}x")
+    if _wants_observation(args):
+        _export_observations(args, [
+            (
+                f"fig8 B={p.buffer_bytes} "
+                f"{'bal' if p.balanced else 'seq'}/"
+                f"{'double' if p.double_buffering else 'single'} r{i}",
+                obs,
+            )
+            for p in result.points
+            for i, obs in enumerate(p.result.observations)
+        ])
 
 
 def _fig15(args) -> None:
@@ -64,10 +150,17 @@ def _fig15(args) -> None:
         stream_counts=counts,
         repeats=args.repeats,
         array_count=5 if args.quick else 10,
+        obs_factory=_obs_factory(args),
     )
     print(result.format_table())
     peak = result.peak(5)
     print(f"-> Query 5 peak: {peak.mbps:.0f} Mbps")
+    if _wants_observation(args):
+        _export_observations(args, [
+            (f"fig15 Q{p.query_number} n={p.n} r{i}", obs)
+            for p in result.points
+            for i, obs in enumerate(p.result.observations)
+        ])
 
 
 def _ablations(args) -> None:
@@ -112,7 +205,14 @@ def _all(args) -> None:
 
 
 def _query(args) -> None:
-    session = SCSQSession()
+    obs = None
+    if _wants_observation(args):
+        from repro.hardware.environment import Environment, EnvironmentConfig
+
+        obs = Instrumentation(tracer=None if args.trace else NULL_TRACER)
+        session = SCSQSession(Environment(EnvironmentConfig(), obs=obs))
+    else:
+        session = SCSQSession()
     report = session.execute(args.text, stop_after=args.stop_after)
     if report is None:
         print("function defined")
@@ -123,10 +223,25 @@ def _query(args) -> None:
     print("placements:")
     for sp_id, node in sorted(report.rp_placements.items()):
         print(f"  {sp_id:>24} -> {node}")
+    if obs is not None:
+        _export_observations(args, [("query", obs)])
 
 
 def _explain(args) -> None:
     print(SCSQSession().explain(args.text))
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record every simulated run; writes a Chrome trace_event JSON "
+             "file (.jsonl extension switches to raw JSON-lines records)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write plain-text utilization summaries of every run "
+             "('-' prints to stdout)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,17 +250,19 @@ def build_parser() -> argparse.ArgumentParser:
         description="SCSQ reproduction: regenerate the paper's experiments",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    for name, func, needs_sweep in (
+    for name, func, observable in (
         ("fig6", _fig6, True),
         ("fig8", _fig8, True),
         ("fig15", _fig15, True),
-        ("ablations", _ablations, True),
-        ("scaling", _scaling, True),
-        ("all", _all, True),
+        ("ablations", _ablations, False),
+        ("scaling", _scaling, False),
+        ("all", _all, False),
     ):
         p = sub.add_parser(name, help=f"run the {name} experiment(s)")
         p.add_argument("--repeats", type=int, default=3, help="runs per point")
         p.add_argument("--quick", action="store_true", help="reduced sweep")
+        if observable:
+            _add_observability_flags(p)
         p.set_defaults(func=func)
     q = sub.add_parser("query", help="execute one SCSQL statement")
     q.add_argument("text", help="the SCSQL statement")
@@ -153,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--stop-after", type=float, default=None,
         help="terminate the query at this simulated time (seconds)",
     )
+    _add_observability_flags(q)
     q.set_defaults(func=_query)
     e = sub.add_parser("explain", help="show a query's process graph and placement")
     e.add_argument("text", help="the SCSQL select query")

@@ -21,6 +21,7 @@ from repro.engine.objects import END_OF_STREAM
 from repro.engine.rp import RunningProcess
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import FRONTEND, Environment
+from repro.obs.metrics import MetricsSnapshot
 from repro.util.errors import QueryExecutionError
 
 #: Reserved id of the client manager's own collector RP.
@@ -59,6 +60,10 @@ class ExecutionReport:
 
     rp_statistics: Dict[str, RPStatistics] = field(default_factory=dict)
     """Per-RP monitoring snapshots (paper Figure 3, responsibility v)."""
+
+    metrics: Optional[MetricsSnapshot] = None
+    """Frozen observability metrics of the run, when the environment was
+    created with an :class:`~repro.obs.Instrumentation` (None otherwise)."""
 
     def describe(self) -> str:
         """Human-readable execution summary: result, time, per-RP activity."""
@@ -140,6 +145,7 @@ class ClientManager:
             source_switches=self.env.torus.source_switches,
             stopped=stop_token.stopped if stop_token else False,
             rp_statistics={rp_id: snapshot(rp) for rp_id, rp in rps.items()},
+            metrics=self.env.obs.snapshot() if self.env.obs.enabled else None,
         )
         return report
 

@@ -29,11 +29,12 @@ Published observations being reproduced:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.measurement import BandwidthResult, measure_query_bandwidth
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import EnvironmentConfig
+from repro.obs.instrument import Instrumentation
 
 #: The paper sweeps the number of parallel back-end streams.
 DEFAULT_STREAM_COUNTS: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
@@ -159,8 +160,13 @@ def run_fig15(
     array_bytes: int = PAPER_ARRAY_BYTES,
     array_count: int = DEFAULT_ARRAY_COUNT,
     env_config: Optional[EnvironmentConfig] = None,
+    obs_factory: Optional[Callable[[int], Instrumentation]] = None,
 ) -> Fig15Result:
-    """Run the Figure 15 sweep for the selected queries and stream counts."""
+    """Run the Figure 15 sweep for the selected queries and stream counts.
+
+    ``obs_factory`` (repeat index -> instrumentation) observes every repeat
+    of every point; see :func:`repro.core.measurement.measure_query_bandwidth`.
+    """
     points: List[Fig15Point] = []
     settings = ExecutionSettings()
     for query_number in queries:
@@ -172,6 +178,7 @@ def run_fig15(
                 settings=settings,
                 repeats=repeats,
                 env_config=env_config,
+                obs_factory=obs_factory,
             )
             points.append(
                 Fig15Point(query_number=query_number, n=n, result=result)

@@ -21,11 +21,12 @@ bandwidth unchanged while keeping small-buffer sweeps tractable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.measurement import BandwidthResult, measure_query_bandwidth
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import EnvironmentConfig
+from repro.obs.instrument import Instrumentation
 
 #: Buffer sizes swept by default (log-spaced 100 B .. 1 MB, as in Figure 6).
 DEFAULT_BUFFER_SIZES: Tuple[int, ...] = (
@@ -118,8 +119,14 @@ def run_fig6(
     repeats: int = 5,
     target_buffers: int = 1500,
     env_config: Optional[EnvironmentConfig] = None,
+    obs_factory: Optional[Callable[[int], Instrumentation]] = None,
 ) -> Fig6Result:
-    """Run the Figure 6 sweep and return both curves."""
+    """Run the Figure 6 sweep and return both curves.
+
+    ``obs_factory`` (repeat index -> instrumentation) observes every repeat
+    of every point; the instrumentations land on each point's
+    ``result.observations``.
+    """
     points: List[Fig6Point] = []
     for buffer_bytes in buffer_sizes:
         array_bytes, count = scaled_workload(buffer_bytes, target_buffers)
@@ -134,6 +141,7 @@ def run_fig6(
                 settings=settings,
                 repeats=repeats,
                 env_config=env_config,
+                obs_factory=obs_factory,
             )
             points.append(
                 Fig6Point(

@@ -20,12 +20,13 @@ Published shape being reproduced:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.experiments.fig6 import scaled_workload
 from repro.core.measurement import BandwidthResult, measure_query_bandwidth
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import EnvironmentConfig
+from repro.obs.instrument import Instrumentation
 
 #: Buffer sizes swept by default (Figure 8 reaches further right).
 DEFAULT_BUFFER_SIZES: Tuple[int, ...] = (
@@ -121,8 +122,13 @@ def run_fig8(
     repeats: int = 5,
     target_buffers: int = 1200,
     env_config: Optional[EnvironmentConfig] = None,
+    obs_factory: Optional[Callable[[int], Instrumentation]] = None,
 ) -> Fig8Result:
-    """Run the Figure 8 sweep and return all four curves."""
+    """Run the Figure 8 sweep and return all four curves.
+
+    ``obs_factory`` (repeat index -> instrumentation) observes every repeat
+    of every point; see :func:`repro.core.measurement.measure_query_bandwidth`.
+    """
     points: List[Fig8Point] = []
     for buffer_bytes in buffer_sizes:
         array_bytes, count = scaled_workload(buffer_bytes, target_buffers)
@@ -139,6 +145,7 @@ def run_fig8(
                     settings=settings,
                     repeats=repeats,
                     env_config=env_config,
+                    obs_factory=obs_factory,
                 )
                 points.append(
                     Fig8Point(

@@ -19,7 +19,9 @@ from typing import Callable, List, Optional
 from repro.coordinator.client_manager import ExecutionReport
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.obs.instrument import Instrumentation
 from repro.scsql.session import SCSQSession
+from repro.util.errors import MeasurementError
 from repro.util.stats import MeasurementStats, summarize
 from repro.util.units import MEGA
 
@@ -35,11 +37,15 @@ class BandwidthResult:
         mbps: Bandwidth statistics over the repeats, in megabits/second.
         payload_bytes: The payload volume each run streamed.
         reports: The raw execution report of every repeat.
+        observations: One :class:`~repro.obs.Instrumentation` per repeat
+            when the measurement was observed (empty otherwise); repeat k's
+            metrics snapshot is also on ``reports[k].metrics``.
     """
 
     mbps: MeasurementStats
     payload_bytes: int
     reports: List[ExecutionReport] = field(default_factory=list)
+    observations: List[Instrumentation] = field(default_factory=list)
 
     @property
     def mean_mbps(self) -> float:
@@ -57,6 +63,7 @@ def measure_query_bandwidth(
     env_config: Optional[EnvironmentConfig] = None,
     base_seed: int = 0,
     prepare: Optional[Callable[[SCSQSession], None]] = None,
+    obs_factory: Optional[Callable[[int], Instrumentation]] = None,
 ) -> BandwidthResult:
     """Measure the streaming bandwidth of one SCSQL query.
 
@@ -71,6 +78,11 @@ def measure_query_bandwidth(
         base_seed: Seed of the first repeat; repeat k uses base_seed + k.
         prepare: Optional callback run against each fresh session before
             the query (e.g. defining functions or registering sources).
+        obs_factory: Optional factory called with the repeat index; its
+            :class:`~repro.obs.Instrumentation` is installed on that
+            repeat's fresh environment and attached to the result, so the
+            run's internal mechanism (resource contention, queue depths)
+            is inspectable per repeat.
 
     Returns:
         The summarized result, with per-run reports attached.
@@ -80,6 +92,7 @@ def measure_query_bandwidth(
     template = env_config or EnvironmentConfig()
     samples: List[float] = []
     reports: List[ExecutionReport] = []
+    observations: List[Instrumentation] = []
     for k in range(repeats):
         config = EnvironmentConfig(
             bluegene=template.bluegene,
@@ -88,13 +101,24 @@ def measure_query_bandwidth(
             params=template.params,
             seed=base_seed + k,
         )
-        session = SCSQSession(Environment(config), settings)
+        obs = obs_factory(k) if obs_factory is not None else None
+        if obs is not None:
+            observations.append(obs)
+        session = SCSQSession(Environment(config, obs=obs), settings)
         if prepare is not None:
             prepare(session)
         report = session.execute(query, settings)
         assert report is not None  # select queries always report
         reports.append(report)
+        if report.duration <= 0.0:
+            raise MeasurementError(
+                f"repeat {k} finished in non-positive simulated time "
+                f"({report.duration!r}); bandwidth is undefined"
+            )
         samples.append(payload_bytes * 8.0 / report.duration / MEGA)
     return BandwidthResult(
-        mbps=summarize(samples), payload_bytes=payload_bytes, reports=reports
+        mbps=summarize(samples),
+        payload_bytes=payload_bytes,
+        reports=reports,
+        observations=observations,
     )

@@ -118,6 +118,10 @@ class SenderDriver:
         yield self._outbox.put(buffer)
         self.bytes_sent += buffer.nbytes
         self.buffers_sent += 1
+        obs = self.ctx.sim.obs
+        if obs.enabled:
+            obs.add(f"stream.bytes_sent[{self.stream_id}]", buffer.nbytes)
+            obs.add(f"stream.buffers_sent[{self.stream_id}]")
 
     def _transmit(self):
         """Send marshaled buffers in order, returning tokens on completion."""
@@ -153,6 +157,10 @@ class ReceiverDriver:
             yield self.inbox.release()
             self.bytes_received += buffer.nbytes
             self.buffers_received += 1
+            obs = self.ctx.sim.obs
+            if obs.enabled:
+                obs.add(f"stream.bytes_received[{self.stream_id}]", buffer.nbytes)
+                obs.add(f"stream.buffers_received[{self.stream_id}]")
             for obj in objects:
                 yield self.output.put(obj)
         yield self.output.put(END_OF_STREAM)

@@ -50,11 +50,17 @@ class EnvironmentConfig:
 
 
 class Environment:
-    """The heterogeneous parallel computing environment under measurement."""
+    """The heterogeneous parallel computing environment under measurement.
 
-    def __init__(self, config: EnvironmentConfig = EnvironmentConfig()):
+    Pass an :class:`~repro.obs.Instrumentation` as ``obs`` to trace and
+    meter everything this environment's simulator runs; by default the
+    shared null hub is used and observability costs nothing.
+    """
+
+    def __init__(self, config: EnvironmentConfig = EnvironmentConfig(), obs=None):
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator(obs=obs)
+        self.obs = self.sim.obs
         self.jitter = Jitter(magnitude=config.params.jitter, seed=config.seed)
         self.bluegene = BlueGene(config.bluegene)
         self.backend = LinuxCluster(LinuxClusterConfig(BACKEND, config.backend_nodes))

@@ -146,6 +146,8 @@ class EthernetFabric:
         self._io_connections[io_index] = self._io_connections.get(io_index, 0) + 1
         per_io = self._io_hosts.setdefault(io_index, {})
         per_io[host.node_id] = per_io.get(host.node_id, 0) + 1
+        if self.sim.obs.enabled:
+            self._record_connection_gauges(io_index)
 
     def unregister_connection(self, host: Node, io_index: int, stream_id: str) -> None:
         """Record the close of an inbound TCP connection."""
@@ -161,6 +163,23 @@ class EthernetFabric:
         per_io[host.node_id] -= 1
         if per_io[host.node_id] == 0:
             del per_io[host.node_id]
+        if self.sim.obs.enabled:
+            self._record_connection_gauges(io_index)
+
+    def _record_connection_gauges(self, io_index: int) -> None:
+        """Gauge the ingress coordination state (peaks drive the Q5 dip).
+
+        ``ethernet.io_connections[i]`` peaking above 1 is the paper's
+        observation 5: compute nodes sharing one of the four I/O nodes.
+        """
+        obs = self.sim.obs
+        obs.record_level(
+            f"ethernet.io_connections[{io_index}]", self.io_connection_count(io_index)
+        )
+        obs.record_level(
+            f"ethernet.io_hosts[{io_index}]", self.io_host_count(io_index)
+        )
+        obs.record_level("ethernet.ingress_hosts", self.distinct_external_hosts)
 
 
 class TcpStreamConnection:
@@ -236,6 +255,10 @@ class TcpStreamConnection:
             )
             yield fabric.sim.timeout(fabric.jitter.apply(cost))
         fabric.bytes_ingress += buffer.nbytes
+        if fabric.sim.obs.enabled:
+            fabric.sim.obs.add("ethernet.ingress_bytes", buffer.nbytes)
+            fabric.sim.obs.add("ethernet.wire_bytes", wire_bytes)
+            fabric.sim.obs.add(f"stream.tcp_bytes[{self.stream_id}]", buffer.nbytes)
         fabric.sim.process(
             self._forward(buffer, wire_bytes),
             name=f"tcp-forward[{self.stream_id}#{buffer.buffer_id}]",

@@ -181,6 +181,18 @@ class TorusNetwork:
                 cost = self.jitter.apply(self.params.injection_overhead + wire)
                 yield self.sim.timeout(cost)
         self.bytes_on_wire += buffer.nbytes
+        obs = self.sim.obs
+        if obs.enabled:
+            # Wire bytes include padding to whole torus packets — the
+            # mechanism behind the Figure 6 sub-1KB bandwidth collapse.
+            padded = (
+                0 if buffer.eos
+                else self.params.packet_count(buffer.nbytes) * self.params.packet_bytes
+            )
+            obs.add("torus.payload_bytes", buffer.nbytes)
+            obs.add("torus.wire_bytes", padded)
+            obs.add("torus.buffers_sent")
+            obs.add(f"stream.torus_bytes[{buffer.stream_id}]", buffer.nbytes)
         # The remaining hops proceed asynchronously (cut-through across
         # buffers: the sender may inject buffer k+1 while k is forwarded).
         self.sim.process(
@@ -225,6 +237,9 @@ class TorusNetwork:
             previous = self._last_source.get(node)
             if previous is not None and previous != buffer.source:
                 self.source_switches += 1  # diagnostic only; cost is rate-based
+                if self.sim.obs.enabled:
+                    self.sim.obs.add("torus.source_switches")
+                    self.sim.obs.add(f"torus.source_switches[node={node}]")
             self._last_source[node] = buffer.source
             yield self.sim.timeout(self.jitter.apply(cost))
             # Depositing into a full receive buffer blocks the co-processor:

@@ -1,0 +1,58 @@
+"""Observability over the simulation substrate: tracing, metrics, exporters.
+
+The discrete-event kernel and every model running on it (torus, Ethernet
+ingress, engine drivers) expose their internal mechanism — resource
+contention, queue build-up, padding overhead — through this package, so the
+*causes* behind the reproduced figures are assertable in tests and
+inspectable on a timeline.
+
+Usage::
+
+    from repro.obs import Instrumentation
+    from repro.obs.export import utilization_summary, write_chrome_trace
+
+    obs = Instrumentation()
+    env = Environment(EnvironmentConfig(), obs=obs)
+    SCSQSession(env).execute(query)
+    print(utilization_summary(obs))
+    write_chrome_trace("run.json", [("my run", obs.tracer)])
+
+Tracing is strictly opt-in: a simulator created without instrumentation
+carries the shared :data:`~repro.obs.instrument.NULL_OBS` hub, whose
+``enabled`` flag short-circuits every hook site.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    utilization_summary,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.obs.instrument import NULL_OBS, Instrumentation, NullInstrumentation
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    MetricsSnapshot,
+    TimeWeightedStat,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, TraceRecord
+
+__all__ = [
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_OBS",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceRecord",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Counter",
+    "Gauge",
+    "TimeWeightedStat",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+    "utilization_summary",
+]

@@ -1,0 +1,214 @@
+"""Exporters: Chrome ``trace_event`` JSON, JSON-lines, and text summaries.
+
+Three consumers are served:
+
+* ``chrome://tracing`` / https://ui.perfetto.dev — :func:`chrome_trace`
+  turns tracer records into the Trace Event Format (one *process* per
+  traced simulation run, one *thread* per track, resource holds as complete
+  ``X`` events, store levels as ``C`` counter series);
+* log processing — :func:`write_trace_jsonl` dumps raw records one JSON
+  object per line;
+* humans — :func:`utilization_summary` prints the busiest resources, store
+  levels, and counters of one instrumented run as plain text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.instrument import Instrumentation
+from repro.obs.tracer import NullTracer, TraceRecord
+
+#: Simulated seconds -> trace microseconds (the unit Chrome traces use).
+_MICROS = 1e6
+
+
+def trace_record_dict(record: TraceRecord) -> dict:
+    """A JSON-ready dict of one raw trace record."""
+    out = {
+        "ts": record.ts,
+        "kind": record.kind,
+        "track": record.track,
+        "name": record.name,
+    }
+    if record.ident is not None:
+        out["id"] = record.ident
+    if record.args is not None:
+        out["args"] = record.args
+    return out
+
+
+def write_trace_jsonl(target: Union[str, IO[str]], tracer: NullTracer) -> int:
+    """Write raw records as JSON-lines; returns the number of lines."""
+    def _dump(fh: IO[str]) -> int:
+        count = 0
+        for record in tracer:
+            fh.write(json.dumps(trace_record_dict(record)) + "\n")
+            count += 1
+        return count
+
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as fh:
+            return _dump(fh)
+    return _dump(target)
+
+
+def chrome_trace(
+    sections: Sequence[Tuple[str, NullTracer]],
+) -> dict:
+    """Convert tracers into one Chrome Trace Event Format document.
+
+    Args:
+        sections: ``(label, tracer)`` pairs; each pair becomes one trace
+            *process* (pid) named ``label``, so several simulation runs
+            (e.g. the repeats of a measurement) can share a timeline.
+
+    Returns:
+        The trace document (``{"traceEvents": [...], ...}``); serialize
+        with ``json.dump`` or use :func:`write_chrome_trace`.
+    """
+    events: List[dict] = []
+    for pid, (label, tracer) in enumerate(sections, start=1):
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0,
+            "name": "process_name", "args": {"name": label},
+        })
+        tids: Dict[str, int] = {}
+        open_spans: Dict[Tuple[str, Optional[int]], TraceRecord] = {}
+        last_ts = 0.0
+
+        def tid_of(track: str) -> int:
+            if track not in tids:
+                tids[track] = len(tids) + 1
+                events.append({
+                    "ph": "M", "pid": pid, "tid": tids[track],
+                    "name": "thread_name", "args": {"name": track},
+                })
+            return tids[track]
+
+        for record in tracer:
+            last_ts = max(last_ts, record.ts)
+            tid = tid_of(record.track)
+            if record.kind == "span_begin":
+                open_spans[(record.track, record.ident)] = record
+            elif record.kind == "span_end":
+                begin = open_spans.pop((record.track, record.ident), None)
+                start = begin.ts if begin is not None else record.ts
+                event = {
+                    "ph": "X", "pid": pid, "tid": tid,
+                    "name": record.name, "cat": record.track.split(":", 1)[0],
+                    "ts": start * _MICROS,
+                    "dur": (record.ts - start) * _MICROS,
+                }
+                args = record.args if record.args is not None else (
+                    begin.args if begin is not None else None
+                )
+                if args is not None:
+                    event["args"] = args
+                events.append(event)
+            elif record.kind == "instant":
+                event = {
+                    "ph": "i", "pid": pid, "tid": tid, "s": "t",
+                    "name": record.name, "cat": record.track.split(":", 1)[0],
+                    "ts": record.ts * _MICROS,
+                }
+                if record.args is not None:
+                    event["args"] = record.args
+                events.append(event)
+            elif record.kind == "counter":
+                events.append({
+                    "ph": "C", "pid": pid, "tid": tid,
+                    "name": record.track, "ts": record.ts * _MICROS,
+                    "args": {record.name: record.args},
+                })
+        # Spans still open when the run ended (e.g. long-lived processes):
+        # close them at the last observed timestamp so they stay visible.
+        for (track, _ident), begin in open_spans.items():
+            events.append({
+                "ph": "X", "pid": pid, "tid": tid_of(track),
+                "name": begin.name, "cat": track.split(":", 1)[0],
+                "ts": begin.ts * _MICROS,
+                "dur": (last_ts - begin.ts) * _MICROS,
+                "args": {"unfinished": True},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    target: Union[str, IO[str]],
+    sections: Sequence[Tuple[str, NullTracer]],
+) -> dict:
+    """Serialize :func:`chrome_trace` of ``sections`` to a file; returns it."""
+    document = chrome_trace(sections)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(document, fh)
+    else:
+        json.dump(document, target)
+    return document
+
+
+def utilization_summary(obs: Instrumentation, top: int = 20) -> str:
+    """Plain-text report of one instrumented run.
+
+    Resources are ranked by busy time (simulated seconds with at least one
+    slot held), stores by time-weighted mean level; counters follow in
+    name order.  ``top`` truncates each section.
+    """
+    now = obs.now
+    lines = [f"observability summary @ t={now:.6f}s simulated"]
+
+    resources = []
+    for series_name in obs.metrics.series:
+        if series_name.startswith("resource.busy["):
+            name = series_name[len("resource.busy["):-1]
+            resources.append((obs.resource_busy_time(name), name))
+    resources.sort(key=lambda pair: (-pair[0], pair[1]))
+    if resources:
+        lines.append("resources (by busy time):")
+        for busy, name in resources[:top]:
+            share = 100.0 * busy / now if now > 0 else 0.0
+            occupancy = obs.resource_occupancy(name)
+            acquires = obs.metrics.counters.get(f"resource.acquires[{name}]")
+            queue = obs.metrics.series.get(f"resource.queue[{name}]")
+            lines.append(
+                f"  {name:<28} busy {busy:.6f}s ({share:5.1f}%)"
+                f"  occ {occupancy:.6f} slot*s"
+                f"  acq {int(acquires.value) if acquires else 0}"
+                f"  maxq {int(queue.maximum) if queue else 0}"
+            )
+        if len(resources) > top:
+            lines.append(f"  ... {len(resources) - top} more resources")
+
+    stores = []
+    for series_name, series in obs.metrics.series.items():
+        if series_name.startswith("store.level["):
+            series.finalize(now)
+            name = series_name[len("store.level["):-1]
+            stores.append((series.mean(now), series.maximum, name))
+    stores.sort(key=lambda triple: (-triple[0], triple[2]))
+    if stores:
+        lines.append("stores (by mean level):")
+        for mean, maximum, name in stores[:top]:
+            lines.append(f"  {name:<28} mean {mean:8.3f}  max {int(maximum)}")
+        if len(stores) > top:
+            lines.append(f"  ... {len(stores) - top} more stores")
+
+    gauges = [(name, g) for name, g in sorted(obs.metrics.gauges.items())]
+    if gauges:
+        lines.append("gauges (current / peak):")
+        for name, gauge in gauges[:top]:
+            lines.append(f"  {name:<40} {gauge.value:g} / {gauge.peak:g}")
+
+    counters = [
+        (name, counter.value)
+        for name, counter in sorted(obs.metrics.counters.items())
+        if not name.startswith(("resource.acquires[", "resource.waits[",
+                                "resource.withdrawals["))
+    ]
+    if counters:
+        lines.append("counters:")
+        for name, value in counters:
+            lines.append(f"  {name:<40} {value:g}")
+    return "\n".join(lines)

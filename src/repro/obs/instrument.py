@@ -1,0 +1,211 @@
+"""The instrumentation hub: translates kernel hooks into traces + metrics.
+
+One :class:`Instrumentation` is attached to one
+:class:`~repro.sim.core.Simulator` (``sim.obs``).  The kernel, the resource
+primitives, and the network/engine models call its ``on_*`` hooks — always
+behind an ``if sim.obs.enabled:`` guard, so a simulator carrying
+:data:`NULL_OBS` (the default) pays one attribute check per hook site and
+nothing else.
+
+The hub fans each observation out to
+
+* a :class:`~repro.obs.tracer.Tracer` (timeline records: who held which
+  resource when, process lifetimes, store levels), and
+* a :class:`~repro.obs.metrics.MetricsRegistry` (counters and time-weighted
+  utilization/queue-depth statistics),
+
+either of which may be the null implementation independently.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Simulator
+    from repro.sim.events import Event, Process, Timeout
+    from repro.sim.resources import Request, Resource, Store
+
+
+class NullInstrumentation:
+    """The disabled hub installed on every simulator by default."""
+
+    enabled = False
+    tracer: NullTracer = NULL_TRACER
+    metrics: Optional[MetricsRegistry] = None
+
+    def bind(self, sim: "Simulator") -> None:  # pragma: no cover - never bound
+        pass
+
+
+#: Shared disabled instrumentation (one instance serves every simulator).
+NULL_OBS = NullInstrumentation()
+
+
+class Instrumentation(NullInstrumentation):
+    """An enabled tracer/metrics bundle bound to one simulator.
+
+    Args:
+        tracer: Timeline recorder; defaults to a fresh :class:`Tracer`.
+            Pass :data:`~repro.obs.tracer.NULL_TRACER` for metrics-only
+            instrumentation (much lighter on memory for long runs).
+        metrics: Metric registry; defaults to a fresh registry.
+    """
+
+    enabled = True
+
+    def __init__(self, tracer: Optional[NullTracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.tracer: NullTracer = Tracer() if tracer is None else tracer
+        self.metrics: MetricsRegistry = metrics if metrics is not None else MetricsRegistry()
+        self.sim: Optional["Simulator"] = None
+
+    def bind(self, sim: "Simulator") -> None:
+        """Attach to the simulator whose hooks will feed this hub."""
+        self.sim = sim
+
+    # ------------------------------------------------------------------
+    # Kernel hooks (sim.core / sim.events)
+    # ------------------------------------------------------------------
+    def on_step(self, event: "Event", now: float) -> None:
+        self.metrics.add("sim.events_processed")
+
+    def on_timeout(self, timeout: "Timeout") -> None:
+        self.metrics.add("sim.timeouts_created")
+
+    def on_process_created(self, process: "Process") -> None:
+        self.metrics.add("sim.processes_started")
+        if self.tracer.enabled:
+            self.tracer.span_begin(
+                process.sim.now, f"process:{process.name}", process.name,
+                ident=id(process),
+            )
+
+    def on_process_finished(self, process: "Process", ok: bool) -> None:
+        self.metrics.add("sim.processes_finished")
+        if not ok:
+            self.metrics.add("sim.processes_failed")
+        if self.tracer.enabled:
+            self.tracer.span_end(
+                process.sim.now, f"process:{process.name}", process.name,
+                ident=id(process), args=None if ok else {"failed": True},
+            )
+
+    def on_interrupt(self, process: "Process", cause: Any) -> None:
+        self.metrics.add("sim.interrupts")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                process.sim.now, f"process:{process.name}", "interrupt",
+                args={"cause": repr(cause)},
+            )
+
+    # ------------------------------------------------------------------
+    # Resource hooks (sim.resources)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resource_key(resource: "Resource") -> str:
+        return resource.name or f"resource@{id(resource):#x}"
+
+    def on_resource_wait(self, resource: "Resource") -> None:
+        key = self._resource_key(resource)
+        now = resource.sim.now
+        self.metrics.add(f"resource.waits[{key}]")
+        self.metrics.update_series(f"resource.queue[{key}]", now, resource.queue_length)
+
+    def on_resource_acquire(self, resource: "Resource", request: "Request") -> None:
+        key = self._resource_key(resource)
+        now = resource.sim.now
+        self.metrics.add(f"resource.acquires[{key}]")
+        self.metrics.update_series(f"resource.busy[{key}]", now, resource.count)
+        self.metrics.update_series(f"resource.queue[{key}]", now, resource.queue_length)
+        if self.tracer.enabled:
+            self.tracer.span_begin(now, f"resource:{key}", "hold", ident=id(request))
+
+    def on_resource_release(self, resource: "Resource", request: "Request") -> None:
+        key = self._resource_key(resource)
+        now = resource.sim.now
+        self.metrics.update_series(f"resource.busy[{key}]", now, resource.count)
+        if self.tracer.enabled:
+            self.tracer.span_end(now, f"resource:{key}", "hold", ident=id(request))
+
+    def on_resource_withdraw(self, resource: "Resource") -> None:
+        key = self._resource_key(resource)
+        self.metrics.add(f"resource.withdrawals[{key}]")
+        self.metrics.update_series(
+            f"resource.queue[{key}]", resource.sim.now, resource.queue_length
+        )
+
+    # ------------------------------------------------------------------
+    # Store hooks (sim.resources)
+    # ------------------------------------------------------------------
+    def on_store_level(self, store: "Store") -> None:
+        key = store.name or f"store@{id(store):#x}"
+        now = store.sim.now
+        self.metrics.update_series(f"store.level[{key}]", now, store.size)
+        if self.tracer.enabled:
+            self.tracer.counter(now, f"store:{key}", "size", store.size)
+
+    # ------------------------------------------------------------------
+    # Direct instruments for the models (torus / ethernet / drivers)
+    # ------------------------------------------------------------------
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.metrics.add(name, amount)
+
+    def record_level(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (its peak is retained)."""
+        self.metrics.set_gauge(name, value)
+
+    def instant(self, track: str, name: str, args: Any = None) -> None:
+        """Emit a point trace record at the current simulated time."""
+        if self.tracer.enabled and self.sim is not None:
+            self.tracer.instant(self.sim.now, track, name, args)
+
+    # ------------------------------------------------------------------
+    # Reading back
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now if self.sim is not None else 0.0
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze the metrics at the current simulated time."""
+        return self.metrics.snapshot(self.now)
+
+    def resource_busy_time(self, name: str) -> float:
+        """Total simulated seconds resource ``name`` had >= 1 slot held."""
+        series = self.metrics.series.get(f"resource.busy[{name}]")
+        if series is None:
+            return 0.0
+        series.finalize(self.now)
+        return series.time_at_or_above(1)
+
+    def resource_occupancy(self, name: str) -> float:
+        """Slot-seconds integral of resource ``name`` (busy count over time)."""
+        series = self.metrics.series.get(f"resource.busy[{name}]")
+        if series is None:
+            return 0.0
+        series.finalize(self.now)
+        return series.integral
+
+    def busiest_resource(self, prefix: str = "") -> Tuple[Optional[str], float]:
+        """(name, busy seconds) of the busiest resource matching ``prefix``.
+
+        ``prefix`` filters on the resource name (``"coproc"`` selects the
+        communication co-processors).  Returns ``(None, 0.0)`` when nothing
+        matched.
+        """
+        best: Tuple[Optional[str], float] = (None, 0.0)
+        for series_name in self.metrics.series:
+            if not series_name.startswith("resource.busy["):
+                continue
+            resource_name = series_name[len("resource.busy["):-1]
+            if not resource_name.startswith(prefix):
+                continue
+            busy = self.resource_busy_time(resource_name)
+            if busy > best[1]:
+                best = (resource_name, busy)
+        return best

@@ -1,0 +1,184 @@
+"""Metric primitives over virtual time: counters, gauges, time-weighted stats.
+
+A :class:`MetricsRegistry` holds named metric instruments.  The interesting
+one for a discrete-event simulation is :class:`TimeWeightedStat`: it
+integrates a piecewise-constant level (a resource's busy slot count, a
+store's queue depth) over *simulated* time, so "utilization" and "mean
+queue depth" mean what they do in queueing theory, not "mean over samples".
+
+Names are flat strings; per-entity series use the ``group[key]`` convention
+(``resource.busy[coproc[1]]``), which keeps the registry a plain dictionary
+and makes summaries greppable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class Counter:
+    """A monotonically accumulating value (bytes sent, events processed)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins level, with the historical peak retained."""
+
+    __slots__ = ("value", "peak")
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+        self.peak: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+
+class TimeWeightedStat:
+    """A piecewise-constant level integrated over virtual time.
+
+    ``update(now, value)`` closes the interval the previous level was held
+    for and starts a new one.  The dwell histogram maps each observed level
+    to the total simulated time spent at that level, which is the
+    time-weighted distribution of queue depths / busy counts.
+    """
+
+    __slots__ = ("current", "integral", "maximum", "_last_ts", "_start_ts", "dwell")
+
+    def __init__(self, start_ts: float = 0.0, value: float = 0.0) -> None:
+        self.current = value
+        self.integral = 0.0
+        self.maximum = value
+        self._last_ts = start_ts
+        self._start_ts = start_ts
+        self.dwell: Dict[float, float] = {}
+
+    def update(self, now: float, value: float) -> None:
+        """Record that the level changed to ``value`` at time ``now``."""
+        dt = now - self._last_ts
+        if dt > 0.0:
+            self.integral += self.current * dt
+            self.dwell[self.current] = self.dwell.get(self.current, 0.0) + dt
+        self._last_ts = now
+        self.current = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def finalize(self, now: float) -> None:
+        """Close the open interval at ``now`` (idempotent for a fixed now)."""
+        self.update(now, self.current)
+
+    def elapsed(self, now: Optional[float] = None) -> float:
+        """Observed virtual time span of this series."""
+        end = self._last_ts if now is None else max(now, self._last_ts)
+        return end - self._start_ts
+
+    def mean(self, now: Optional[float] = None) -> float:
+        """Time-weighted mean level over the observed span (0 if empty)."""
+        span = self.elapsed(now)
+        if span <= 0.0:
+            return self.current
+        integral = self.integral
+        if now is not None and now > self._last_ts:
+            integral += self.current * (now - self._last_ts)
+        return integral / span
+
+    def time_at_or_above(self, level: float) -> float:
+        """Total closed-interval time the level was >= ``level``."""
+        return sum(t for v, t in self.dwell.items() if v >= level)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A plain-data summary of a registry at one point in virtual time."""
+
+    now: float
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    peaks: Dict[str, float] = field(default_factory=dict)
+    time_weighted: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def peak(self, name: str) -> float:
+        return self.peaks.get(name, 0.0)
+
+
+class MetricsRegistry:
+    """A flat namespace of counters, gauges, and time-weighted stats."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.series: Dict[str, TimeWeightedStat] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (create on first use)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        try:
+            return self.counters[name]
+        except KeyError:
+            instrument = self.counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self.gauges[name]
+        except KeyError:
+            instrument = self.gauges[name] = Gauge()
+            return instrument
+
+    def time_weighted(self, name: str, start_ts: float = 0.0,
+                      value: float = 0.0) -> TimeWeightedStat:
+        try:
+            return self.series[name]
+        except KeyError:
+            instrument = self.series[name] = TimeWeightedStat(start_ts, value)
+            return instrument
+
+    # ------------------------------------------------------------------
+    # Convenience mutators
+    # ------------------------------------------------------------------
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).add(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def update_series(self, name: str, now: float, value: float) -> None:
+        self.time_weighted(name, start_ts=now).update(now, value)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self, now: float) -> MetricsSnapshot:
+        """Freeze the registry into plain data, closing open intervals."""
+        for series in self.series.values():
+            series.finalize(now)
+        return MetricsSnapshot(
+            now=now,
+            counters={name: c.value for name, c in self.counters.items()},
+            gauges={name: g.value for name, g in self.gauges.items()},
+            peaks={name: g.peak for name, g in self.gauges.items()},
+            time_weighted={
+                name: {
+                    "mean": s.mean(now),
+                    "max": s.maximum,
+                    "integral": s.integral,
+                    "current": s.current,
+                }
+                for name, s in self.series.items()
+            },
+        )

@@ -24,6 +24,7 @@ import heapq
 from itertools import count
 from typing import Any, Generator, List, Optional, Tuple
 
+from repro.obs.instrument import NULL_OBS, NullInstrumentation
 from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
 from repro.util.errors import SimulationError
 
@@ -37,11 +38,17 @@ _NORMAL = 1
 class Simulator:
     """A deterministic discrete-event simulation scheduler."""
 
-    def __init__(self):
+    def __init__(self, obs: Optional[NullInstrumentation] = None):
         self._now: float = 0.0
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._sequence = count()
         self._active_process: Optional[Process] = None
+        # Observability hub; NULL_OBS.enabled is False, so every hook site
+        # reduces to one attribute check when no instrumentation was asked
+        # for (the null hub is shared by all uninstrumented simulators).
+        self.obs: NullInstrumentation = obs if obs is not None else NULL_OBS
+        if self.obs.enabled:
+            self.obs.bind(self)
 
     @property
     def now(self) -> float:
@@ -103,6 +110,8 @@ class Simulator:
         if when < self._now:
             raise SimulationError("event scheduled in the past (scheduler bug)")
         self._now = when
+        if self.obs.enabled:
+            self.obs.on_step(event, when)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

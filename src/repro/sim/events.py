@@ -118,6 +118,8 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         sim._schedule(self, delay=delay)
+        if sim.obs.enabled:
+            sim.obs.on_timeout(self)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r}>"
@@ -162,6 +164,8 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._target: Optional[Event] = Initialize(sim, self)
+        if sim.obs.enabled:
+            sim.obs.on_process_created(self)
 
     @property
     def is_alive(self) -> bool:
@@ -182,6 +186,8 @@ class Process(Event):
         interrupt_event._defused = True  # failure is delivered, never unhandled
         interrupt_event.callbacks.append(self._resume)
         self.sim._schedule(interrupt_event, priority=True)
+        if self.sim.obs.enabled:
+            self.sim.obs.on_interrupt(self, cause)
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value (or exception) of ``event``."""
@@ -210,12 +216,16 @@ class Process(Event):
             self._ok = True
             self._value = stop.value
             self.sim._schedule(self)
+            if self.sim.obs.enabled:
+                self.sim.obs.on_process_finished(self, ok=True)
             return
         except BaseException as exc:  # noqa: BLE001 - process bodies may raise anything
             self.sim._active_process = None
             self._ok = False
             self._value = exc
             self.sim._schedule(self)
+            if self.sim.obs.enabled:
+                self.sim.obs.on_process_finished(self, ok=False)
             return
         self.sim._active_process = None
         if not isinstance(next_event, Event):

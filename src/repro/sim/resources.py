@@ -78,8 +78,12 @@ class Resource:
         if len(self._users) < self.capacity:
             self._users.append(req)
             req.succeed(req)
+            if self.sim.obs.enabled:
+                self.sim.obs.on_resource_acquire(self, req)
         else:
             self._waiting.append(req)
+            if self.sim.obs.enabled:
+                self.sim.obs.on_resource_wait(self)
         return req
 
     def release(self, request: Request) -> None:
@@ -94,16 +98,22 @@ class Resource:
         except ValueError:
             self._withdraw(request)
             return
+        if self.sim.obs.enabled:
+            self.sim.obs.on_resource_release(self, request)
         while self._waiting and len(self._users) < self.capacity:
             nxt = self._waiting.popleft()
             self._users.append(nxt)
             nxt.succeed(nxt)
+            if self.sim.obs.enabled:
+                self.sim.obs.on_resource_acquire(self, nxt)
 
     def _withdraw(self, request: Request) -> None:
         try:
             self._waiting.remove(request)
         except ValueError:
-            pass
+            return
+        if self.sim.obs.enabled:
+            self.sim.obs.on_resource_withdraw(self)
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
@@ -139,6 +149,8 @@ class Store:
             self._items.append(item)
             event.succeed()
             self._serve_getters()
+            if self.sim.obs.enabled:
+                self.sim.obs.on_store_level(self)
         else:
             self._putters.append(event)
         return event
@@ -149,20 +161,30 @@ class Store:
         if self._items:
             event.succeed(self._items.popleft())
             self._serve_putters()
+            if self.sim.obs.enabled:
+                self.sim.obs.on_store_level(self)
         else:
             self._getters.append(event)
         return event
 
     def _serve_getters(self) -> None:
+        served = False
         while self._getters and self._items:
             self._getters.popleft().succeed(self._items.popleft())
+            served = True
+        if served and self.sim.obs.enabled:
+            self.sim.obs.on_store_level(self)
 
     def _serve_putters(self) -> None:
+        served = False
         while self._putters and len(self._items) < self.capacity:
             putter = self._putters.popleft()
             self._items.append(putter.item)
             putter.succeed()
             self._serve_getters()
+            served = True
+        if served and self.sim.obs.enabled:
+            self.sim.obs.on_store_level(self)
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""

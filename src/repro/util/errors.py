@@ -33,6 +33,11 @@ class AllocationError(ReproError):
     """
 
 
+class MeasurementError(ReproError):
+    """A bandwidth measurement produced an unusable sample (e.g. a run that
+    finished in zero simulated time, making bandwidth undefined)."""
+
+
 class QueryError(ReproError):
     """Base class for all SCSQL query-pipeline errors."""
 

@@ -1,9 +1,13 @@
 """Unit tests for the bandwidth-measurement harness."""
 
+import math
+
 import pytest
 
 from repro.core.measurement import measure_query_bandwidth
 from repro.engine.settings import ExecutionSettings
+from repro.obs import Instrumentation
+from repro.obs.tracer import NULL_TRACER
 
 QUERY = (
     "select extract(b) from sp a, sp b "
@@ -57,3 +61,47 @@ class TestMeasureQueryBandwidth:
     def test_str_rendering(self):
         result = measure_query_bandwidth(QUERY, PAYLOAD, repeats=1)
         assert "Mbps" in str(result)
+
+    def test_single_repeat_statistics_are_finite(self):
+        """repeats=1 must not produce NaN std or a divide-by-zero."""
+        result = measure_query_bandwidth(QUERY, PAYLOAD, repeats=1)
+        assert len(result.mbps.samples) == 1
+        assert result.mbps.std == 0.0
+        assert result.mbps.relative_std == 0.0
+        assert math.isfinite(result.mean_mbps) and result.mean_mbps > 0
+        assert result.observations == []  # unobserved by default
+
+
+class TestObservedMeasurement:
+    def test_one_instrumentation_per_repeat(self):
+        created = []
+
+        def factory(k):
+            obs = Instrumentation(tracer=NULL_TRACER)
+            created.append((k, obs))
+            return obs
+
+        result = measure_query_bandwidth(
+            QUERY, PAYLOAD, repeats=3, obs_factory=factory
+        )
+        assert [k for k, _obs in created] == [0, 1, 2]
+        assert result.observations == [obs for _k, obs in created]
+        for obs in result.observations:
+            assert obs.snapshot().counter("sim.events_processed") > 0
+            assert obs.resource_busy_time("coproc[0]") > 0.0
+
+    def test_report_carries_metrics_snapshot(self):
+        result = measure_query_bandwidth(
+            QUERY, PAYLOAD, repeats=2,
+            obs_factory=lambda k: Instrumentation(tracer=NULL_TRACER),
+        )
+        for report, obs in zip(result.reports, result.observations):
+            assert report.metrics is not None
+            assert report.metrics.counter("torus.payload_bytes") == PAYLOAD
+            # frozen at the end of the whole simulated run, which spans at
+            # least the measured query duration
+            assert report.metrics.now >= report.duration
+
+    def test_unobserved_reports_have_no_metrics(self):
+        result = measure_query_bandwidth(QUERY, PAYLOAD, repeats=1)
+        assert result.reports[0].metrics is None

@@ -1,0 +1,55 @@
+"""Fast ordinal shape checks: one repeat, minimal sweeps, seconds not minutes.
+
+The full shape suites (``test_fig6_shape.py`` etc.) sweep several points
+with repeats; these single-repeat variants only pin the *ordering* claims —
+each figure's headline comparison — so a broken mechanism is caught even in
+the quickest test run.
+"""
+
+import pytest
+
+from repro.core.experiments import run_fig6, run_fig8, run_fig15
+
+
+class TestFig6Ordinal:
+    def test_knee_at_one_kilobyte(self):
+        fig6 = run_fig6(
+            buffer_sizes=(200, 1000, 100_000),
+            repeats=1,
+            target_buffers=200,
+        )
+        assert fig6.optimum(False).buffer_bytes == 1000
+        assert fig6.optimum(True).buffer_bytes == 1000
+
+
+class TestFig8Ordinal:
+    def test_balanced_selection_beats_sequential(self):
+        fig8 = run_fig8(
+            buffer_sizes=(200_000,),
+            repeats=1,
+            target_buffers=150,
+        )
+        for double in (False, True):
+            (sequential,) = fig8.curve(False, double)
+            (balanced,) = fig8.curve(True, double)
+            assert balanced.mbps > sequential.mbps
+        assert fig8.balanced_advantage() > 1.2
+
+
+class TestFig15Ordinal:
+    @pytest.fixture(scope="class")
+    def fig15(self):
+        return run_fig15(
+            stream_counts=(4, 5),
+            queries=(1, 5),
+            repeats=1,
+            array_count=3,
+        )
+
+    def test_query5_dips_when_io_nodes_are_shared(self, fig15):
+        # n=5: a fifth receiving pset shares one of the four I/O nodes.
+        assert fig15.at(5, 4).mbps > fig15.at(5, 5).mbps
+
+    def test_spread_psets_beat_single_io_node(self, fig15):
+        # Query 5 (psetrr) uses four I/O nodes; Query 1 funnels through one.
+        assert fig15.at(5, 4).mbps > fig15.at(1, 4).mbps

@@ -1,0 +1,74 @@
+"""The --trace / --metrics-out CLI flags, exercised in-process."""
+
+import json
+
+from repro.__main__ import main
+
+QUERY = (
+    "select extract(b) from sp a, sp b "
+    "where b=sp(count(extract(a)), 'bg', 0) "
+    "and a=sp(gen_array(10000,3), 'bg', 1);"
+)
+
+
+def _trace_is_valid_chrome(path: str) -> dict:
+    document = json.load(open(path, encoding="utf-8"))
+    assert isinstance(document["traceEvents"], list)
+    assert document["traceEvents"], "trace must not be empty"
+    phases = {event["ph"] for event in document["traceEvents"]}
+    assert "M" in phases and "X" in phases
+    for event in document["traceEvents"]:
+        assert "pid" in event and "tid" in event
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+    return document
+
+
+def test_query_trace_and_metrics(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main([
+        "query", QUERY, "--trace", str(trace), "--metrics-out", "-",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "result: [3]" in out
+    assert "observability summary" in out
+    assert "coproc[0]" in out  # the receiving node's co-processor showed up
+    _trace_is_valid_chrome(str(trace))
+
+
+def test_query_jsonl_trace(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    metrics = tmp_path / "metrics.txt"
+    assert main([
+        "query", QUERY, "--trace", str(trace), "--metrics-out", str(metrics),
+    ]) == 0
+    lines = [json.loads(line) for line in open(trace, encoding="utf-8")]
+    assert lines[0] == {"section": "query"}
+    kinds = {line.get("kind") for line in lines[1:]}
+    assert {"span_begin", "span_end"} <= kinds
+    assert "observability summary" in metrics.read_text(encoding="utf-8")
+
+
+def test_query_metrics_only_skips_tracing(tmp_path, capsys):
+    assert main(["query", QUERY, "--metrics-out", "-"]) == 0
+    out = capsys.readouterr().out
+    assert "observability summary" in out
+    assert "sim.events_processed" in out
+
+
+def test_fig8_run_exports_valid_trace(tmp_path, capsys):
+    """Acceptance: a traced Figure 8 run produces a loadable Chrome trace."""
+    trace = tmp_path / "fig8.json"
+    assert main([
+        "fig8", "--quick", "--repeats", "1", "--trace", str(trace),
+    ]) == 0
+    document = _trace_is_valid_chrome(str(trace))
+    names = {
+        event["args"]["name"]
+        for event in document["traceEvents"]
+        if event["ph"] == "M" and event["name"] == "process_name"
+    }
+    # one trace process per (point, repeat) with a descriptive label
+    assert any(name.startswith("fig8 B=1000 seq/single") for name in names)
+    assert any(name.startswith("fig8 B=200000 bal/double") for name in names)
+    assert "balanced advantage" in capsys.readouterr().out

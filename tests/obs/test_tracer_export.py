@@ -1,0 +1,155 @@
+"""Tracer record semantics and the Chrome trace / JSON-lines exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    trace_record_dict,
+    utilization_summary,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.obs.instrument import Instrumentation
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.span_begin(0.0, "resource:link", "hold", ident=1)
+    tracer.span_end(2.5, "resource:link", "hold", ident=1)
+    tracer.instant(1.0, "process:rx", "interrupt", args={"cause": "stop"})
+    tracer.counter(3.0, "store:inbox", "size", 4)
+    return tracer
+
+
+class TestTracer:
+    def test_records_accumulate_in_order(self):
+        tracer = _sample_tracer()
+        assert len(tracer) == 4
+        kinds = [r.kind for r in tracer]
+        assert kinds == ["span_begin", "span_end", "instant", "counter"]
+
+    def test_null_tracer_is_inert(self):
+        NULL_TRACER.span_begin(0.0, "t", "n", ident=1)
+        NULL_TRACER.instant(0.0, "t", "n")
+        NULL_TRACER.counter(0.0, "t", "n", 1)
+        assert len(NULL_TRACER) == 0
+        assert list(NULL_TRACER) == []
+        assert not NULL_TRACER.enabled
+        assert isinstance(Tracer(), NullTracer)  # substitutable
+
+
+class TestJsonLines:
+    def test_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        path = str(tmp_path / "trace.jsonl")
+        count = write_trace_jsonl(path, tracer)
+        assert count == 4
+        lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+        assert lines[0] == {
+            "ts": 0.0, "kind": "span_begin", "track": "resource:link",
+            "name": "hold", "id": 1,
+        }
+        assert lines[2]["args"] == {"cause": "stop"}
+        assert lines[3]["args"] == 4
+
+    def test_accepts_file_handle(self):
+        buffer = io.StringIO()
+        assert write_trace_jsonl(buffer, _sample_tracer()) == 4
+        assert len(buffer.getvalue().splitlines()) == 4
+
+    def test_record_dict_omits_empty_fields(self):
+        record = next(iter(_sample_tracer()))
+        assert "args" not in trace_record_dict(record)
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        document = chrome_trace([("run", _sample_tracer())])
+        assert document["displayTimeUnit"] == "ms"
+        json.dumps(document)  # must be serializable as-is
+
+    def test_span_pair_becomes_complete_event(self):
+        document = chrome_trace([("run", _sample_tracer())])
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 1
+        (event,) = complete
+        assert event["ts"] == 0.0
+        assert event["dur"] == pytest.approx(2.5e6)  # seconds -> microseconds
+        assert event["cat"] == "resource"
+
+    def test_metadata_names_processes_and_threads(self):
+        document = chrome_trace([("alpha", _sample_tracer()),
+                                 ("beta", Tracer())])
+        meta = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        process_names = {e["pid"]: e["args"]["name"] for e in meta
+                         if e["name"] == "process_name"}
+        assert process_names == {1: "alpha", 2: "beta"}
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert thread_names == {"resource:link", "process:rx", "store:inbox"}
+
+    def test_instant_and_counter_events(self):
+        document = chrome_trace([("run", _sample_tracer())])
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert instants[0]["name"] == "interrupt"
+        assert instants[0]["s"] == "t"
+        assert counters[0]["args"] == {"size": 4}
+
+    def test_unclosed_span_is_flushed_at_last_timestamp(self):
+        tracer = Tracer()
+        tracer.span_begin(1.0, "process:main", "main", ident=7)
+        tracer.counter(5.0, "store:x", "size", 0)  # advances last_ts
+        document = chrome_trace([("run", tracer)])
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 1
+        assert complete[0]["args"] == {"unfinished": True}
+        assert complete[0]["dur"] == pytest.approx(4.0e6)
+
+    def test_durations_never_negative(self):
+        document = chrome_trace([("run", _sample_tracer())])
+        for event in document["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+    def test_write_to_file(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        document = write_chrome_trace(path, [("run", _sample_tracer())])
+        on_disk = json.load(open(path, encoding="utf-8"))
+        assert on_disk == json.loads(json.dumps(document))
+
+
+class TestUtilizationSummary:
+    def test_reports_resources_stores_and_counters(self):
+        obs = Instrumentation()
+        sim = Simulator(obs=obs)
+        link = Resource(sim, capacity=1, name="link[a->b]")
+
+        def worker():
+            with link.request() as req:
+                yield req
+                yield sim.timeout(2.0)
+
+        sim.process(worker())
+        sim.run()
+        obs.add("torus.wire_bytes", 1024)
+        obs.record_level("ethernet.io_connections[0]", 2)
+        text = utilization_summary(obs)
+        assert "link[a->b]" in text
+        assert "busy 2.000000s" in text
+        assert "torus.wire_bytes" in text
+        assert "ethernet.io_connections[0]" in text
+        # per-resource acquire counters are noise and stay out of the report
+        assert "resource.acquires[" not in text
+
+    def test_empty_run_has_no_divisions_by_zero(self):
+        obs = Instrumentation()
+        Simulator(obs=obs)
+        text = utilization_summary(obs)
+        assert "t=0.000000s" in text

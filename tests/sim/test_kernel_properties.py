@@ -1,0 +1,162 @@
+"""Property-based kernel invariants, cross-checked through the metrics layer.
+
+These complement ``test_sim_properties.py``: where those assert invariants
+with ad-hoc counters inside the test processes, these lean on the
+observability hooks — if the instrumentation and the kernel disagree, one
+of them is wrong.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Instrumentation
+from repro.obs.tracer import NULL_TRACER
+from repro.sim import Interrupt, Resource, Simulator, Store
+
+
+def _metrics_sim():
+    obs = Instrumentation(tracer=NULL_TRACER)
+    return Simulator(obs=obs), obs
+
+
+@given(count=st.integers(2, 30), delay=st.floats(min_value=0.0, max_value=10.0))
+@settings(max_examples=100, deadline=None)
+def test_same_timestamp_ties_fire_in_creation_order(count, delay):
+    """Events scheduled for the same instant fire in insertion order."""
+    sim = Simulator()
+    order = []
+
+    def waiter(index):
+        yield sim.timeout(delay)
+        order.append(index)
+
+    for index in range(count):
+        sim.process(waiter(index))
+    sim.run()
+    assert order == list(range(count))
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                       min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_timeouts_fire_exactly_once(delays):
+    """Every timeout delivers exactly one wake-up, tallied by the metrics."""
+    sim, obs = _metrics_sim()
+    fired = []
+
+    def waiter(delay):
+        yield sim.timeout(delay)
+        fired.append(delay)
+
+    for delay in delays:
+        sim.process(waiter(delay))
+    sim.run()
+    assert sorted(fired) == sorted(delays)
+    snap = obs.snapshot()
+    assert snap.counter("sim.timeouts_created") == len(delays)
+    assert snap.counter("sim.processes_finished") == len(delays)
+
+
+@given(victims=st.integers(1, 10), seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_interrupts_fire_exactly_once_per_victim(victims, seed):
+    """Each interrupted process sees Interrupt once, at the interrupt time."""
+    sim, obs = _metrics_sim()
+    rng = random.Random(seed)
+    caught = []
+
+    def sleeper(index):
+        try:
+            yield sim.timeout(1000.0)
+            raise AssertionError("interrupt never arrived")
+        except Interrupt as interrupt:
+            caught.append((index, interrupt.cause, sim.now))
+        # an interrupted process keeps running afterwards
+        yield sim.timeout(1.0)
+
+    processes = [sim.process(sleeper(i), name=f"sleeper{i}")
+                 for i in range(victims)]
+
+    def killer():
+        for index, victim in enumerate(processes):
+            yield sim.timeout(rng.uniform(0.1, 5.0))
+            victim.interrupt(cause=index)
+
+    sim.process(killer(), name="killer")
+    sim.run()
+    assert len(caught) == victims
+    assert sorted(index for index, _cause, _ts in caught) == list(range(victims))
+    assert all(cause == index for index, cause, _ts in caught)
+    snap = obs.snapshot()
+    assert snap.counter("sim.interrupts") == victims
+    assert snap.counter("sim.processes_failed") == 0
+
+
+@given(
+    holds=st.lists(st.floats(min_value=0.01, max_value=10.0),
+                   min_size=1, max_size=30),
+    starts=st.lists(st.floats(min_value=0.0, max_value=5.0),
+                    min_size=1, max_size=30),
+    capacity=st.integers(1, 4),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_busy_series_never_exceeds_capacity(holds, starts, capacity):
+    """The instrumented busy level proves capacity was never exceeded."""
+    sim, obs = _metrics_sim()
+    resource = Resource(sim, capacity=capacity, name="dev")
+
+    def worker(start, hold):
+        yield sim.timeout(start)
+        with resource.request() as request:
+            yield request
+            yield sim.timeout(hold)
+
+    jobs = [(start, hold) for start, hold in zip(starts, holds)]
+    for start, hold in jobs:
+        sim.process(worker(start, hold))
+    sim.run()
+    busy = obs.metrics.series["resource.busy[dev]"]
+    busy.finalize(sim.now)
+    assert busy.maximum <= capacity
+    assert busy.current == 0  # everything released
+    snap = obs.snapshot()
+    assert snap.counter("resource.acquires[dev]") == len(jobs)
+    # conservation: every job held for its full duration
+    assert busy.integral > 0
+    expected = sum(hold for _start, hold in jobs)
+    assert abs(busy.integral - expected) < 1e-6 * max(1.0, expected)
+
+
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=60),
+    capacity=st.integers(1, 6),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_store_level_bounded_by_capacity(items, capacity, seed):
+    """The observed store level never exceeds capacity, at any schedule."""
+    sim, obs = _metrics_sim()
+    store = Store(sim, capacity=capacity, name="box")
+    rng = random.Random(seed)
+    received = []
+
+    def producer():
+        for item in items:
+            yield sim.timeout(rng.uniform(0.0, 1.0))
+            yield store.put(item)
+
+    def consumer():
+        for _ in range(len(items)):
+            yield sim.timeout(rng.uniform(0.0, 2.0))
+            received.append((yield store.get()))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == items
+    level = obs.metrics.series["store.level[box]"]
+    level.finalize(sim.now)
+    assert level.maximum <= capacity
+    assert level.current == 0

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.engine",
     "repro.engine.operators",
     "repro.coordinator",
+    "repro.obs",
     "repro.scsql",
     "repro.optimizer",
     "repro.core",

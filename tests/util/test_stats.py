@@ -37,6 +37,21 @@ class TestSummarize:
     def test_str_rendering(self):
         assert "n=2" in str(summarize([1.0, 2.0]))
 
+    def test_zero_variance(self):
+        """Identical repeats: a plain zero std, not NaN from rounding."""
+        stats = summarize([3.7] * 5)
+        assert stats.mean == 3.7
+        assert stats.std == 0.0
+        assert stats.relative_std == 0.0
+        assert not math.isnan(stats.std)
+
+    def test_single_sample_relative_std(self):
+        # one repeat: std is defined as 0, so relative_std must not divide
+        # by a zero-sample count or return NaN
+        stats = summarize([0.0])
+        assert stats.std == 0.0
+        assert stats.relative_std == 0.0
+
 
 @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
 def test_bounds_hold(samples):
