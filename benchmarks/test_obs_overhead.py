@@ -6,7 +6,11 @@ show what enabling metrics or full tracing costs (which is allowed to be
 substantial: it is opt-in).
 """
 
+from repro.core.experiments.fig6 import point_to_point_query
+from repro.core.measurement import measure_query_bandwidth
+from repro.engine.settings import ExecutionSettings
 from repro.obs import Instrumentation
+from repro.obs.flow import NULL_FLOWS
 from repro.obs.tracer import NULL_TRACER
 from repro.sim import Resource, Simulator, Store
 
@@ -48,3 +52,44 @@ def test_kernel_throughput_metrics_only(benchmark):
 def test_kernel_throughput_full_tracing(benchmark):
     """Metrics plus a full timeline trace — the heavyweight opt-in."""
     benchmark(lambda: _pingpong(Simulator(obs=Instrumentation())))
+
+
+# ----------------------------------------------------------------------
+# Flow-tracing overhead (PR 2): the flow hooks live in the engine drivers
+# and network models, so they are exercised with a real query run, not a
+# kernel ping-pong.  Disabled flows must stay within noise of PR 1's
+# metrics-only instrumentation: each hook site is one attribute access
+# plus a falsy ``enabled`` check on the shared NULL_FLOWS singleton.
+# ----------------------------------------------------------------------
+def _measured_query(obs_factory):
+    return measure_query_bandwidth(
+        point_to_point_query(20_000, 8),
+        payload_bytes=20_000 * 8,
+        settings=ExecutionSettings(mpi_buffer_bytes=20_000),
+        repeats=1,
+        obs_factory=obs_factory,
+    )
+
+
+def test_query_uninstrumented(benchmark):
+    """Baseline: no Instrumentation at all (NULL_OBS hub)."""
+    benchmark(lambda: _measured_query(None))
+
+
+def test_query_metrics_flows_disabled(benchmark):
+    """PR-1 shape: metrics on, flow tracing explicitly off.
+
+    Comparing against ``test_query_flows_enabled`` isolates the cost of
+    the recorder itself; comparing against ``test_query_uninstrumented``
+    bounds the cost of the disabled hooks.
+    """
+    benchmark(lambda: _measured_query(
+        lambda _k: Instrumentation(tracer=NULL_TRACER, flows=NULL_FLOWS)
+    ))
+
+
+def test_query_flows_enabled(benchmark):
+    """Full flow tracing: per-hop records on every buffer (opt-in)."""
+    benchmark(lambda: _measured_query(
+        lambda _k: Instrumentation(tracer=NULL_TRACER)
+    ))

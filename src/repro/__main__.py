@@ -2,23 +2,34 @@
 
 Usage::
 
-    python -m repro fig6 [--repeats N] [--quick] [--trace T] [--metrics-out M]
-    python -m repro fig8 [--repeats N] [--quick] [--trace T] [--metrics-out M]
-    python -m repro fig15 [--repeats N] [--quick] [--trace T] [--metrics-out M]
-    python -m repro ablations [--repeats N] [--quick]
-    python -m repro scaling [--repeats N] [--quick]
+    python -m repro fig6 [--repeats N] [--quick] [OBS FLAGS]
+    python -m repro fig8 [--repeats N] [--quick] [OBS FLAGS]
+    python -m repro fig15 [--repeats N] [--quick] [OBS FLAGS]
+    python -m repro ablations [--repeats N] [--quick] [OBS FLAGS]
+    python -m repro scaling [--repeats N] [--quick] [OBS FLAGS]
     python -m repro all [--repeats N] [--quick]
-    python -m repro query 'select ...;' [--trace T] [--metrics-out M]
+    python -m repro query 'select ...;' [OBS FLAGS]
+    python -m repro bench [--out B.json] [--baseline B.json]
+                          [--tolerance PCT] [--warn-only]
 
 ``--quick`` runs a reduced sweep (seconds instead of minutes).  ``query``
 executes one SCSQL statement on a fresh default environment and prints the
 result and placements.
 
-``--trace PATH`` records every simulated run and writes a Chrome
-``trace_event`` file (open it at ``chrome://tracing`` or
+Observability flags (``OBS FLAGS``): ``--trace PATH`` records every
+simulated run and writes a Chrome ``trace_event`` file with per-flow hop
+lanes and flow arrows (open it at ``chrome://tracing`` or
 https://ui.perfetto.dev); a path ending in ``.jsonl`` writes raw JSON-lines
 records instead.  ``--metrics-out PATH`` writes plain-text utilization
-summaries (``-`` prints to stdout).  See ``docs/observability.md``.
+summaries (``-`` prints to stdout).  ``--bottlenecks PATH`` runs the
+critical-path profiler over the collected flows and writes the ranked
+report (``.json`` for machine-readable, ``-`` for stdout).
+
+``bench`` is the perf-regression gate: it records the fast figure-sweep
+bandwidths and flow-latency percentiles to a BENCH JSON file and/or
+compares them against a committed baseline, exiting non-zero on a
+regression (``--warn-only`` reports without failing).  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -36,14 +47,24 @@ from repro.core.experiments import (
     run_node_selection_ablation,
     run_scaling_study,
 )
-from repro.obs import Instrumentation, utilization_summary
+from repro.obs import Instrumentation, profile, utilization_summary
 from repro.obs.export import write_chrome_trace, write_trace_jsonl
+from repro.obs.flow import NULL_FLOWS
 from repro.obs.tracer import NULL_TRACER
 from repro.scsql.session import SCSQSession
 
 
 def _wants_observation(args) -> bool:
-    return bool(getattr(args, "trace", None) or getattr(args, "metrics_out", None))
+    return bool(
+        getattr(args, "trace", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "bottlenecks", None)
+    )
+
+
+def _wants_flows(args) -> bool:
+    """Flow tracing is recorded for traces and bottleneck reports only."""
+    return bool(getattr(args, "trace", None) or getattr(args, "bottlenecks", None))
 
 
 def _obs_factory(args):
@@ -51,15 +72,16 @@ def _obs_factory(args):
     if not _wants_observation(args):
         return None
     tracing = bool(getattr(args, "trace", None))
+    flows = None if _wants_flows(args) else NULL_FLOWS
 
     def factory(_repeat: int) -> Instrumentation:
-        return Instrumentation(tracer=None if tracing else NULL_TRACER)
+        return Instrumentation(tracer=None if tracing else NULL_TRACER, flows=flows)
 
     return factory
 
 
 def _export_observations(args, sections: List[Tuple[str, Instrumentation]]) -> None:
-    """Write the collected instrumentations per the --trace/--metrics-out flags."""
+    """Write the collected instrumentations per the observability flags."""
     trace_path = getattr(args, "trace", None)
     if trace_path:
         if trace_path.endswith(".jsonl"):
@@ -71,7 +93,13 @@ def _export_observations(args, sections: List[Tuple[str, Instrumentation]]) -> N
             print(f"trace: {lines} records -> {trace_path} (JSON-lines)")
         else:
             document = write_chrome_trace(
-                trace_path, [(label, obs.tracer) for label, obs in sections]
+                trace_path,
+                [(label, obs.tracer) for label, obs in sections],
+                [
+                    (label, obs.flows)
+                    for label, obs in sections
+                    if obs.flows.enabled and obs.flows.completed
+                ],
             )
             print(
                 f"trace: {len(document['traceEvents'])} events -> {trace_path} "
@@ -88,6 +116,18 @@ def _export_observations(args, sections: List[Tuple[str, Instrumentation]]) -> N
             with open(metrics_path, "w", encoding="utf-8") as fh:
                 fh.write(text + "\n")
             print(f"metrics: {len(sections)} run summaries -> {metrics_path}")
+    bottlenecks_path = getattr(args, "bottlenecks", None)
+    if bottlenecks_path:
+        report = profile([obs for _label, obs in sections])
+        if bottlenecks_path == "-":
+            print(report.format_text())
+        elif bottlenecks_path.endswith(".json"):
+            report.write_json(bottlenecks_path)
+            print(f"bottlenecks: {report.flows} flows profiled -> {bottlenecks_path}")
+        else:
+            with open(bottlenecks_path, "w", encoding="utf-8") as fh:
+                fh.write(report.format_text() + "\n")
+            print(f"bottlenecks: {report.flows} flows profiled -> {bottlenecks_path}")
 
 
 def _json_str(value: str) -> str:
@@ -168,6 +208,7 @@ def _ablations(args) -> None:
         stream_counts=(4,) if args.quick else (2, 4, 6, 8),
         repeats=args.repeats,
         count=4 if args.quick else 10,
+        obs_factory=_obs_factory(args),
     )
     print(selection.format_table())
     print()
@@ -176,8 +217,22 @@ def _ablations(args) -> None:
         if args.quick
         else (500, 1000, 2000, 10_000, 100_000, 1_000_000),
         repeats=args.repeats,
+        obs_factory=_obs_factory(args),
     )
     print(buffers.format_table())
+    if _wants_observation(args):
+        sections = [
+            (f"ablation selector={r.selector_name} n={r.n} r{i}", obs)
+            for r in selection.results
+            for i, obs in enumerate(r.observations)
+        ]
+        sections.extend(
+            (f"ablation buffers {pattern} B={size} r{i}", obs)
+            for pattern, table in (("p2p", buffers.p2p), ("merge", buffers.merge))
+            for size, result in sorted(table.items())
+            for i, obs in enumerate(result.observations)
+        )
+        _export_observations(args, sections)
 
 
 def _scaling(args) -> None:
@@ -186,8 +241,19 @@ def _scaling(args) -> None:
         **({} if partitions is None else {"partitions": partitions}),
         repeats=args.repeats,
         array_count=3 if args.quick else 5,
+        obs_factory=_obs_factory(args),
     )
     print(study.format_table())
+    if _wants_observation(args):
+        _export_observations(args, [
+            (
+                f"scaling Q{p.query_number} io={p.num_io_nodes} "
+                f"uplink={p.uplink_gbps:g}G r{i}",
+                obs,
+            )
+            for p in study.points
+            for i, obs in enumerate(p.result.observations)
+        ])
 
 
 def _all(args) -> None:
@@ -209,7 +275,10 @@ def _query(args) -> None:
     if _wants_observation(args):
         from repro.hardware.environment import Environment, EnvironmentConfig
 
-        obs = Instrumentation(tracer=None if args.trace else NULL_TRACER)
+        obs = Instrumentation(
+            tracer=None if args.trace else NULL_TRACER,
+            flows=None if _wants_flows(args) else NULL_FLOWS,
+        )
         session = SCSQSession(Environment(EnvironmentConfig(), obs=obs))
     else:
         session = SCSQSession()
@@ -231,16 +300,54 @@ def _explain(args) -> None:
     print(SCSQSession().explain(args.text))
 
 
+def _bench(args) -> int:
+    from repro.core.bench import (
+        compare_bench,
+        format_comparison,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    if not args.out and not args.baseline:
+        print("bench: nothing to do (pass --out and/or --baseline)",
+              file=sys.stderr)
+        return 2
+    metrics = run_bench(repeats=args.repeats, progress=print)
+    if args.out:
+        write_bench(args.out, metrics, repeats=args.repeats)
+        print(f"bench: {len(metrics)} metrics -> {args.out}")
+    if args.baseline:
+        baseline = load_bench(args.baseline)
+        deltas, new_metrics = compare_bench(
+            baseline, metrics, tolerance_pct=args.tolerance
+        )
+        print(format_comparison(deltas, new_metrics))
+        if any(delta.regressed for delta in deltas):
+            if args.warn_only:
+                print("bench: regression detected (warn-only, not failing)")
+                return 0
+            return 1
+    return 0
+
+
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", metavar="PATH", default=None,
         help="record every simulated run; writes a Chrome trace_event JSON "
-             "file (.jsonl extension switches to raw JSON-lines records)",
+             "file with flow arrows (.jsonl extension switches to raw "
+             "JSON-lines records)",
     )
     parser.add_argument(
         "--metrics-out", metavar="PATH", default=None,
         help="write plain-text utilization summaries of every run "
              "('-' prints to stdout)",
+    )
+    parser.add_argument(
+        "--bottlenecks", metavar="PATH", default=None,
+        help="profile the critical path over all recorded flows and write "
+             "the ranked bottleneck report (.json extension for JSON, "
+             "'-' prints to stdout)",
     )
 
 
@@ -254,8 +361,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig6", _fig6, True),
         ("fig8", _fig8, True),
         ("fig15", _fig15, True),
-        ("ablations", _ablations, False),
-        ("scaling", _scaling, False),
+        ("ablations", _ablations, True),
+        ("scaling", _scaling, True),
         ("all", _all, False),
     ):
         p = sub.add_parser(name, help=f"run the {name} experiment(s)")
@@ -264,6 +371,28 @@ def build_parser() -> argparse.ArgumentParser:
         if observable:
             _add_observability_flags(p)
         p.set_defaults(func=func)
+    b = sub.add_parser(
+        "bench",
+        help="perf-regression gate: record/compare the BENCH baseline",
+    )
+    b.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the measured metrics as a BENCH JSON file",
+    )
+    b.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="compare against this BENCH JSON file; exit 1 on regression",
+    )
+    b.add_argument(
+        "--tolerance", type=float, default=5.0, metavar="PCT",
+        help="allowed drift in percent of the baseline value (default 5)",
+    )
+    b.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions without a failing exit code",
+    )
+    b.add_argument("--repeats", type=int, default=1, help="runs per bench point")
+    b.set_defaults(func=_bench)
     q = sub.add_parser("query", help="execute one SCSQL statement")
     q.add_argument("text", help="the SCSQL statement")
     q.add_argument(
@@ -280,8 +409,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
-    return 0
+    code = args.func(args)
+    return 0 if code is None else int(code)
 
 
 if __name__ == "__main__":

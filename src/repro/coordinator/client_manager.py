@@ -135,6 +135,12 @@ class ClientManager:
         result, finished_at = self.env.sim.run_process(
             self._drive(rps, root, setup_latency, stop_token), name="client-manager"
         )
+        rp_statistics = {rp_id: snapshot(rp) for rp_id, rp in rps.items()}
+        if self.env.obs.enabled:
+            # Unify RP-level monitoring with the obs registry: the metrics
+            # snapshot then carries the per-RP operator/stream counters.
+            for stats in rp_statistics.values():
+                stats.publish(self.env.obs.metrics)
         report = ExecutionReport(
             result=result,
             duration=finished_at - start_time,
@@ -144,7 +150,7 @@ class ClientManager:
             ingress_bytes=self.env.fabric.bytes_ingress,
             source_switches=self.env.torus.source_switches,
             stopped=stop_token.stopped if stop_token else False,
-            rp_statistics={rp_id: snapshot(rp) for rp_id, rp in rps.items()},
+            rp_statistics=rp_statistics,
             metrics=self.env.obs.snapshot() if self.env.obs.enabled else None,
         )
         return report

@@ -1,0 +1,246 @@
+"""The perf-regression gate: BENCH JSON recording and baseline comparison.
+
+``python -m repro bench`` runs a fast, deterministic subset of the paper's
+figure sweeps with flow tracing enabled and records two families of
+metrics per point:
+
+* ``<point>/mbps`` — mean measured bandwidth (higher is better), the
+  quantity the paper's figures plot;
+* ``<point>/p50_ms`` and ``<point>/p95_ms`` — per-buffer end-to-end flow
+  latency percentiles in milliseconds (lower is better), from the flow
+  recorder's completed records pooled over the repeats.
+
+The direction of a metric is carried by its name suffix, so a baseline
+file stays self-describing: ``…/mbps`` regresses when it *drops* below
+baseline by more than the tolerance; ``…_ms`` regresses when it *rises*.
+
+The simulation is seeded (repeat k uses seed k), so on one code revision
+the recorded numbers are bit-identical run to run; any drift against a
+committed ``BENCH_baseline.json`` is a code change, not noise.  The
+tolerance exists for intentional-but-small calibration tweaks and for the
+day the sweep is widened.
+
+Workflow::
+
+    python -m repro bench --out BENCH_baseline.json       # record baseline
+    python -m repro bench --baseline BENCH_baseline.json  # gate (exit 1 on
+                                                          #  regression)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.experiments.fig6 import point_to_point_query, scaled_workload
+from repro.core.experiments.fig8 import BALANCED, SEQUENTIAL, merge_query
+from repro.core.experiments.fig15 import inbound_query
+from repro.core.measurement import measure_query_bandwidth
+from repro.engine.settings import ExecutionSettings
+from repro.obs.instrument import Instrumentation
+from repro.obs.tracer import NULL_TRACER
+from repro.util.stats import percentile
+
+#: Schema version of the BENCH JSON document.
+BENCH_FORMAT_VERSION = 1
+
+#: Default regression tolerance, percent of the baseline value.
+DEFAULT_TOLERANCE_PCT = 5.0
+
+
+def _flows_only(_repeat: int) -> Instrumentation:
+    """Per-repeat instrumentation: flow tracing + metrics, no timeline."""
+    return Instrumentation(tracer=NULL_TRACER)
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One benchmarked query configuration."""
+
+    name: str
+    query: str
+    payload_bytes: int
+    settings: ExecutionSettings
+
+
+def bench_points() -> List[BenchPoint]:
+    """The fast figure-sweep subset the gate measures.
+
+    One point per mechanism the repo models: packet quantisation (fig6
+    small vs large buffers), intermediate-co-processor routing (fig8
+    sequential vs balanced), and the Ethernet ingress with and without
+    I/O-node sharing (fig15 Q5 at n=4 vs n=5, Q1 at n=2).
+    """
+    points: List[BenchPoint] = []
+    for buffer_bytes in (200, 1000, 100_000):
+        array_bytes, count = scaled_workload(buffer_bytes, target_buffers=120)
+        points.append(BenchPoint(
+            name=f"fig6[B={buffer_bytes},double]",
+            query=point_to_point_query(array_bytes, count),
+            payload_bytes=array_bytes * count,
+            settings=ExecutionSettings(
+                mpi_buffer_bytes=buffer_bytes, double_buffering=True
+            ),
+        ))
+    array_bytes, count = scaled_workload(100_000, target_buffers=120)
+    for label, (x, y) in (("seq", SEQUENTIAL), ("bal", BALANCED)):
+        points.append(BenchPoint(
+            name=f"fig8[B=100000,{label},double]",
+            query=merge_query(array_bytes, count, x, y),
+            payload_bytes=2 * array_bytes * count,
+            settings=ExecutionSettings(
+                mpi_buffer_bytes=100_000, double_buffering=True
+            ),
+        ))
+    for query_number, n in ((1, 2), (5, 4), (5, 5)):
+        points.append(BenchPoint(
+            name=f"fig15[Q{query_number},n={n}]",
+            query=inbound_query(query_number, n, 300_000, 3),
+            payload_bytes=n * 300_000 * 3,
+            settings=ExecutionSettings(),
+        ))
+    return points
+
+
+def run_bench(
+    repeats: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, float]:
+    """Measure every bench point; returns the flat metric mapping."""
+    metrics: Dict[str, float] = {}
+    for point in bench_points():
+        result = measure_query_bandwidth(
+            point.query,
+            point.payload_bytes,
+            settings=point.settings,
+            repeats=repeats,
+            obs_factory=_flows_only,
+        )
+        latencies = [
+            latency
+            for obs in result.observations
+            for latency in obs.flows.latencies()
+        ]
+        metrics[f"{point.name}/mbps"] = result.mean_mbps
+        if latencies:
+            metrics[f"{point.name}/p50_ms"] = percentile(latencies, 50.0) * 1e3
+            metrics[f"{point.name}/p95_ms"] = percentile(latencies, 95.0) * 1e3
+        if progress is not None:
+            progress(f"{point.name}: {result.mean_mbps:.1f} Mbps, "
+                     f"{len(latencies)} flows")
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# BENCH JSON round trip
+# ----------------------------------------------------------------------
+def bench_document(metrics: Dict[str, float], repeats: int) -> dict:
+    return {
+        "version": BENCH_FORMAT_VERSION,
+        "repeats": repeats,
+        "metrics": metrics,
+    }
+
+
+def write_bench(path: str, metrics: Dict[str, float], repeats: int) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bench_document(metrics, repeats), handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench(path: str) -> Dict[str, float]:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    version = document.get("version")
+    if version != BENCH_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported BENCH format version {version!r} in {path} "
+            f"(expected {BENCH_FORMAT_VERSION})"
+        )
+    return {str(k): float(v) for k, v in document["metrics"].items()}
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+def higher_is_better(metric_name: str) -> bool:
+    """Metric direction by name suffix: bandwidth up, latency down."""
+    return not metric_name.endswith("_ms")
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """Comparison of one metric against the baseline."""
+
+    name: str
+    baseline: float
+    current: Optional[float]
+    tolerance_pct: float
+
+    @property
+    def delta_pct(self) -> Optional[float]:
+        """Signed change in percent of baseline (positive = increased)."""
+        if self.current is None or self.baseline == 0.0:
+            return None
+        return 100.0 * (self.current - self.baseline) / abs(self.baseline)
+
+    @property
+    def regressed(self) -> bool:
+        if self.current is None:
+            return True  # the metric disappeared: treat as a regression
+        margin = abs(self.baseline) * self.tolerance_pct / 100.0
+        if higher_is_better(self.name):
+            return self.current < self.baseline - margin
+        return self.current > self.baseline + margin
+
+    def describe(self) -> str:
+        direction = "higher=better" if higher_is_better(self.name) else "lower=better"
+        if self.current is None:
+            return f"{self.name}: MISSING from current run (baseline {self.baseline:g})"
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.name}: {self.baseline:g} -> {self.current:g} "
+            f"({self.delta_pct:+.2f}%, {direction}, "
+            f"tol {self.tolerance_pct:g}%) {verdict}"
+        )
+
+
+def compare_bench(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+) -> Tuple[List[MetricDelta], List[str]]:
+    """Compare a run against a baseline.
+
+    Returns:
+        ``(deltas, new_metrics)``: one delta per baseline metric (missing
+        current values count as regressions), plus the names of metrics
+        present only in the current run (informational — a widened sweep
+        is not a regression, but the baseline should be re-recorded).
+    """
+    deltas = [
+        MetricDelta(
+            name=name,
+            baseline=value,
+            current=current.get(name),
+            tolerance_pct=tolerance_pct,
+        )
+        for name, value in sorted(baseline.items())
+    ]
+    new_metrics = sorted(set(current) - set(baseline))
+    return deltas, new_metrics
+
+
+def format_comparison(deltas: List[MetricDelta], new_metrics: List[str]) -> str:
+    lines = [delta.describe() for delta in deltas]
+    for name in new_metrics:
+        lines.append(f"{name}: new metric (not in baseline)")
+    regressions = sum(1 for d in deltas if d.regressed)
+    lines.append(
+        f"=> {regressions} regression(s) across {len(deltas)} baseline metric(s)"
+        if regressions
+        else f"=> no regressions across {len(deltas)} baseline metric(s)"
+    )
+    return "\n".join(lines)

@@ -17,8 +17,8 @@ selection algorithm; these ablations close that loop:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.coordinator.allocation import (
     KnowledgeBasedSelector,
@@ -32,6 +32,7 @@ from repro.core.experiments.fig8 import merge_query
 from repro.core.measurement import BandwidthResult, measure_query_bandwidth
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.obs.instrument import Instrumentation
 from repro.scsql.compiler import QueryCompiler
 from repro.scsql.parser import parse_query
 from repro.util.stats import MeasurementStats, summarize
@@ -65,6 +66,7 @@ class SelectorResult:
     selector_name: str
     n: int
     mbps: MeasurementStats
+    observations: List[Instrumentation] = field(default_factory=list)
 
 
 @dataclass
@@ -106,8 +108,10 @@ def _measure_with_selector(
     repeats: int,
     template: EnvironmentConfig,
     base_seed: int,
-) -> MeasurementStats:
+    obs_factory: Optional[Callable[[int], Instrumentation]] = None,
+) -> SelectorResult:
     samples = []
+    observations: List[Instrumentation] = []
     query_text = automatic_inbound_query(n, array_bytes, count)
     for k in range(repeats):
         config = EnvironmentConfig(
@@ -117,14 +121,20 @@ def _measure_with_selector(
             params=template.params,
             seed=base_seed + k,
         )
-        env = Environment(config)
+        obs = obs_factory(k) if obs_factory is not None else None
+        if obs is not None:
+            observations.append(obs)
+        env = Environment(config, obs=obs)
         coordinators = CoordinatorRegistry(env, selector)
         compiler = QueryCompiler(env)
         graph = compiler.compile_select(parse_query(query_text))
         manager = ClientManager(env, coordinators)
         report = manager.execute(graph, ExecutionSettings())
         samples.append(n * array_bytes * count * 8.0 / report.duration / MEGA)
-    return summarize(samples)
+    return SelectorResult(
+        selector_name=selector.name, n=n, mbps=summarize(samples),
+        observations=observations,
+    )
 
 
 def run_node_selection_ablation(
@@ -134,17 +144,18 @@ def run_node_selection_ablation(
     count: int = 10,
     env_config: Optional[EnvironmentConfig] = None,
     base_seed: int = 0,
+    obs_factory: Optional[Callable[[int], Instrumentation]] = None,
 ) -> NodeSelectionAblation:
     """Compare naive and knowledge-based automatic placement."""
     template = env_config or EnvironmentConfig()
     results: List[SelectorResult] = []
     for n in stream_counts:
         for selector in (NaiveSelector(), KnowledgeBasedSelector()):
-            stats = _measure_with_selector(
-                selector, n, array_bytes, count, repeats, template, base_seed
-            )
             results.append(
-                SelectorResult(selector_name=selector.name, n=n, mbps=stats)
+                _measure_with_selector(
+                    selector, n, array_bytes, count, repeats, template,
+                    base_seed, obs_factory,
+                )
             )
     return NodeSelectionAblation(results=results)
 
@@ -187,6 +198,7 @@ def run_buffer_choice_ablation(
     buffer_sizes: Sequence[int] = (500, 1000, 2000, 10_000, 100_000, 1_000_000),
     repeats: int = 3,
     env_config: Optional[EnvironmentConfig] = None,
+    obs_factory: Optional[Callable[[int], Instrumentation]] = None,
 ) -> BufferChoiceAblation:
     """Sweep buffer sizes for both patterns (balanced nodes, double buffers)."""
     p2p: Dict[int, BandwidthResult] = {}
@@ -200,6 +212,7 @@ def run_buffer_choice_ablation(
             settings=settings,
             repeats=repeats,
             env_config=env_config,
+            obs_factory=obs_factory,
         )
         merge[buffer_bytes] = measure_query_bandwidth(
             merge_query(array_bytes, count, 1, 4),
@@ -207,5 +220,6 @@ def run_buffer_choice_ablation(
             settings=settings,
             repeats=repeats,
             env_config=env_config,
+            obs_factory=obs_factory,
         )
     return BufferChoiceAblation(p2p=p2p, merge=merge)

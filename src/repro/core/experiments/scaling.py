@@ -21,7 +21,7 @@ uplink, which answers the question the paper leaves open:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.experiments.fig15 import inbound_query
 from repro.core.measurement import BandwidthResult, measure_query_bandwidth
@@ -29,6 +29,7 @@ from repro.engine.settings import ExecutionSettings
 from repro.hardware.bluegene import BlueGeneConfig
 from repro.hardware.environment import EnvironmentConfig
 from repro.net.params import NetworkParams
+from repro.obs.instrument import Instrumentation
 from repro.util.units import gbps
 
 #: Partition sizes swept: (torus shape, number of psets/I-O/back-end nodes).
@@ -116,6 +117,7 @@ def run_scaling_study(
     repeats: int = 3,
     array_bytes: int = 3_000_000,
     array_count: int = 5,
+    obs_factory: Optional[Callable[[int], Instrumentation]] = None,
 ) -> ScalingStudy:
     """Measure inbound peak bandwidth across partition sizes and uplinks."""
     points: List[ScalingPoint] = []
@@ -131,6 +133,7 @@ def run_scaling_study(
                     settings=ExecutionSettings(),
                     repeats=repeats,
                     env_config=env_config,
+                    obs_factory=obs_factory,
                 )
                 points.append(
                     ScalingPoint(

@@ -51,6 +51,19 @@ class BandwidthResult:
     def mean_mbps(self) -> float:
         return self.mbps.mean
 
+    def flow_latencies(self, stream_id: Optional[str] = None) -> List[float]:
+        """End-to-end flow latencies pooled over the observed repeats.
+
+        Empty unless the measurement ran with an ``obs_factory`` whose
+        instrumentation recorded flows; see
+        :meth:`repro.obs.flow.FlowRecorder.latencies`.
+        """
+        return [
+            latency
+            for obs in self.observations
+            for latency in obs.flows.latencies(stream_id)
+        ]
+
     def __str__(self) -> str:
         return f"{self.mbps.mean:.1f} ± {self.mbps.std:.1f} Mbps"
 

@@ -83,8 +83,12 @@ class SenderDriver:
         tail = marshaller.flush()
         if tail is not None:
             yield from self._emit(tail)
+        eos = marshaller.end_of_stream()
+        obs = self.ctx.sim.obs
+        if obs.flows.enabled:
+            obs.flows.begin(eos, self.ctx.sim.now)
         yield self._tokens.get()  # own a buffer for the EOS marker too
-        yield self._outbox.put(marshaller.end_of_stream())
+        yield self._outbox.put(eos)
         yield transmitter  # join: all buffers transmitted
         yield from self.channel.close()
 
@@ -113,20 +117,38 @@ class SenderDriver:
 
     def _emit(self, buffer):
         """Acquire a send buffer, marshal into it, hand it to the transmitter."""
+        sim = self.ctx.sim
+        obs = sim.obs
+        flows = obs.flows
+        if flows.enabled:
+            # Flow birth: the buffer exists, latency accrues from here.
+            flows.begin(buffer, sim.now)
         yield self._tokens.get()
+        marshal_start = sim.now if flows.enabled else 0.0
         yield from self.ctx.charge_cpu(self.ctx.marshal_cost(buffer.nbytes))
+        if flows.enabled:
+            # Send-token wait lands in queue_wait; the marshal interval
+            # (CPU contention included) is the serialize component.
+            flows.hop(
+                buffer, "sender.marshal", sim.now,
+                resource=f"cpu[{self.ctx.node.node_id}]",
+                serialize=sim.now - marshal_start,
+            )
         yield self._outbox.put(buffer)
         self.bytes_sent += buffer.nbytes
         self.buffers_sent += 1
-        obs = self.ctx.sim.obs
         if obs.enabled:
             obs.add(f"stream.bytes_sent[{self.stream_id}]", buffer.nbytes)
             obs.add(f"stream.buffers_sent[{self.stream_id}]")
 
     def _transmit(self):
         """Send marshaled buffers in order, returning tokens on completion."""
+        flows = self.ctx.sim.obs.flows
         while True:
             buffer = yield self._outbox.get()
+            if flows.enabled:
+                # Dwell in the outbox queue behind earlier buffers.
+                flows.hop(buffer, "sender.outbox", self.ctx.sim.now)
             yield from self.channel.send(buffer)
             yield self._tokens.put(None)
             if buffer.eos:
@@ -147,12 +169,31 @@ class ReceiverDriver:
     def run(self):
         """Driver main process: drain inbox, de-marshal, emit objects + EOS."""
         demarshaller = StreamDemarshaller()
+        sim = self.ctx.sim
+        flows = sim.obs.flows
         while True:
             buffer = yield self.inbox.get()
             if buffer.eos:
+                if flows.enabled:
+                    flows.complete(buffer, sim.now)
+                    # The stream is over: a data buffer the EOS overtook in
+                    # the network can never be consumed, so its record is
+                    # dropped rather than leaked in the in-flight table.
+                    flows.drop_stream(self.stream_id)
                 yield self.inbox.release()
                 break
+            if flows.enabled:
+                # Dwell in the inbox between deposit and pick-up.
+                flows.hop(buffer, "receiver.inbox", sim.now)
+                demarshal_start = sim.now
             yield from self.ctx.charge_cpu(self.ctx.demarshal_cost(buffer.nbytes))
+            if flows.enabled:
+                flows.hop(
+                    buffer, "receiver.demarshal", sim.now,
+                    resource=f"cpu[{self.ctx.node.node_id}]",
+                    processing=sim.now - demarshal_start,
+                )
+                flows.complete(buffer, sim.now)
             objects = demarshaller.accept(buffer)
             yield self.inbox.release()
             self.bytes_received += buffer.nbytes

@@ -15,6 +15,13 @@ difference is *who may touch the receive buffer when*:
 The network deposits via :meth:`put` (acquiring a free slot, blocking while
 none is free) and the receiver driver returns the slot with
 :meth:`release` once de-marshaling finishes.
+
+Flow tracing (:mod:`repro.obs.flow`) brackets the inbox rather than hooking
+it: the delivering network model records a hop when its ``deliver.put``
+completes (slot-wait shows up there as queue time), and the receiver driver
+records the ``receiver.inbox`` hop when it picks the buffer up — so the
+dwell between deposit and pick-up is attributed to the inbox interval
+without the inbox itself ever touching ``sim.obs``.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ from repro.util.units import format_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.rp import RunningProcess
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,40 @@ class RPStatistics:
                 f"in {stream.buffers} buffers"
             )
         return "\n".join(lines)
+
+    def publish(self, metrics: "MetricsRegistry") -> None:
+        """Publish these statistics into an obs metrics registry.
+
+        Bridges the paper's RP-level monitoring (Figure 3 responsibility v)
+        into the observability registry, so a ``--metrics-out`` snapshot
+        carries the per-RP operator and stream counters alongside the
+        substrate metrics.  Gauges, so republishing is idempotent.
+        """
+        prefix = f"rp.{self.rp_id}"
+        metrics.set_gauge(f"{prefix}.cpu_busy_s", self.cpu_busy_time)
+        metrics.set_gauge(f"{prefix}.bytes_received", self.bytes_received)
+        metrics.set_gauge(f"{prefix}.bytes_sent", self.bytes_sent)
+        for op in self.operators:
+            metrics.set_gauge(
+                f"{prefix}.operator.objects_in[{op.name}]", op.objects_in
+            )
+            metrics.set_gauge(
+                f"{prefix}.operator.objects_out[{op.name}]", op.objects_out
+            )
+        for stream in self.received:
+            metrics.set_gauge(
+                f"{prefix}.recv.bytes[{stream.stream_id}]", stream.bytes
+            )
+            metrics.set_gauge(
+                f"{prefix}.recv.buffers[{stream.stream_id}]", stream.buffers
+            )
+        for stream in self.sent:
+            metrics.set_gauge(
+                f"{prefix}.sent.bytes[{stream.stream_id}]", stream.bytes
+            )
+            metrics.set_gauge(
+                f"{prefix}.sent.buffers[{stream.stream_id}]", stream.buffers
+            )
 
 
 def snapshot(rp: "RunningProcess") -> RPStatistics:

@@ -96,6 +96,14 @@ class MpiChannel(Channel):
         yield from self.torus.send(buffer, self.source.index, self.destination.index, self.deliver)
 
     def close(self):
+        """Release torus state (MPI local completion: buffers may still fly).
+
+        Unlike the TCP carrier this does **not** drain in-flight buffers:
+        the paper's MPI semantics complete at injection, so the receiver
+        driver — not the channel — is the authority on when the stream's
+        flow records are finished (it drops stragglers once it consumes the
+        end-of-stream marker).
+        """
         if self._open:
             self.torus.unregister_stream(self.destination.index, self._stream_id)
             self._open = False
@@ -159,5 +167,15 @@ class LatencyChannel(Channel):
     def send(self, buffer: WireBuffer):
         latency = self.params.ethernet.switch_latency
         serialization = buffer.nbytes / self.params.ethernet.nic_rate
-        yield self.sim.timeout(self.jitter.apply(latency + serialization))
+        cost = self.jitter.apply(latency + serialization)
+        yield self.sim.timeout(cost)
+        flows = self.sim.obs.flows
+        if flows.enabled:
+            flows.hop(
+                buffer, "latency.wire", self.sim.now,
+                resource=f"wire[{self.source.node_id}->{self.destination.node_id}]",
+                wire=cost,
+            )
         yield self.deliver.put(buffer)
+        if flows.enabled:
+            flows.hop(buffer, "latency.deliver", self.sim.now)

@@ -244,8 +244,11 @@ class TcpStreamConnection:
         params = fabric.params
         wire_bytes = buffer.nbytes * (1.0 + params.tcp.header_overhead)
         segments = max(1, -(-buffer.nbytes // params.tcp.segment_bytes))
+        flows = fabric.sim.obs.flows
         # Flow control: wait for a window slot before occupying the NIC.
         yield self._window.get()
+        if flows.enabled:
+            flows.hop(buffer, "tcp.window", fabric.sim.now)
         # Sending host: socket/kernel cost plus NIC serialization.
         with fabric.nic(self.source_host).request() as nic_req:
             yield nic_req
@@ -253,7 +256,13 @@ class TcpStreamConnection:
                 segments * params.tcp.per_segment_overhead
                 + wire_bytes / params.ethernet.nic_rate
             )
-            yield fabric.sim.timeout(fabric.jitter.apply(cost))
+            cost = fabric.jitter.apply(cost)
+            yield fabric.sim.timeout(cost)
+        if flows.enabled:
+            flows.hop(
+                buffer, "eth.nic", fabric.sim.now,
+                resource=f"nic[{self.source_host.node_id}]", wire=cost,
+            )
         fabric.bytes_ingress += buffer.nbytes
         if fabric.sim.obs.enabled:
             fabric.sim.obs.add("ethernet.ingress_bytes", buffer.nbytes)
@@ -268,25 +277,40 @@ class TcpStreamConnection:
         """Continue the buffer's journey beyond the sending host."""
         fabric = self.fabric
         params = fabric.params
+        flows = fabric.sim.obs.flows
         # Shared switch uplink into the BlueGene I/O drawer; goodput shrinks
         # with the number of distinct external hosts on the ingress.
         with fabric._uplink.request() as uplink_req:
             yield uplink_req
             rate = params.ethernet.uplink_rate * fabric._uplink_efficiency()
-            cost = params.ethernet.switch_latency + wire_bytes / rate
-            yield fabric.sim.timeout(fabric.jitter.apply(cost))
+            cost = fabric.jitter.apply(params.ethernet.switch_latency + wire_bytes / rate)
+            yield fabric.sim.timeout(cost)
+        if flows.enabled:
+            flows.hop(
+                buffer, "eth.uplink", fabric.sim.now,
+                resource="switch-uplink[be->bg]", wire=cost,
+            )
         # I/O-node TCP proxy: service rate shrinks with connection sharing
         # and with the distinct hosts connected to this I/O node.
         with fabric.io_proxy(self.io_index).request() as proxy_req:
             yield proxy_req
             rate = fabric._io_service_rate(self.io_index)
-            cost = params.io_node.per_buffer_overhead + wire_bytes / rate
-            yield fabric.sim.timeout(fabric.jitter.apply(cost))
+            cost = fabric.jitter.apply(params.io_node.per_buffer_overhead + wire_bytes / rate)
+            yield fabric.sim.timeout(cost)
+        if flows.enabled:
+            flows.hop(
+                buffer, "eth.ioproxy", fabric.sim.now,
+                resource=f"io-proxy[{self.io_index}]", processing=cost,
+            )
         # Tree network from the I/O node into its pset.
         with fabric.tree_link(self.pset_id).request() as tree_req:
             yield tree_req
-            yield fabric.sim.timeout(
-                fabric.jitter.apply(buffer.nbytes / params.io_node.tree_rate)
+            cost = fabric.jitter.apply(buffer.nbytes / params.io_node.tree_rate)
+            yield fabric.sim.timeout(cost)
+        if flows.enabled:
+            flows.hop(
+                buffer, "eth.tree", fabric.sim.now,
+                resource=f"tree[{self.pset_id}]", wire=cost,
             )
         # Receive processing on the destination compute node's co-processor:
         # the CNK socket path is slow (compute_receive_rate) and pays the

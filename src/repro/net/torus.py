@@ -168,9 +168,12 @@ class TorusNetwork:
         if src == dst:
             raise NetworkError(f"torus send with src == dst == {src}")
         path = self.route(src, dst)
+        flows = self.sim.obs.flows
         # Shallow-FIFO back-pressure: stall if too many of this stream's
         # buffers are still travelling or waiting at a busy co-processor.
         yield self._stream_window(buffer.stream_id).get()
+        if flows.enabled:
+            flows.hop(buffer, "torus.window", self.sim.now)
         wire = self.params.handling_time(buffer.nbytes) if not buffer.eos else 0.0
         # Injection: sending co-processor streams the packets onto the first
         # link; both are occupied for the buffer's handling time.
@@ -180,6 +183,13 @@ class TorusNetwork:
                 yield link_req
                 cost = self.jitter.apply(self.params.injection_overhead + wire)
                 yield self.sim.timeout(cost)
+        if flows.enabled:
+            # Wait for the source co-processor + first link is queue_wait;
+            # the injection itself is wire time.
+            flows.hop(
+                buffer, "torus.inject", self.sim.now,
+                resource=f"coproc[{src}]", wire=cost,
+            )
         self.bytes_on_wire += buffer.nbytes
         obs = self.sim.obs
         if obs.enabled:
@@ -202,7 +212,11 @@ class TorusNetwork:
 
     def _forward(self, buffer: WireBuffer, path: List[int], wire: float, deliver: Store):
         """Forward ``buffer`` hop by hop and deliver it at the destination."""
-        yield self.sim.timeout(self.params.hop_latency * (len(path) - 1))
+        flows = self.sim.obs.flows
+        latency = self.params.hop_latency * (len(path) - 1)
+        yield self.sim.timeout(latency)
+        if flows.enabled:
+            flows.hop(buffer, "torus.hops", self.sim.now, wire=latency)
         for position in range(1, len(path) - 1):
             node = path[position]
             with self.coprocessor(node).request() as coproc_req:
@@ -211,6 +225,13 @@ class TorusNetwork:
                     yield link_req
                     cost = self.jitter.apply(self.params.forward_overhead + wire)
                     yield self.sim.timeout(cost)
+            if flows.enabled:
+                # One hop per intermediate node: the wait for its (possibly
+                # busy) co-processor is exactly the Figure 7A/8 contention.
+                flows.hop(
+                    buffer, f"torus.forward[{node}]", self.sim.now,
+                    resource=f"coproc[{node}]", wire=cost,
+                )
         receive_work = self.params.receive_time(buffer.nbytes) if not buffer.eos else 0.0
         yield from self._receive(buffer, path[-1], receive_work, deliver)
         # Delivery complete: free one in-flight slot of this stream.
@@ -229,6 +250,7 @@ class TorusNetwork:
 
     def _receive(self, buffer: WireBuffer, node: int, receive_work: float, deliver: Store):
         """Receive processing at the destination co-processor."""
+        flows = self.sim.obs.flows
         with self.coprocessor(node).request() as coproc_req:
             yield coproc_req
             cost = self.params.receive_overhead + receive_work
@@ -241,8 +263,16 @@ class TorusNetwork:
                     self.sim.obs.add("torus.source_switches")
                     self.sim.obs.add(f"torus.source_switches[node={node}]")
             self._last_source[node] = buffer.source
-            yield self.sim.timeout(self.jitter.apply(cost))
+            cost = self.jitter.apply(cost)
+            yield self.sim.timeout(cost)
+            if flows.enabled:
+                flows.hop(
+                    buffer, "torus.receive", self.sim.now,
+                    resource=f"coproc[{node}]", processing=cost,
+                )
             # Depositing into a full receive buffer blocks the co-processor:
             # this is the back-pressure that stalls upstream senders.
             yield deliver.put(buffer)
+            if flows.enabled:
+                flows.hop(buffer, "torus.deliver", self.sim.now)
         self.buffers_delivered += 1

@@ -24,9 +24,17 @@ carries the shared :data:`~repro.obs.instrument.NULL_OBS` hub, whose
 
 from repro.obs.export import (
     chrome_trace,
+    flow_trace_events,
     utilization_summary,
     write_chrome_trace,
     write_trace_jsonl,
+)
+from repro.obs.flow import (
+    NULL_FLOWS,
+    FlowRecord,
+    FlowRecorder,
+    Hop,
+    NullFlowRecorder,
 )
 from repro.obs.instrument import NULL_OBS, Instrumentation, NullInstrumentation
 from repro.obs.metrics import (
@@ -35,6 +43,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
     TimeWeightedStat,
+)
+from repro.obs.profile import (
+    BottleneckReport,
+    ResourceCost,
+    StageCost,
+    StreamLatency,
+    profile,
+    profile_flows,
 )
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, TraceRecord
 
@@ -46,12 +62,24 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "TraceRecord",
+    "FlowRecorder",
+    "NullFlowRecorder",
+    "NULL_FLOWS",
+    "FlowRecord",
+    "Hop",
+    "BottleneckReport",
+    "ResourceCost",
+    "StageCost",
+    "StreamLatency",
+    "profile",
+    "profile_flows",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Counter",
     "Gauge",
     "TimeWeightedStat",
     "chrome_trace",
+    "flow_trace_events",
     "write_chrome_trace",
     "write_trace_jsonl",
     "utilization_summary",

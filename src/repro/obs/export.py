@@ -5,7 +5,11 @@ Three consumers are served:
 * ``chrome://tracing`` / https://ui.perfetto.dev — :func:`chrome_trace`
   turns tracer records into the Trace Event Format (one *process* per
   traced simulation run, one *thread* per track, resource holds as complete
-  ``X`` events, store levels as ``C`` counter series);
+  ``X`` events, store levels as ``C`` counter series).  When flow recorders
+  are supplied too, every completed wire buffer becomes a lane of per-hop
+  ``X`` slices on a ``flow:<stream>`` thread plus ``s``/``t``/``f`` flow
+  arrows keyed by the flow id, so the causal chain sender -> torus ->
+  ingress -> receiver is a clickable arrow path in the viewer;
 * log processing — :func:`write_trace_jsonl` dumps raw records one JSON
   object per line;
 * humans — :func:`utilization_summary` prints the busiest resources, store
@@ -17,6 +21,7 @@ from __future__ import annotations
 import json
 from typing import IO, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.flow import NullFlowRecorder
 from repro.obs.instrument import Instrumentation
 from repro.obs.tracer import NullTracer, TraceRecord
 
@@ -54,8 +59,63 @@ def write_trace_jsonl(target: Union[str, IO[str]], tracer: NullTracer) -> int:
     return _dump(target)
 
 
+def flow_trace_events(
+    pid: int, recorder: NullFlowRecorder, tid_base: int = 1000
+) -> List[dict]:
+    """Trace events for completed flows: hop slices plus flow arrows.
+
+    Each stream edge gets one thread (``flow:<stream>``); every completed
+    buffer contributes one ``X`` slice per hop (with the latency components
+    in ``args``) and a chain of flow-arrow events (``ph`` ``s``/``t``/``f``)
+    sharing the flow id, which the trace viewers render as arrows from hop
+    to hop.  A disabled recorder yields no events.
+    """
+    events: List[dict] = []
+    tids: Dict[str, int] = {}
+    for record in recorder.completed:
+        track = f"flow:{record.stream_id}"
+        if track not in tids:
+            tids[track] = tid_base + len(tids)
+            events.append({
+                "ph": "M", "pid": pid, "tid": tids[track],
+                "name": "thread_name", "args": {"name": track},
+            })
+        tid = tids[track]
+        hops = record.hops
+        for position, hop in enumerate(hops):
+            events.append({
+                "ph": "X", "pid": pid, "tid": tid,
+                "name": hop.stage, "cat": "flow",
+                "ts": hop.start * _MICROS,
+                "dur": hop.duration * _MICROS,
+                "args": {
+                    "flow": record.flow_id,
+                    "buffer": record.buffer_id,
+                    "nbytes": record.nbytes,
+                    "resource": hop.resource,
+                    "serialize_s": hop.serialize,
+                    "queue_wait_s": hop.queue_wait,
+                    "wire_s": hop.wire,
+                    "processing_s": hop.processing,
+                },
+            })
+            arrow = {
+                "pid": pid, "tid": tid, "cat": "flow",
+                "name": f"flow#{record.flow_id}", "id": record.flow_id,
+            }
+            if position == 0:
+                arrow.update({"ph": "s", "ts": hop.start * _MICROS})
+            elif position == len(hops) - 1:
+                arrow.update({"ph": "f", "bp": "e", "ts": hop.end * _MICROS})
+            else:
+                arrow.update({"ph": "t", "ts": hop.start * _MICROS})
+            events.append(arrow)
+    return events
+
+
 def chrome_trace(
     sections: Sequence[Tuple[str, NullTracer]],
+    flow_sections: Sequence[Tuple[str, NullFlowRecorder]] = (),
 ) -> dict:
     """Convert tracers into one Chrome Trace Event Format document.
 
@@ -63,6 +123,9 @@ def chrome_trace(
         sections: ``(label, tracer)`` pairs; each pair becomes one trace
             *process* (pid) named ``label``, so several simulation runs
             (e.g. the repeats of a measurement) can share a timeline.
+        flow_sections: ``(label, flow recorder)`` pairs; each becomes an
+            additional trace process carrying per-flow hop slices and
+            flow arrows (see :func:`flow_trace_events`).
 
     Returns:
         The trace document (``{"traceEvents": [...], ...}``); serialize
@@ -132,15 +195,23 @@ def chrome_trace(
                 "dur": (last_ts - begin.ts) * _MICROS,
                 "args": {"unfinished": True},
             })
+    next_pid = len(sections) + 1
+    for pid, (label, recorder) in enumerate(flow_sections, start=next_pid):
+        events.append({
+            "ph": "M", "pid": pid, "tid": 0,
+            "name": "process_name", "args": {"name": f"flows:{label}"},
+        })
+        events.extend(flow_trace_events(pid, recorder))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(
     target: Union[str, IO[str]],
     sections: Sequence[Tuple[str, NullTracer]],
+    flow_sections: Sequence[Tuple[str, NullFlowRecorder]] = (),
 ) -> dict:
     """Serialize :func:`chrome_trace` of ``sections`` to a file; returns it."""
-    document = chrome_trace(sections)
+    document = chrome_trace(sections, flow_sections)
     if isinstance(target, str):
         with open(target, "w", encoding="utf-8") as fh:
             json.dump(document, fh)

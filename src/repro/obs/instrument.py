@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Optional, Tuple
 
+from repro.obs.flow import NULL_FLOWS, FlowRecorder, NullFlowRecorder
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
@@ -36,6 +37,7 @@ class NullInstrumentation:
     enabled = False
     tracer: NullTracer = NULL_TRACER
     metrics: Optional[MetricsRegistry] = None
+    flows: NullFlowRecorder = NULL_FLOWS
 
     def bind(self, sim: "Simulator") -> None:  # pragma: no cover - never bound
         pass
@@ -53,14 +55,21 @@ class Instrumentation(NullInstrumentation):
             Pass :data:`~repro.obs.tracer.NULL_TRACER` for metrics-only
             instrumentation (much lighter on memory for long runs).
         metrics: Metric registry; defaults to a fresh registry.
+        flows: Flow-level causal recorder; defaults to a fresh
+            :class:`~repro.obs.flow.FlowRecorder`.  Pass
+            :data:`~repro.obs.flow.NULL_FLOWS` to skip per-buffer hop
+            logging (lighter for long bandwidth sweeps where only the
+            aggregate counters matter).
     """
 
     enabled = True
 
     def __init__(self, tracer: Optional[NullTracer] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 flows: Optional[NullFlowRecorder] = None):
         self.tracer: NullTracer = Tracer() if tracer is None else tracer
         self.metrics: MetricsRegistry = metrics if metrics is not None else MetricsRegistry()
+        self.flows: NullFlowRecorder = FlowRecorder() if flows is None else flows
         self.sim: Optional["Simulator"] = None
 
     def bind(self, sim: "Simulator") -> None:
@@ -172,7 +181,14 @@ class Instrumentation(NullInstrumentation):
         return self.sim.now if self.sim is not None else 0.0
 
     def snapshot(self) -> MetricsSnapshot:
-        """Freeze the metrics at the current simulated time."""
+        """Freeze the metrics at the current simulated time.
+
+        Flow-level latency aggregates (p50/p95/p99 per stream edge) are
+        published into the registry first, so a snapshot of an observed
+        run always carries the latency decomposition alongside the
+        counters.
+        """
+        self.flows.publish(self.metrics)
         return self.metrics.snapshot(self.now)
 
     def resource_busy_time(self, name: str) -> float:

@@ -42,6 +42,52 @@ class MeasurementStats:
         return f"{self.mean:.6g} ± {self.std:.2g} (n={len(self.samples)})"
 
 
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``samples`` with linear interpolation.
+
+    Uses the "linear" (inclusive) method: the k-th order statistic sits at
+    rank ``k / (n - 1)`` and percentiles between ranks interpolate linearly
+    — the same convention as ``numpy.percentile``'s default, implemented
+    here without the dependency.
+
+    Args:
+        samples: The observations (any order; not modified).
+        q: Percentile in [0, 100].
+
+    Raises:
+        ValueError: If ``samples`` is empty or ``q`` is outside [0, 100].
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    values = sorted(float(s) for s in samples)
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample sequence")
+    if len(values) == 1:
+        return values[0]
+    rank = (q / 100.0) * (len(values) - 1)
+    lower = int(math.floor(rank))
+    upper = int(math.ceil(rank))
+    if lower == upper:
+        return values[lower]
+    fraction = rank - lower
+    return values[lower] * (1.0 - fraction) + values[upper] * fraction
+
+
+def p50(samples: Sequence[float]) -> float:
+    """The median (50th percentile) of ``samples``."""
+    return percentile(samples, 50.0)
+
+
+def p95(samples: Sequence[float]) -> float:
+    """The 95th percentile of ``samples``."""
+    return percentile(samples, 95.0)
+
+
+def p99(samples: Sequence[float]) -> float:
+    """The 99th percentile of ``samples``."""
+    return percentile(samples, 99.0)
+
+
 def summarize(samples: Sequence[float]) -> MeasurementStats:
     """Summarize a non-empty sequence of samples.
 

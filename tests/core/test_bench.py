@@ -1,0 +1,143 @@
+"""The perf-regression gate: BENCH JSON round trip, comparison, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.bench import (
+    BENCH_FORMAT_VERSION,
+    MetricDelta,
+    bench_points,
+    compare_bench,
+    format_comparison,
+    higher_is_better,
+    load_bench,
+    write_bench,
+)
+
+
+class TestDirection:
+    def test_bandwidth_is_higher_better(self):
+        assert higher_is_better("fig6[B=200,double]/mbps")
+
+    def test_latency_is_lower_better(self):
+        assert not higher_is_better("fig6[B=200,double]/p50_ms")
+        assert not higher_is_better("fig15[Q5,n=5]/p95_ms")
+
+
+class TestCompare:
+    def test_within_tolerance_is_ok(self):
+        deltas, new = compare_bench(
+            {"a/mbps": 100.0, "a/p50_ms": 10.0},
+            {"a/mbps": 96.0, "a/p50_ms": 10.4},
+            tolerance_pct=5.0,
+        )
+        assert not any(d.regressed for d in deltas)
+        assert new == []
+
+    def test_bandwidth_drop_regresses(self):
+        deltas, _ = compare_bench(
+            {"a/mbps": 100.0}, {"a/mbps": 90.0}, tolerance_pct=5.0
+        )
+        (delta,) = deltas
+        assert delta.regressed
+        assert delta.delta_pct == pytest.approx(-10.0)
+
+    def test_bandwidth_gain_never_regresses(self):
+        deltas, _ = compare_bench(
+            {"a/mbps": 100.0}, {"a/mbps": 150.0}, tolerance_pct=5.0
+        )
+        assert not deltas[0].regressed
+
+    def test_latency_rise_regresses(self):
+        deltas, _ = compare_bench(
+            {"a/p95_ms": 10.0}, {"a/p95_ms": 11.0}, tolerance_pct=5.0
+        )
+        assert deltas[0].regressed
+
+    def test_latency_drop_never_regresses(self):
+        deltas, _ = compare_bench(
+            {"a/p95_ms": 10.0}, {"a/p95_ms": 5.0}, tolerance_pct=5.0
+        )
+        assert not deltas[0].regressed
+
+    def test_missing_metric_regresses(self):
+        deltas, _ = compare_bench({"gone/mbps": 100.0}, {})
+        (delta,) = deltas
+        assert delta.regressed
+        assert "MISSING" in delta.describe()
+
+    def test_new_metric_is_informational(self):
+        deltas, new = compare_bench({}, {"fresh/mbps": 1.0})
+        assert deltas == []
+        assert new == ["fresh/mbps"]
+        assert "not in baseline" in format_comparison(deltas, new)
+
+    def test_format_mentions_regression_count(self):
+        deltas, new = compare_bench({"a/mbps": 100.0}, {"a/mbps": 50.0})
+        text = format_comparison(deltas, new)
+        assert "1 regression(s)" in text
+        assert "REGRESSED" in text
+
+    def test_zero_baseline_has_no_delta_pct(self):
+        delta = MetricDelta("a/mbps", baseline=0.0, current=1.0, tolerance_pct=5.0)
+        assert delta.delta_pct is None
+        assert not delta.regressed
+
+
+class TestRoundTrip:
+    def test_write_load(self, tmp_path):
+        path = tmp_path / "bench.json"
+        metrics = {"a/mbps": 123.456, "a/p50_ms": 7.5}
+        write_bench(str(path), metrics, repeats=1)
+        assert load_bench(str(path)) == metrics
+        document = json.loads(path.read_text())
+        assert document["version"] == BENCH_FORMAT_VERSION
+        assert document["repeats"] == 1
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 999, "metrics": {}}))
+        with pytest.raises(ValueError, match="version"):
+            load_bench(str(path))
+
+
+class TestBenchPoints:
+    def test_sweep_covers_the_three_mechanisms(self):
+        names = [p.name for p in bench_points()]
+        assert any(n.startswith("fig6[") for n in names)
+        assert any("seq" in n for n in names if n.startswith("fig8["))
+        assert any("bal" in n for n in names if n.startswith("fig8["))
+        assert "fig15[Q5,n=5]" in names
+        assert len(names) == len(set(names))
+
+
+@pytest.mark.slow
+class TestBenchCli:
+    """End-to-end gate: record a baseline, compare against it, doctor it."""
+
+    def test_no_output_requested_is_usage_error(self, capsys):
+        assert main(["bench"]) == 2
+        assert "nothing to do" in capsys.readouterr().err.lower()
+
+    def test_record_then_gate_then_doctored_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", "--out", str(baseline)]) == 0
+        capsys.readouterr()
+
+        # same revision, same seeds: the gate passes
+        assert main(["bench", "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out
+
+        # doctor the baseline so current bandwidth looks like a collapse
+        document = json.loads(baseline.read_text())
+        name = next(k for k in document["metrics"] if k.endswith("/mbps"))
+        document["metrics"][name] *= 10.0
+        baseline.write_text(json.dumps(document))
+        assert main(["bench", "--baseline", str(baseline)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+        # --warn-only reports but never fails the build
+        assert main(["bench", "--baseline", str(baseline), "--warn-only"]) == 0

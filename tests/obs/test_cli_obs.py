@@ -56,6 +56,73 @@ def test_query_metrics_only_skips_tracing(tmp_path, capsys):
     assert "sim.events_processed" in out
 
 
+def test_fig8_trace_carries_flow_arrows(tmp_path, capsys):
+    """--trace enables flow tracing: hop slices + s/t/f arrow events."""
+    trace = tmp_path / "fig8_flows.json"
+    assert main([
+        "fig8", "--quick", "--repeats", "1", "--trace", str(trace),
+    ]) == 0
+    capsys.readouterr()
+    document = _trace_is_valid_chrome(str(trace))
+    phases = {event["ph"] for event in document["traceEvents"]}
+    assert {"s", "f"} <= phases  # causal arrows from birth to delivery
+    flow_threads = {
+        event["args"]["name"]
+        for event in document["traceEvents"]
+        if event["ph"] == "M" and event["name"] == "thread_name"
+        and str(event["args"].get("name", "")).startswith("flow:")
+    }
+    assert flow_threads, "each stream edge gets its own flow thread"
+
+
+def test_fig8_bottlenecks_to_stdout(capsys):
+    assert main([
+        "fig8", "--quick", "--repeats", "1", "--bottlenecks", "-",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "critical-path profile" in out
+    assert "coproc[" in out
+
+
+def test_fig8_bottlenecks_to_json(tmp_path, capsys):
+    report = tmp_path / "bottlenecks.json"
+    assert main([
+        "fig8", "--quick", "--repeats", "1", "--bottlenecks", str(report),
+    ]) == 0
+    capsys.readouterr()
+    payload = json.load(open(report, encoding="utf-8"))
+    assert payload["flows"] > 0
+    assert payload["resources"], "ranked resource list must not be empty"
+    assert {"resource", "service_s", "queue_wait_s"} <= set(payload["resources"][0])
+
+
+def test_ablations_accept_observability_flags(tmp_path, capsys):
+    trace = tmp_path / "ablations.json"
+    metrics = tmp_path / "ablations_metrics.txt"
+    report = tmp_path / "ablations_bn.json"
+    assert main([
+        "ablations", "--quick", "--repeats", "1",
+        "--trace", str(trace), "--metrics-out", str(metrics),
+        "--bottlenecks", str(report),
+    ]) == 0
+    capsys.readouterr()
+    _trace_is_valid_chrome(str(trace))
+    assert "observability summary" in metrics.read_text(encoding="utf-8")
+    assert json.load(open(report, encoding="utf-8"))["flows"] > 0
+
+
+def test_scaling_accept_observability_flags(tmp_path, capsys):
+    metrics = tmp_path / "scaling_metrics.txt"
+    report = tmp_path / "scaling_bn.txt"
+    assert main([
+        "scaling", "--quick", "--repeats", "1",
+        "--metrics-out", str(metrics), "--bottlenecks", str(report),
+    ]) == 0
+    capsys.readouterr()
+    assert "observability summary" in metrics.read_text(encoding="utf-8")
+    assert "critical-path profile" in report.read_text(encoding="utf-8")
+
+
 def test_fig8_run_exports_valid_trace(tmp_path, capsys):
     """Acceptance: a traced Figure 8 run produces a loadable Chrome trace."""
     trace = tmp_path / "fig8.json"

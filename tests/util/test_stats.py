@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.util.stats import summarize
+from repro.util.stats import p50, p95, p99, percentile, summarize
 
 
 class TestSummarize:
@@ -60,3 +60,54 @@ def test_bounds_hold(samples):
     assert stats.minimum - tolerance <= stats.mean <= stats.maximum + tolerance
     assert stats.std >= 0.0
     assert len(stats.samples) == len(samples)
+
+
+class TestPercentile:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.1)
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0.0, 37.0, 50.0, 95.0, 100.0):
+            assert percentile([4.2], q) == 4.2
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 5.0
+
+    def test_median_odd(self):
+        assert percentile([9.0, 1.0, 5.0], 50.0) == 5.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+
+    def test_linear_interpolation(self):
+        # rank = 0.75 * (3 - 1) = 1.5 -> halfway between 20 and 30
+        assert percentile([10.0, 20.0, 30.0], 75.0) == pytest.approx(25.0)
+
+    def test_input_order_irrelevant_and_unmodified(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 50.0) == 2.0
+        assert values == [3.0, 1.0, 2.0]
+
+    def test_shorthands(self):
+        values = list(range(101))  # 0..100: p-th percentile is p exactly
+        assert p50(values) == 50.0
+        assert p95(values) == 95.0
+        assert p99(values) == 99.0
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_percentile_within_bounds_and_monotone(self, samples, q):
+        value = percentile(samples, q)
+        assert min(samples) <= value <= max(samples)
+        assert percentile(samples, 0.0) <= value <= percentile(samples, 100.0)
