@@ -13,7 +13,7 @@ from repro.engine.objects import SyntheticArray
 from repro.scsql.compiler import QueryCompiler
 from repro.scsql.parser import parse_query
 from repro.scsql.session import SCSQSession
-from repro.sim import Simulator, Store
+from repro.sim import Resource, Simulator, Store
 
 QUERY3 = """
 select extract(c) from
@@ -49,6 +49,34 @@ def test_kernel_event_throughput(benchmark):
 
         sim.process(producer())
         sim.process(consumer())
+        sim.run()
+        return sim
+
+    benchmark(run)
+
+
+def test_kernel_resource_contention(benchmark):
+    """Many processes contending for one channel-like resource.
+
+    This is the shape of the torus fast path: every hop is a request /
+    hold / release cycle on a capacity-1 :class:`Resource`, with a waiter
+    queue that is mostly non-empty.  Tracks the resource fast paths
+    (inline succeed, deque waiters) the kernel optimizations target.
+    """
+
+    def run():
+        sim = Simulator()
+        channel = Resource(sim, capacity=1)
+
+        def hopper():
+            for _ in range(500):
+                request = channel.request()
+                yield request
+                yield sim.timeout(1e-6)
+                channel.release(request)
+
+        for _ in range(16):
+            sim.process(hopper())
         sim.run()
         return sim
 

@@ -2,19 +2,22 @@
 
 Usage::
 
-    python -m repro fig6 [--repeats N] [--quick] [OBS FLAGS]
-    python -m repro fig8 [--repeats N] [--quick] [OBS FLAGS]
-    python -m repro fig15 [--repeats N] [--quick] [OBS FLAGS]
-    python -m repro ablations [--repeats N] [--quick] [OBS FLAGS]
-    python -m repro scaling [--repeats N] [--quick] [OBS FLAGS]
-    python -m repro all [--repeats N] [--quick]
+    python -m repro fig6 [--repeats N] [--quick] [--jobs N] [OBS FLAGS]
+    python -m repro fig8 [--repeats N] [--quick] [--jobs N] [OBS FLAGS]
+    python -m repro fig15 [--repeats N] [--quick] [--jobs N] [OBS FLAGS]
+    python -m repro ablations [--repeats N] [--quick] [--jobs N] [OBS FLAGS]
+    python -m repro scaling [--repeats N] [--quick] [--jobs N] [OBS FLAGS]
+    python -m repro all [--repeats N] [--quick] [--jobs N]
     python -m repro query 'select ...;' [OBS FLAGS]
     python -m repro bench [--out B.json] [--baseline B.json]
-                          [--tolerance PCT] [--warn-only]
+                          [--tolerance PCT] [--warn-only] [--jobs N]
 
-``--quick`` runs a reduced sweep (seconds instead of minutes).  ``query``
-executes one SCSQL statement on a fresh default environment and prints the
-result and placements.
+``--quick`` runs a reduced sweep (seconds instead of minutes).  ``--jobs N``
+fans the independent (sweep-point, repeat) simulations over N worker
+processes with bit-identical results (see ``docs/performance.md``); the
+observability flags force in-process runs.  ``query`` executes one SCSQL
+statement on a fresh default environment and prints the result and
+placements.
 
 Observability flags (``OBS FLAGS``): ``--trace PATH`` records every
 simulated run and writes a Chrome ``trace_event`` file with per-flow hop
@@ -143,6 +146,7 @@ def _fig6(args) -> None:
         repeats=args.repeats,
         target_buffers=300 if args.quick else 1500,
         obs_factory=_obs_factory(args),
+        jobs=args.jobs,
     )
     print(result.format_table())
     print(
@@ -168,6 +172,7 @@ def _fig8(args) -> None:
         repeats=args.repeats,
         target_buffers=250 if args.quick else 1200,
         obs_factory=_obs_factory(args),
+        jobs=args.jobs,
     )
     print(result.format_table())
     print(f"-> balanced advantage: {result.balanced_advantage():.2f}x")
@@ -191,6 +196,7 @@ def _fig15(args) -> None:
         repeats=args.repeats,
         array_count=5 if args.quick else 10,
         obs_factory=_obs_factory(args),
+        jobs=args.jobs,
     )
     print(result.format_table())
     peak = result.peak(5)
@@ -209,6 +215,7 @@ def _ablations(args) -> None:
         repeats=args.repeats,
         count=4 if args.quick else 10,
         obs_factory=_obs_factory(args),
+        jobs=args.jobs,
     )
     print(selection.format_table())
     print()
@@ -218,6 +225,7 @@ def _ablations(args) -> None:
         else (500, 1000, 2000, 10_000, 100_000, 1_000_000),
         repeats=args.repeats,
         obs_factory=_obs_factory(args),
+        jobs=args.jobs,
     )
     print(buffers.format_table())
     if _wants_observation(args):
@@ -242,6 +250,7 @@ def _scaling(args) -> None:
         repeats=args.repeats,
         array_count=3 if args.quick else 5,
         obs_factory=_obs_factory(args),
+        jobs=args.jobs,
     )
     print(study.format_table())
     if _wants_observation(args):
@@ -313,7 +322,7 @@ def _bench(args) -> int:
         print("bench: nothing to do (pass --out and/or --baseline)",
               file=sys.stderr)
         return 2
-    metrics = run_bench(repeats=args.repeats, progress=print)
+    metrics = run_bench(repeats=args.repeats, progress=print, jobs=args.jobs)
     if args.out:
         write_bench(args.out, metrics, repeats=args.repeats)
         print(f"bench: {len(metrics)} metrics -> {args.out}")
@@ -368,6 +377,12 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"run the {name} experiment(s)")
         p.add_argument("--repeats", type=int, default=3, help="runs per point")
         p.add_argument("--quick", action="store_true", help="reduced sweep")
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="fan the independent (point, repeat) simulations over N "
+                 "worker processes; results are bit-identical to --jobs 1 "
+                 "(ignored when an observability flag forces in-process runs)",
+        )
         if observable:
             _add_observability_flags(p)
         p.set_defaults(func=func)
@@ -392,6 +407,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="report regressions without a failing exit code",
     )
     b.add_argument("--repeats", type=int, default=1, help="runs per bench point")
+    b.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the bench sweeps (wall-clock metrics "
+             "then measure the parallel harness)",
+    )
     b.set_defaults(func=_bench)
     q = sub.add_parser("query", help="execute one SCSQL statement")
     q.add_argument("text", help="the SCSQL statement")

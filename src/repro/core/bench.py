@@ -1,24 +1,30 @@
 """The perf-regression gate: BENCH JSON recording and baseline comparison.
 
 ``python -m repro bench`` runs a fast, deterministic subset of the paper's
-figure sweeps with flow tracing enabled and records two families of
-metrics per point:
+figure sweeps with flow tracing enabled and records three families of
+metrics:
 
 * ``<point>/mbps`` — mean measured bandwidth (higher is better), the
   quantity the paper's figures plot;
 * ``<point>/p50_ms`` and ``<point>/p95_ms`` — per-buffer end-to-end flow
   latency percentiles in milliseconds (lower is better), from the flow
-  recorder's completed records pooled over the repeats.
+  recorder's completed records pooled over the repeats;
+* ``<figure>/wall_s`` and ``<figure>/events_per_sec`` — host wall-clock
+  time and simulator event throughput per figure subset (lower / higher is
+  better), the quantities the DES kernel optimizations move.
 
 The direction of a metric is carried by its name suffix, so a baseline
 file stays self-describing: ``…/mbps`` regresses when it *drops* below
-baseline by more than the tolerance; ``…_ms`` regresses when it *rises*.
+baseline by more than the tolerance; ``…_ms`` and ``…_s`` regress when
+they *rise* (``events_per_sec`` ends in neither and is higher-is-better).
 
-The simulation is seeded (repeat k uses seed k), so on one code revision
-the recorded numbers are bit-identical run to run; any drift against a
-committed ``BENCH_baseline.json`` is a code change, not noise.  The
-tolerance exists for intentional-but-small calibration tweaks and for the
-day the sweep is widened.
+The simulated metrics are seeded (repeat k uses seed k), so on one code
+revision the recorded numbers are bit-identical run to run; any drift
+against a committed ``BENCH_baseline.json`` is a code change, not noise.
+The wall-clock family is *host-dependent* — it varies with the machine and
+its load — so it is compared under a much wider tolerance
+(:data:`WALL_CLOCK_TOLERANCE_PCT`) and is best consumed as a warn-only
+trend line in CI, not a hard gate.
 
 Workflow::
 
@@ -30,6 +36,7 @@ Workflow::
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -37,21 +44,20 @@ from repro.core.experiments.fig6 import point_to_point_query, scaled_workload
 from repro.core.experiments.fig8 import BALANCED, SEQUENTIAL, merge_query
 from repro.core.experiments.fig15 import inbound_query
 from repro.core.measurement import measure_query_bandwidth
+from repro.core.parallel import OBSERVE_FLOWS
 from repro.engine.settings import ExecutionSettings
-from repro.obs.instrument import Instrumentation
-from repro.obs.tracer import NULL_TRACER
 from repro.util.stats import percentile
 
 #: Schema version of the BENCH JSON document.
-BENCH_FORMAT_VERSION = 1
+BENCH_FORMAT_VERSION = 2
 
 #: Default regression tolerance, percent of the baseline value.
 DEFAULT_TOLERANCE_PCT = 5.0
 
-
-def _flows_only(_repeat: int) -> Instrumentation:
-    """Per-repeat instrumentation: flow tracing + metrics, no timeline."""
-    return Instrumentation(tracer=NULL_TRACER)
+#: Tolerance for host wall-clock metrics (``…/wall_s``,
+#: ``…/events_per_sec``): these vary with the machine running the bench,
+#: so only a gross collapse should trip the gate.
+WALL_CLOCK_TOLERANCE_PCT = 50.0
 
 
 @dataclass(frozen=True)
@@ -62,6 +68,11 @@ class BenchPoint:
     query: str
     payload_bytes: int
     settings: ExecutionSettings
+
+    @property
+    def figure(self) -> str:
+        """The figure subset the point belongs to (e.g. ``"fig6"``)."""
+        return self.name.split("[", 1)[0]
 
 
 def bench_points() -> List[BenchPoint]:
@@ -106,17 +117,38 @@ def bench_points() -> List[BenchPoint]:
 def run_bench(
     repeats: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> Dict[str, float]:
-    """Measure every bench point; returns the flat metric mapping."""
+    """Measure every bench point; returns the flat metric mapping.
+
+    With ``jobs > 1`` the repeats of each point fan out over worker
+    processes; the simulated metrics (mbps, latency percentiles) are
+    bit-identical either way.  The wall-clock family then measures the
+    *parallel* harness, so baselines should be recorded at the same
+    ``jobs`` they are gated at.
+    """
     metrics: Dict[str, float] = {}
+    wall_by_figure: Dict[str, float] = {}
+    events_by_figure: Dict[str, float] = {}
     for point in bench_points():
+        started = time.perf_counter()
         result = measure_query_bandwidth(
             point.query,
             point.payload_bytes,
             settings=point.settings,
             repeats=repeats,
-            obs_factory=_flows_only,
+            jobs=jobs,
+            observe=OBSERVE_FLOWS,
         )
+        wall = time.perf_counter() - started
+        events = sum(
+            report.metrics.counter("sim.events_processed")
+            for report in result.reports
+            if report.metrics is not None
+        )
+        figure = point.figure
+        wall_by_figure[figure] = wall_by_figure.get(figure, 0.0) + wall
+        events_by_figure[figure] = events_by_figure.get(figure, 0.0) + events
         latencies = [
             latency
             for obs in result.observations
@@ -128,7 +160,11 @@ def run_bench(
             metrics[f"{point.name}/p95_ms"] = percentile(latencies, 95.0) * 1e3
         if progress is not None:
             progress(f"{point.name}: {result.mean_mbps:.1f} Mbps, "
-                     f"{len(latencies)} flows")
+                     f"{len(latencies)} flows, {wall:.2f} s wall")
+    for figure, wall in sorted(wall_by_figure.items()):
+        metrics[f"{figure}/wall_s"] = wall
+        if wall > 0.0:
+            metrics[f"{figure}/events_per_sec"] = events_by_figure[figure] / wall
     return metrics
 
 
@@ -166,8 +202,19 @@ def load_bench(path: str) -> Dict[str, float]:
 # Comparison
 # ----------------------------------------------------------------------
 def higher_is_better(metric_name: str) -> bool:
-    """Metric direction by name suffix: bandwidth up, latency down."""
-    return not metric_name.endswith("_ms")
+    """Metric direction by name suffix: bandwidth and throughput up,
+    latency and wall time down.
+
+    ``…_ms`` and ``…_s`` are durations (lower is better); everything else
+    — ``…/mbps``, ``…/events_per_sec`` — is a rate (higher is better).
+    """
+    return not (metric_name.endswith("_ms") or metric_name.endswith("_s"))
+
+
+def is_wall_clock(metric_name: str) -> bool:
+    """Whether a metric measures host time (noisy) rather than simulated
+    behaviour (deterministic)."""
+    return metric_name.endswith("/wall_s") or metric_name.endswith("/events_per_sec")
 
 
 @dataclass(frozen=True)
@@ -211,8 +258,13 @@ def compare_bench(
     baseline: Dict[str, float],
     current: Dict[str, float],
     tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+    wall_clock_tolerance_pct: float = WALL_CLOCK_TOLERANCE_PCT,
 ) -> Tuple[List[MetricDelta], List[str]]:
     """Compare a run against a baseline.
+
+    Simulated metrics are gated at ``tolerance_pct``; wall-clock metrics
+    (:func:`is_wall_clock`) at the much wider ``wall_clock_tolerance_pct``
+    since they depend on the host running the bench.
 
     Returns:
         ``(deltas, new_metrics)``: one delta per baseline metric (missing
@@ -225,7 +277,9 @@ def compare_bench(
             name=name,
             baseline=value,
             current=current.get(name),
-            tolerance_pct=tolerance_pct,
+            tolerance_pct=(
+                wall_clock_tolerance_pct if is_wall_clock(name) else tolerance_pct
+            ),
         )
         for name, value in sorted(baseline.items())
     ]

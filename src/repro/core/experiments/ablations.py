@@ -29,7 +29,13 @@ from repro.coordinator.client_manager import ClientManager
 from repro.coordinator.coordinator import CoordinatorRegistry
 from repro.core.experiments.fig6 import point_to_point_query, scaled_workload
 from repro.core.experiments.fig8 import merge_query
-from repro.core.measurement import BandwidthResult, measure_query_bandwidth
+from repro.core.measurement import (
+    BandwidthResult,
+    PointSpec,
+    measure_points,
+    measure_query_bandwidth,
+)
+from repro.core.parallel import OBSERVE_NONE
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import Environment, EnvironmentConfig
 from repro.obs.instrument import Instrumentation
@@ -145,19 +151,53 @@ def run_node_selection_ablation(
     env_config: Optional[EnvironmentConfig] = None,
     base_seed: int = 0,
     obs_factory: Optional[Callable[[int], Instrumentation]] = None,
+    jobs: int = 1,
+    observe: str = OBSERVE_NONE,
 ) -> NodeSelectionAblation:
-    """Compare naive and knowledge-based automatic placement."""
+    """Compare naive and knowledge-based automatic placement.
+
+    ``obs_factory`` forces the in-process path; with ``jobs > 1`` every
+    (selector, n, repeat) simulation fans out over worker processes, the
+    selector named declaratively in the task payload.
+    """
     template = env_config or EnvironmentConfig()
-    results: List[SelectorResult] = []
-    for n in stream_counts:
-        for selector in (NaiveSelector(), KnowledgeBasedSelector()):
-            results.append(
-                _measure_with_selector(
-                    selector, n, array_bytes, count, repeats, template,
-                    base_seed, obs_factory,
+    if obs_factory is not None:
+        results: List[SelectorResult] = []
+        for n in stream_counts:
+            for selector in (NaiveSelector(), KnowledgeBasedSelector()):
+                results.append(
+                    _measure_with_selector(
+                        selector, n, array_bytes, count, repeats, template,
+                        base_seed, obs_factory,
+                    )
                 )
+        return NodeSelectionAblation(results=results)
+    specs = [
+        PointSpec(
+            key=(selector_name, n),
+            query=automatic_inbound_query(n, array_bytes, count),
+            payload_bytes=n * array_bytes * count,
+            settings=None,
+            selector=selector_name,
+        )
+        for n in stream_counts
+        for selector_name in ("naive", "knowledge")
+    ]
+    table = measure_points(
+        specs, repeats=repeats, env_config=template, base_seed=base_seed,
+        jobs=jobs, observe=observe,
+    )
+    return NodeSelectionAblation(
+        results=[
+            SelectorResult(
+                selector_name=selector_name,
+                n=n,
+                mbps=table[(selector_name, n)].mbps,
+                observations=table[(selector_name, n)].observations,
             )
-    return NodeSelectionAblation(results=results)
+            for (selector_name, n) in (spec.key for spec in specs)
+        ]
+    )
 
 
 # ----------------------------------------------------------------------
@@ -199,27 +239,59 @@ def run_buffer_choice_ablation(
     repeats: int = 3,
     env_config: Optional[EnvironmentConfig] = None,
     obs_factory: Optional[Callable[[int], Instrumentation]] = None,
+    jobs: int = 1,
+    observe: str = OBSERVE_NONE,
 ) -> BufferChoiceAblation:
     """Sweep buffer sizes for both patterns (balanced nodes, double buffers)."""
-    p2p: Dict[int, BandwidthResult] = {}
-    merge: Dict[int, BandwidthResult] = {}
+    if obs_factory is not None:
+        p2p: Dict[int, BandwidthResult] = {}
+        merge: Dict[int, BandwidthResult] = {}
+        for buffer_bytes in buffer_sizes:
+            array_bytes, count = scaled_workload(buffer_bytes, target_buffers=800)
+            settings = ExecutionSettings(
+                mpi_buffer_bytes=buffer_bytes, double_buffering=True
+            )
+            p2p[buffer_bytes] = measure_query_bandwidth(
+                point_to_point_query(array_bytes, count),
+                payload_bytes=array_bytes * count,
+                settings=settings,
+                repeats=repeats,
+                env_config=env_config,
+                obs_factory=obs_factory,
+            )
+            merge[buffer_bytes] = measure_query_bandwidth(
+                merge_query(array_bytes, count, 1, 4),
+                payload_bytes=2 * array_bytes * count,
+                settings=settings,
+                repeats=repeats,
+                env_config=env_config,
+                obs_factory=obs_factory,
+            )
+        return BufferChoiceAblation(p2p=p2p, merge=merge)
+    specs: List[PointSpec] = []
     for buffer_bytes in buffer_sizes:
         array_bytes, count = scaled_workload(buffer_bytes, target_buffers=800)
         settings = ExecutionSettings(mpi_buffer_bytes=buffer_bytes, double_buffering=True)
-        p2p[buffer_bytes] = measure_query_bandwidth(
-            point_to_point_query(array_bytes, count),
-            payload_bytes=array_bytes * count,
-            settings=settings,
-            repeats=repeats,
-            env_config=env_config,
-            obs_factory=obs_factory,
+        specs.append(
+            PointSpec(
+                key=("p2p", buffer_bytes),
+                query=point_to_point_query(array_bytes, count),
+                payload_bytes=array_bytes * count,
+                settings=settings,
+            )
         )
-        merge[buffer_bytes] = measure_query_bandwidth(
-            merge_query(array_bytes, count, 1, 4),
-            payload_bytes=2 * array_bytes * count,
-            settings=settings,
-            repeats=repeats,
-            env_config=env_config,
-            obs_factory=obs_factory,
+        specs.append(
+            PointSpec(
+                key=("merge", buffer_bytes),
+                query=merge_query(array_bytes, count, 1, 4),
+                payload_bytes=2 * array_bytes * count,
+                settings=settings,
+            )
         )
-    return BufferChoiceAblation(p2p=p2p, merge=merge)
+    table = measure_points(
+        specs, repeats=repeats, env_config=env_config, jobs=jobs, observe=observe
+    )
+    return BufferChoiceAblation(
+        p2p={size: table[("p2p", size)] for (kind, size) in (s.key for s in specs) if kind == "p2p"},
+        merge={size: table[("merge", size)] for (kind, size) in (s.key for s in specs) if kind == "merge"},
+    )

@@ -31,7 +31,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.measurement import BandwidthResult, measure_query_bandwidth
+from repro.core.measurement import (
+    BandwidthResult,
+    PointSpec,
+    measure_points,
+    measure_query_bandwidth,
+)
+from repro.core.parallel import OBSERVE_NONE
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import EnvironmentConfig
 from repro.obs.instrument import Instrumentation
@@ -161,26 +167,46 @@ def run_fig15(
     array_count: int = DEFAULT_ARRAY_COUNT,
     env_config: Optional[EnvironmentConfig] = None,
     obs_factory: Optional[Callable[[int], Instrumentation]] = None,
+    jobs: int = 1,
+    observe: str = OBSERVE_NONE,
 ) -> Fig15Result:
     """Run the Figure 15 sweep for the selected queries and stream counts.
 
     ``obs_factory`` (repeat index -> instrumentation) observes every repeat
-    of every point; see :func:`repro.core.measurement.measure_query_bandwidth`.
+    of every point and forces in-process execution; with ``jobs > 1`` all
+    (point, repeat) simulations fan out over worker processes.  See
+    :func:`repro.core.measurement.measure_query_bandwidth`.
     """
-    points: List[Fig15Point] = []
     settings = ExecutionSettings()
-    for query_number in queries:
-        for n in stream_counts:
-            query = inbound_query(query_number, n, array_bytes, array_count)
-            result = measure_query_bandwidth(
-                query,
-                payload_bytes=n * array_bytes * array_count,
-                settings=settings,
+    specs: List[PointSpec] = [
+        PointSpec(
+            key=(query_number, n),
+            query=inbound_query(query_number, n, array_bytes, array_count),
+            payload_bytes=n * array_bytes * array_count,
+            settings=settings,
+        )
+        for query_number in queries
+        for n in stream_counts
+    ]
+    if obs_factory is not None:
+        results = {
+            spec.key: measure_query_bandwidth(
+                spec.query,
+                payload_bytes=spec.payload_bytes,
+                settings=spec.settings,
                 repeats=repeats,
                 env_config=env_config,
                 obs_factory=obs_factory,
             )
-            points.append(
-                Fig15Point(query_number=query_number, n=n, result=result)
-            )
-    return Fig15Result(points=points)
+            for spec in specs
+        }
+    else:
+        results = measure_points(
+            specs, repeats=repeats, env_config=env_config, jobs=jobs, observe=observe
+        )
+    return Fig15Result(
+        points=[
+            Fig15Point(query_number=query_number, n=n, result=results[(query_number, n)])
+            for (query_number, n) in (spec.key for spec in specs)
+        ]
+    )

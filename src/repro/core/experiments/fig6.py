@@ -23,7 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.core.measurement import BandwidthResult, measure_query_bandwidth
+from repro.core.measurement import (
+    BandwidthResult,
+    PointSpec,
+    measure_points,
+    measure_query_bandwidth,
+)
+from repro.core.parallel import OBSERVE_NONE
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import EnvironmentConfig
 from repro.obs.instrument import Instrumentation
@@ -120,14 +126,18 @@ def run_fig6(
     target_buffers: int = 1500,
     env_config: Optional[EnvironmentConfig] = None,
     obs_factory: Optional[Callable[[int], Instrumentation]] = None,
+    jobs: int = 1,
+    observe: str = OBSERVE_NONE,
 ) -> Fig6Result:
     """Run the Figure 6 sweep and return both curves.
 
     ``obs_factory`` (repeat index -> instrumentation) observes every repeat
-    of every point; the instrumentations land on each point's
-    ``result.observations``.
+    of every point and forces in-process execution; the instrumentations
+    land on each point's ``result.observations``.  With ``jobs > 1`` (and
+    no ``obs_factory``) all (point, repeat) simulations fan out over worker
+    processes, bit-identically to a serial run.
     """
-    points: List[Fig6Point] = []
+    specs: List[PointSpec] = []
     for buffer_bytes in buffer_sizes:
         array_bytes, count = scaled_workload(buffer_bytes, target_buffers)
         query = point_to_point_query(array_bytes, count)
@@ -135,19 +145,37 @@ def run_fig6(
             settings = ExecutionSettings(
                 mpi_buffer_bytes=buffer_bytes, double_buffering=double_buffering
             )
-            result = measure_query_bandwidth(
-                query,
-                payload_bytes=array_bytes * count,
-                settings=settings,
+            specs.append(
+                PointSpec(
+                    key=(buffer_bytes, double_buffering),
+                    query=query,
+                    payload_bytes=array_bytes * count,
+                    settings=settings,
+                )
+            )
+    if obs_factory is not None:
+        results = {
+            spec.key: measure_query_bandwidth(
+                spec.query,
+                payload_bytes=spec.payload_bytes,
+                settings=spec.settings,
                 repeats=repeats,
                 env_config=env_config,
                 obs_factory=obs_factory,
             )
-            points.append(
-                Fig6Point(
-                    buffer_bytes=buffer_bytes,
-                    double_buffering=double_buffering,
-                    result=result,
-                )
+            for spec in specs
+        }
+    else:
+        results = measure_points(
+            specs, repeats=repeats, env_config=env_config, jobs=jobs, observe=observe
+        )
+    return Fig6Result(
+        points=[
+            Fig6Point(
+                buffer_bytes=buffer_bytes,
+                double_buffering=double_buffering,
+                result=results[(buffer_bytes, double_buffering)],
             )
-    return Fig6Result(points=points)
+            for (buffer_bytes, double_buffering) in (spec.key for spec in specs)
+        ]
+    )

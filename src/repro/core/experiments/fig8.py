@@ -23,7 +23,13 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.experiments.fig6 import scaled_workload
-from repro.core.measurement import BandwidthResult, measure_query_bandwidth
+from repro.core.measurement import (
+    BandwidthResult,
+    PointSpec,
+    measure_points,
+    measure_query_bandwidth,
+)
+from repro.core.parallel import OBSERVE_NONE
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import EnvironmentConfig
 from repro.obs.instrument import Instrumentation
@@ -123,13 +129,17 @@ def run_fig8(
     target_buffers: int = 1200,
     env_config: Optional[EnvironmentConfig] = None,
     obs_factory: Optional[Callable[[int], Instrumentation]] = None,
+    jobs: int = 1,
+    observe: str = OBSERVE_NONE,
 ) -> Fig8Result:
     """Run the Figure 8 sweep and return all four curves.
 
     ``obs_factory`` (repeat index -> instrumentation) observes every repeat
-    of every point; see :func:`repro.core.measurement.measure_query_bandwidth`.
+    of every point and forces in-process execution; with ``jobs > 1`` all
+    (point, repeat) simulations fan out over worker processes.  See
+    :func:`repro.core.measurement.measure_query_bandwidth`.
     """
-    points: List[Fig8Point] = []
+    specs: List[PointSpec] = []
     for buffer_bytes in buffer_sizes:
         array_bytes, count = scaled_workload(buffer_bytes, target_buffers)
         for balanced in (False, True):
@@ -139,20 +149,38 @@ def run_fig8(
                 settings = ExecutionSettings(
                     mpi_buffer_bytes=buffer_bytes, double_buffering=double_buffering
                 )
-                result = measure_query_bandwidth(
-                    query,
-                    payload_bytes=2 * array_bytes * count,
-                    settings=settings,
-                    repeats=repeats,
-                    env_config=env_config,
-                    obs_factory=obs_factory,
-                )
-                points.append(
-                    Fig8Point(
-                        buffer_bytes=buffer_bytes,
-                        balanced=balanced,
-                        double_buffering=double_buffering,
-                        result=result,
+                specs.append(
+                    PointSpec(
+                        key=(buffer_bytes, balanced, double_buffering),
+                        query=query,
+                        payload_bytes=2 * array_bytes * count,
+                        settings=settings,
                     )
                 )
-    return Fig8Result(points=points)
+    if obs_factory is not None:
+        results = {
+            spec.key: measure_query_bandwidth(
+                spec.query,
+                payload_bytes=spec.payload_bytes,
+                settings=spec.settings,
+                repeats=repeats,
+                env_config=env_config,
+                obs_factory=obs_factory,
+            )
+            for spec in specs
+        }
+    else:
+        results = measure_points(
+            specs, repeats=repeats, env_config=env_config, jobs=jobs, observe=observe
+        )
+    return Fig8Result(
+        points=[
+            Fig8Point(
+                buffer_bytes=buffer_bytes,
+                balanced=balanced,
+                double_buffering=double_buffering,
+                result=results[(buffer_bytes, balanced, double_buffering)],
+            )
+            for (buffer_bytes, balanced, double_buffering) in (s.key for s in specs)
+        ]
+    )

@@ -118,8 +118,14 @@ def run_scaling_study(
     array_bytes: int = 3_000_000,
     array_count: int = 5,
     obs_factory: Optional[Callable[[int], Instrumentation]] = None,
+    jobs: int = 1,
+    observe: str = "none",
 ) -> ScalingStudy:
-    """Measure inbound peak bandwidth across partition sizes and uplinks."""
+    """Measure inbound peak bandwidth across partition sizes and uplinks.
+
+    Each point uses its own environment shape, so with ``jobs > 1`` the
+    repeats of one point run in parallel (points stay sequential).
+    """
     points: List[ScalingPoint] = []
     for shape, num_io in partitions:
         for uplink in uplinks_gbps:
@@ -134,6 +140,8 @@ def run_scaling_study(
                     repeats=repeats,
                     env_config=env_config,
                     obs_factory=obs_factory,
+                    jobs=jobs,
+                    observe=observe,
                 )
                 points.append(
                     ScalingPoint(

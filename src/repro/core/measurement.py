@@ -14,11 +14,18 @@ and summarizes the repeats.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.coordinator.client_manager import ExecutionReport
+from repro.core.parallel import (
+    OBSERVE_FLOWS,
+    OBSERVE_NONE,
+    SweepExecutor,
+    SweepTask,
+    TaskOutcome,
+)
 from repro.engine.settings import ExecutionSettings
-from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.hardware.environment import Environment, EnvironmentConfig, EnvironmentTemplate
 from repro.obs.instrument import Instrumentation
 from repro.scsql.session import SCSQSession
 from repro.util.errors import MeasurementError
@@ -68,6 +75,97 @@ class BandwidthResult:
         return f"{self.mbps.mean:.1f} ± {self.mbps.std:.1f} Mbps"
 
 
+@dataclass(frozen=True)
+class PointSpec:
+    """One sweep point of a multi-point measurement.
+
+    Attributes:
+        key: Hashable identity of the point (e.g. ``("fig6", 200, True)``);
+            the result table of :func:`measure_points` is keyed by it.
+        query: The SCSQL select query to run.
+        payload_bytes: Payload volume the query streams.
+        settings: Engine settings, or None for defaults.
+        selector: Optional node-selector name (ablation path); see
+            :data:`repro.core.parallel.SELECTORS`.
+    """
+
+    key: Any
+    query: str
+    payload_bytes: int
+    settings: Optional[ExecutionSettings] = None
+    selector: Optional[str] = None
+
+
+def _result_from_outcomes(
+    outcomes: Sequence[TaskOutcome], payload_bytes: int
+) -> BandwidthResult:
+    """Assemble one point's :class:`BandwidthResult` from its repeats."""
+    samples: List[float] = []
+    reports: List[ExecutionReport] = []
+    observations: List[Instrumentation] = []
+    for k, outcome in enumerate(outcomes):
+        report = outcome.report
+        reports.append(report)
+        if report.duration <= 0.0:
+            raise MeasurementError(
+                f"repeat {k} finished in non-positive simulated time "
+                f"({report.duration!r}); bandwidth is undefined"
+            )
+        samples.append(payload_bytes * 8.0 / report.duration / MEGA)
+        obs = outcome.observation()
+        if obs is not None:
+            observations.append(obs)
+    return BandwidthResult(
+        mbps=summarize(samples),
+        payload_bytes=payload_bytes,
+        reports=reports,
+        observations=observations,
+    )
+
+
+def measure_points(
+    specs: Sequence[PointSpec],
+    repeats: int = DEFAULT_REPEATS,
+    env_config: Optional[EnvironmentConfig] = None,
+    base_seed: int = 0,
+    jobs: int = 1,
+    observe: str = OBSERVE_NONE,
+    executor: Optional[SweepExecutor] = None,
+) -> Dict[Any, BandwidthResult]:
+    """Measure several sweep points, fanning every (point, repeat) task out.
+
+    All ``len(specs) * repeats`` simulations are independent, so they are
+    submitted to one :class:`~repro.core.parallel.SweepExecutor` together
+    — with ``jobs > 1`` the whole figure sweep parallelizes, not just the
+    repeats of one point.  Results come back keyed by ``spec.key``, each
+    assembled from its repeats in seed order regardless of completion
+    order, so the table is bit-identical to a serial sweep.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    config = env_config or EnvironmentConfig()
+    tasks = [
+        SweepTask(
+            point_key=spec.key,
+            seed=base_seed + k,
+            query=spec.query,
+            payload_bytes=spec.payload_bytes,
+            settings=spec.settings,
+            env_config=config,
+            observe=observe,
+            selector=spec.selector,
+        )
+        for spec in specs
+        for k in range(repeats)
+    ]
+    outcomes = (executor or SweepExecutor(jobs)).run(tasks)
+    results: Dict[Any, BandwidthResult] = {}
+    for index, spec in enumerate(specs):
+        point_outcomes = outcomes[index * repeats:(index + 1) * repeats]
+        results[spec.key] = _result_from_outcomes(point_outcomes, spec.payload_bytes)
+    return results
+
+
 def measure_query_bandwidth(
     query: str,
     payload_bytes: int,
@@ -77,6 +175,9 @@ def measure_query_bandwidth(
     base_seed: int = 0,
     prepare: Optional[Callable[[SCSQSession], None]] = None,
     obs_factory: Optional[Callable[[int], Instrumentation]] = None,
+    jobs: int = 1,
+    observe: str = OBSERVE_NONE,
+    executor: Optional[SweepExecutor] = None,
 ) -> BandwidthResult:
     """Measure the streaming bandwidth of one SCSQL query.
 
@@ -91,47 +192,67 @@ def measure_query_bandwidth(
         base_seed: Seed of the first repeat; repeat k uses base_seed + k.
         prepare: Optional callback run against each fresh session before
             the query (e.g. defining functions or registering sources).
+            Forces the in-process path (callbacks don't cross processes).
         obs_factory: Optional factory called with the repeat index; its
             :class:`~repro.obs.Instrumentation` is installed on that
             repeat's fresh environment and attached to the result, so the
             run's internal mechanism (resource contention, queue depths)
-            is inspectable per repeat.
+            is inspectable per repeat.  Forces the in-process path; for
+            parallel runs that only need flow latencies, pass
+            ``observe="flows"`` instead.
+        jobs: Fan the repeats over this many worker processes.  ``jobs=1``
+            runs in-process; results are bit-identical either way.
+        observe: Declarative instrumentation spec for the worker path
+            (:data:`~repro.core.parallel.OBSERVE_NONE` or
+            :data:`~repro.core.parallel.OBSERVE_FLOWS`).
+        executor: Reuse an existing :class:`~repro.core.parallel.SweepExecutor`
+            instead of creating one from ``jobs``.
 
     Returns:
         The summarized result, with per-run reports attached.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    template = env_config or EnvironmentConfig()
-    samples: List[float] = []
-    reports: List[ExecutionReport] = []
-    observations: List[Instrumentation] = []
-    for k in range(repeats):
-        config = EnvironmentConfig(
-            bluegene=template.bluegene,
-            backend_nodes=template.backend_nodes,
-            frontend_nodes=template.frontend_nodes,
-            params=template.params,
-            seed=base_seed + k,
-        )
-        obs = obs_factory(k) if obs_factory is not None else None
-        if obs is not None:
-            observations.append(obs)
-        session = SCSQSession(Environment(config, obs=obs), settings)
-        if prepare is not None:
-            prepare(session)
-        report = session.execute(query, settings)
-        assert report is not None  # select queries always report
-        reports.append(report)
-        if report.duration <= 0.0:
-            raise MeasurementError(
-                f"repeat {k} finished in non-positive simulated time "
-                f"({report.duration!r}); bandwidth is undefined"
+    template_config = env_config or EnvironmentConfig()
+    if prepare is not None or obs_factory is not None:
+        # Legacy in-process loop: arbitrary callables cannot be shipped to
+        # spawn workers.  Still reuses one topology template across repeats.
+        template = EnvironmentTemplate(template_config)
+        samples: List[float] = []
+        reports: List[ExecutionReport] = []
+        observations: List[Instrumentation] = []
+        for k in range(repeats):
+            config = EnvironmentConfig(
+                bluegene=template_config.bluegene,
+                backend_nodes=template_config.backend_nodes,
+                frontend_nodes=template_config.frontend_nodes,
+                params=template_config.params,
+                seed=base_seed + k,
             )
-        samples.append(payload_bytes * 8.0 / report.duration / MEGA)
-    return BandwidthResult(
-        mbps=summarize(samples),
-        payload_bytes=payload_bytes,
-        reports=reports,
-        observations=observations,
+            obs = obs_factory(k) if obs_factory is not None else None
+            if obs is not None:
+                observations.append(obs)
+            session = SCSQSession(Environment(config, obs=obs, template=template), settings)
+            if prepare is not None:
+                prepare(session)
+            report = session.execute(query, settings)
+            assert report is not None  # select queries always report
+            reports.append(report)
+            if report.duration <= 0.0:
+                raise MeasurementError(
+                    f"repeat {k} finished in non-positive simulated time "
+                    f"({report.duration!r}); bandwidth is undefined"
+                )
+            samples.append(payload_bytes * 8.0 / report.duration / MEGA)
+        return BandwidthResult(
+            mbps=summarize(samples),
+            payload_bytes=payload_bytes,
+            reports=reports,
+            observations=observations,
+        )
+    spec = PointSpec(key="point", query=query, payload_bytes=payload_bytes, settings=settings)
+    results = measure_points(
+        [spec], repeats=repeats, env_config=template_config, base_seed=base_seed,
+        jobs=jobs, observe=observe, executor=executor,
     )
+    return results["point"]

@@ -1,0 +1,193 @@
+"""Parallel execution of independent sweep points.
+
+Every figure in the paper is a sweep of *independent* simulations — each
+(sweep-point, repeat) pair runs its own query on its own freshly seeded
+environment and shares nothing with any other run.  :class:`SweepExecutor`
+exploits that embarrassing parallelism by fanning :class:`SweepTask`
+payloads over a ``spawn``-based :class:`~concurrent.futures.ProcessPoolExecutor`
+and merging the outcomes **in task order**, independent of worker completion
+order, so parallel results are bit-identical to a serial run.
+
+Design constraints:
+
+* Tasks are frozen, picklable descriptions keyed by ``(point_key, seed)``;
+  the worker re-derives everything else (environment, session, selector)
+  from them, and both the serial and parallel paths execute the *same*
+  module-level :func:`run_sweep_task`, which is what makes jobs=1 and
+  jobs=N provably equivalent.
+* Observability cannot ship arbitrary ``obs_factory`` callables across a
+  process boundary; instead a task carries a declarative ``observe`` spec
+  (:data:`OBSERVE_NONE` or :data:`OBSERVE_FLOWS`) and the worker returns
+  the picklable :class:`~repro.obs.flow.FlowRecord` list, which the parent
+  wraps back into an :class:`~repro.obs.Instrumentation`.  Callers that
+  need richer in-process instrumentation (tracers, custom hooks) keep the
+  serial ``obs_factory`` path in :mod:`repro.core.measurement`.
+* Workers cache one :class:`~repro.hardware.environment.EnvironmentTemplate`
+  per topology (:func:`~repro.hardware.environment.shared_template`), so a
+  worker that runs many repeats of the same sweep pays the topology build
+  once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from repro.coordinator.allocation import (
+    KnowledgeBasedSelector,
+    NaiveSelector,
+    NodeSelector,
+)
+from repro.coordinator.client_manager import ClientManager, ExecutionReport
+from repro.coordinator.coordinator import CoordinatorRegistry
+from repro.engine.settings import ExecutionSettings
+from repro.hardware.environment import Environment, EnvironmentConfig, shared_template
+from repro.obs.flow import FlowRecord, FlowRecorder
+from repro.obs.instrument import Instrumentation
+from repro.obs.tracer import NULL_TRACER
+from repro.scsql.compiler import QueryCompiler
+from repro.scsql.parser import parse_query
+from repro.scsql.session import SCSQSession
+
+#: No instrumentation: the run pays one attribute check per hook site.
+OBSERVE_NONE = "none"
+#: Flows + metrics instrumentation (no timeline tracer): what the bench and
+#: the latency-percentile reports need, and cheap enough for full sweeps.
+OBSERVE_FLOWS = "flows"
+
+#: Node selectors a task may name (ablation sweeps); values are the selector
+#: classes, instantiated fresh inside the worker.
+SELECTORS: Dict[str, Type[NodeSelector]] = {
+    "naive": NaiveSelector,
+    "knowledge": KnowledgeBasedSelector,
+}
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One (sweep-point, repeat) simulation, as a spawn-safe payload.
+
+    Attributes:
+        point_key: Hashable identity of the sweep point; outcomes of the
+            same point are grouped under this key by the drivers.
+        seed: Jitter seed of this repeat (overrides ``env_config.seed``).
+        query: The SCSQL query text to execute.
+        payload_bytes: Payload volume the query streams (for bandwidth).
+        settings: Engine settings, or None for defaults.
+        env_config: Environment shape/cost model (seed field ignored).
+        observe: :data:`OBSERVE_NONE` or :data:`OBSERVE_FLOWS`.
+        selector: Optional :data:`SELECTORS` name; when set the query is
+            placed by that node-selection algorithm instead of the default
+            session pipeline (the ablation path).
+    """
+
+    point_key: Any
+    seed: int
+    query: str
+    payload_bytes: int
+    settings: Optional[ExecutionSettings] = None
+    env_config: EnvironmentConfig = EnvironmentConfig()
+    observe: str = OBSERVE_NONE
+    selector: Optional[str] = None
+
+
+@dataclass
+class TaskOutcome:
+    """What one :class:`SweepTask` produced (picklable)."""
+
+    point_key: Any
+    seed: int
+    report: ExecutionReport
+    flow_records: List[FlowRecord] = field(default_factory=list)
+    observed: bool = False
+
+    def observation(self) -> Optional[Instrumentation]:
+        """Rebuild the repeat's instrumentation from the shipped records.
+
+        The reconstructed hub carries the completed flows (so latency
+        percentiles and :meth:`~repro.obs.flow.FlowRecorder.latencies` work
+        exactly as in-process) but no timeline tracer.
+        """
+        if not self.observed:
+            return None
+        flows = FlowRecorder()
+        flows._completed = list(self.flow_records)
+        return Instrumentation(tracer=NULL_TRACER, flows=flows)
+
+
+def _make_obs(observe: str) -> Optional[Instrumentation]:
+    if observe == OBSERVE_NONE:
+        return None
+    if observe == OBSERVE_FLOWS:
+        return Instrumentation(tracer=NULL_TRACER)
+    raise ValueError(f"unknown observe spec {observe!r}")
+
+
+def run_sweep_task(task: SweepTask) -> TaskOutcome:
+    """Execute one task in the current process.
+
+    This is the single execution path for serial *and* parallel sweeps:
+    :class:`SweepExecutor` calls it inline for ``jobs=1`` and ships it to
+    pool workers otherwise.
+    """
+    config = replace(task.env_config, seed=task.seed)
+    obs = _make_obs(task.observe)
+    env = Environment(config, obs=obs, template=shared_template(config))
+    if task.selector is None:
+        session = SCSQSession(env, task.settings)
+        report = session.execute(task.query, task.settings)
+    else:
+        selector = SELECTORS[task.selector]()
+        coordinators = CoordinatorRegistry(env, selector)
+        compiler = QueryCompiler(env)
+        graph = compiler.compile_select(parse_query(task.query))
+        manager = ClientManager(env, coordinators)
+        report = manager.execute(graph, task.settings or ExecutionSettings())
+    assert report is not None  # select queries always report
+    flow_records = list(obs.flows.completed) if obs is not None else []
+    return TaskOutcome(
+        point_key=task.point_key,
+        seed=task.seed,
+        report=report,
+        flow_records=flow_records,
+        observed=obs is not None,
+    )
+
+
+class SweepExecutor:
+    """Runs independent sweep tasks, in-process or over worker processes.
+
+    Args:
+        jobs: Maximum worker processes.  ``jobs=1`` (the default) executes
+            every task inline in submission order — no pool, no pickling.
+    """
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, tasks: Sequence[SweepTask]) -> List[TaskOutcome]:
+        """Execute ``tasks``; outcomes are returned in task order.
+
+        The merge is deterministic regardless of worker completion order:
+        outcome ``i`` is always the result of ``tasks[i]``.
+        """
+        tasks = list(tasks)
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [run_sweep_task(task) for task in tasks]
+        # ``spawn`` workers re-import the package from a clean interpreter
+        # (inheriting sys.path), so tasks never depend on forked state.
+        context = multiprocessing.get_context("spawn")
+        workers = min(self.jobs, len(tasks))
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = [pool.submit(run_sweep_task, task) for task in tasks]
+            for index, future in enumerate(futures):
+                outcomes[index] = future.result()
+        return outcomes  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return f"<SweepExecutor jobs={self.jobs}>"

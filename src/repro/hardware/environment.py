@@ -22,7 +22,7 @@ from repro.net.channels import Channel, LatencyChannel, MpiChannel, TcpChannel
 from repro.net.ethernet import EthernetFabric
 from repro.net.jitter import Jitter
 from repro.net.params import NetworkParams
-from repro.net.torus import TorusNetwork
+from repro.net.torus import RouteTable, TorusNetwork
 from repro.sim import Resource, Simulator, Store
 from repro.util.errors import HardwareError
 
@@ -49,33 +49,114 @@ class EnvironmentConfig:
     seed: int = 0
 
 
+def _topology_key(config: EnvironmentConfig):
+    """The seed-independent part of a config: what a template depends on."""
+    return (config.bluegene, config.backend_nodes, config.frontend_nodes, config.params)
+
+
+class EnvironmentTemplate:
+    """Reusable, seed-independent topology of an :class:`Environment`.
+
+    Building the BlueGene partition, the Linux clusters and the CNDBs (and
+    warming the torus route memo) is the expensive part of environment
+    construction and depends only on the topology fields of the config — not
+    on the per-repeat seed.  A measurement sweep builds one template and
+    hands it to each per-repeat :class:`Environment`, which then only
+    creates the simulator, jitter, and fresh network instances.
+
+    The shared pieces carry a little per-run mutable status
+    (``Node.running_processes``, the CNDB round-robin cursors);
+    :meth:`reset` returns them to the freshly-built state and is invoked by
+    every :class:`Environment` instantiation, so repeats sharing a template
+    are bit-identical to repeats building from scratch.  Templates therefore
+    must not be shared by *concurrently live* environments within a process;
+    the measurement harness uses environments strictly one at a time.
+    """
+
+    def __init__(self, config: EnvironmentConfig = EnvironmentConfig()):
+        self.config = config
+        self.bluegene = BlueGene(config.bluegene)
+        self.backend = LinuxCluster(LinuxClusterConfig(BACKEND, config.backend_nodes))
+        self.frontend = LinuxCluster(LinuxClusterConfig(FRONTEND, config.frontend_nodes))
+        self.routes = RouteTable(self.bluegene)
+        self.cndbs: Dict[str, ComputeNodeDatabase] = {
+            BLUEGENE: ComputeNodeDatabase(BLUEGENE, self.bluegene.compute_nodes),
+            BACKEND: ComputeNodeDatabase(BACKEND, self.backend.nodes),
+            FRONTEND: ComputeNodeDatabase(FRONTEND, self.frontend.nodes),
+        }
+
+    def matches(self, config: EnvironmentConfig) -> bool:
+        """True if ``config`` describes the same topology as this template."""
+        return _topology_key(config) == _topology_key(self.config)
+
+    def reset(self) -> None:
+        """Return the shared mutable status to the freshly-built state."""
+        for cndb in self.cndbs.values():
+            cndb._rr_cursor = 0
+            for node in cndb._nodes:
+                node.running_processes = 0
+        for node in self.bluegene.io_nodes:
+            node.running_processes = 0
+
+
+#: Per-process template cache used by the sweep executor's workers, keyed on
+#: the seed-independent topology of the config.
+_TEMPLATE_CACHE: Dict[tuple, EnvironmentTemplate] = {}
+
+
+def shared_template(config: EnvironmentConfig) -> EnvironmentTemplate:
+    """A per-process cached :class:`EnvironmentTemplate` for ``config``."""
+    key = _topology_key(config)
+    template = _TEMPLATE_CACHE.get(key)
+    if template is None:
+        template = _TEMPLATE_CACHE[key] = EnvironmentTemplate(config)
+    return template
+
+
 class Environment:
     """The heterogeneous parallel computing environment under measurement.
 
     Pass an :class:`~repro.obs.Instrumentation` as ``obs`` to trace and
     meter everything this environment's simulator runs; by default the
     shared null hub is used and observability costs nothing.
+
+    Pass an :class:`EnvironmentTemplate` as ``template`` to reuse an
+    already-built topology (psets, CNDBs, route memo) across repeats; the
+    template is reset to its freshly-built state, so results are identical
+    to building from scratch.
     """
 
-    def __init__(self, config: EnvironmentConfig = EnvironmentConfig(), obs=None):
+    def __init__(
+        self,
+        config: EnvironmentConfig = EnvironmentConfig(),
+        obs=None,
+        template: "EnvironmentTemplate | None" = None,
+    ):
+        if template is None:
+            template = EnvironmentTemplate(config)
+        elif not template.matches(config):
+            raise HardwareError(
+                f"environment template built for {template.config!r} "
+                f"does not match config {config!r}"
+            )
+        else:
+            template.reset()
         self.config = config
+        self.template = template
         self.sim = Simulator(obs=obs)
         self.obs = self.sim.obs
         self.jitter = Jitter(magnitude=config.params.jitter, seed=config.seed)
-        self.bluegene = BlueGene(config.bluegene)
-        self.backend = LinuxCluster(LinuxClusterConfig(BACKEND, config.backend_nodes))
-        self.frontend = LinuxCluster(LinuxClusterConfig(FRONTEND, config.frontend_nodes))
+        self.bluegene = template.bluegene
+        self.backend = template.backend
+        self.frontend = template.frontend
         self.torus = TorusNetwork(
-            self.sim, self.bluegene, config.params.torus, self.jitter
+            self.sim, self.bluegene, config.params.torus, self.jitter,
+            routes=template.routes,
         )
         self.fabric = EthernetFabric(
             self.sim, self.bluegene, self.torus, config.params, self.jitter
         )
-        self.cndbs: Dict[str, ComputeNodeDatabase] = {
-            BLUEGENE: ComputeNodeDatabase(BLUEGENE, self.bluegene.compute_nodes),
-            BACKEND: ComputeNodeDatabase(BACKEND, self.backend.nodes),
-            FRONTEND: ComputeNodeDatabase(FRONTEND, self.frontend.nodes),
-        }
+        self.cndbs: Dict[str, ComputeNodeDatabase] = template.cndbs
         self._cpus: Dict[str, Resource] = {}
 
     @property

@@ -53,6 +53,49 @@ def _axis_steps(src: int, dst: int, size: int) -> List[int]:
     return [-1] * backward
 
 
+class RouteTable:
+    """Memo table of XYZ dimension-ordered routes over one torus topology.
+
+    Routes are pure functions of the torus shape, so one table can be shared
+    by every :class:`TorusNetwork` over the same :class:`BlueGene` topology —
+    including across repeats of a measurement sweep, where the environment
+    template cache hands the same table to each fresh network instance.
+
+    The cached path lists are returned by reference and must be treated as
+    read-only by callers.
+    """
+
+    def __init__(self, bluegene: BlueGene):
+        self.bluegene = bluegene
+        self._routes: Dict[Tuple[int, int], List[int]] = {}
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Compute-node path from ``src`` to ``dst`` (inclusive), memoized."""
+        key = (src, dst)
+        path = self._routes.get(key)
+        if path is None:
+            path = self._routes[key] = self.compute(src, dst)
+        return path
+
+    def compute(self, src: int, dst: int) -> List[int]:
+        """Freshly compute the XYZ dimension-ordered path (no memoization)."""
+        bluegene = self.bluegene
+        shape = bluegene.config.torus_shape
+        if src == dst:
+            return [src]
+        path = [src]
+        coord = list(bluegene.coord_of(src))
+        target = bluegene.coord_of(dst)
+        for axis in range(3):
+            for step in _axis_steps(coord[axis], target[axis], shape[axis]):
+                coord[axis] = (coord[axis] + step) % shape[axis]
+                path.append(bluegene.index_of(tuple(coord)))
+        return path
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+
 class TorusNetwork:
     """Contention-aware 3D torus carrying MPI stream buffers."""
 
@@ -62,11 +105,13 @@ class TorusNetwork:
         bluegene: BlueGene,
         params: TorusParams = TorusParams(),
         jitter: Optional[Jitter] = None,
+        routes: Optional[RouteTable] = None,
     ):
         self.sim = sim
         self.bluegene = bluegene
         self.params = params
         self.jitter = jitter or Jitter()
+        self.routes = routes if routes is not None else RouteTable(bluegene)
         self._links: Dict[Tuple[int, int], Resource] = {}
         self._coprocessors: Dict[int, Resource] = {}
         self._last_source: Dict[int, Optional[str]] = {}
@@ -81,18 +126,12 @@ class TorusNetwork:
     # Topology
     # ------------------------------------------------------------------
     def route(self, src: int, dst: int) -> List[int]:
-        """Compute-node path from ``src`` to ``dst`` (inclusive), XYZ-ordered."""
-        shape = self.bluegene.config.torus_shape
-        if src == dst:
-            return [src]
-        path = [src]
-        coord = list(self.bluegene.coord_of(src))
-        target = self.bluegene.coord_of(dst)
-        for axis in range(3):
-            for step in _axis_steps(coord[axis], target[axis], shape[axis]):
-                coord[axis] = (coord[axis] + step) % shape[axis]
-                path.append(self.bluegene.index_of(tuple(coord)))
-        return path
+        """Compute-node path from ``src`` to ``dst`` (inclusive), XYZ-ordered.
+
+        Delegates to the (possibly shared) :class:`RouteTable`; route lookup
+        is per-buffer on the transfer hot path, so this is memoized.
+        """
+        return self.routes.route(src, dst)
 
     def hop_count(self, src: int, dst: int) -> int:
         """Number of torus links on the route from ``src`` to ``dst``."""

@@ -20,19 +20,19 @@ Typical use::
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.obs.instrument import NULL_OBS, NullInstrumentation
-from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+from repro.sim.events import _NORMAL, _URGENT, AllOf, AnyOf, Event, Process, Timeout
 from repro.util.errors import SimulationError
 
 # Queue entries: (time, priority, sequence, event).  ``priority`` orders
 # same-time events (urgent events such as process initialization first) and
-# ``sequence`` keeps insertion order for determinism.
-_URGENT = 0
-_NORMAL = 1
+# ``sequence`` keeps insertion order for determinism.  The rank constants
+# live in repro.sim.events so that Event.succeed/fail can inline the
+# zero-delay schedule without importing this module.
 
 
 class Simulator:
@@ -89,7 +89,7 @@ class Simulator:
     def _schedule(self, event: Event, delay: float = 0.0, priority: bool = False) -> None:
         """Put a triggered event on the queue for processing."""
         rank = _URGENT if priority else _NORMAL
-        heapq.heappush(self._queue, (self._now + delay, rank, next(self._sequence), event))
+        heappush(self._queue, (self._now + delay, rank, next(self._sequence), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
@@ -106,15 +106,21 @@ class Simulator:
         """
         if not self._queue:
             raise SimulationError("cannot step an empty event queue")
-        when, _rank, _seq, event = heapq.heappop(self._queue)
+        when, _rank, _seq, event = heappop(self._queue)
         if when < self._now:
             raise SimulationError("event scheduled in the past (scheduler bug)")
         self._now = when
         if self.obs.enabled:
             self.obs.on_step(event, when)
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        callbacks = event.callbacks
+        event.callbacks = None
+        if len(callbacks) == 1:
+            # Most events have exactly one waiter (the process that yielded
+            # them); skip the loop machinery for that case.
+            callbacks[0](event)
+        else:
+            for callback in callbacks:
+                callback(event)
         if event._ok is False and not event._defused:
             exc = event._value
             raise SimulationError(
@@ -127,13 +133,48 @@ class Simulator:
         Returns:
             The simulated time when the run stopped.
         """
-        if until is not None and until < self._now:
+        if until is None:
+            # Inlined step() loop: the drain-the-queue run is the measurement
+            # harness's main loop, and the per-event function-call overhead of
+            # delegating to step() is measurable at millions of events.  The
+            # body below must stay semantically identical to step().
+            queue = self._queue
+            obs = self.obs
+            now = self._now
+            while queue:
+                when, _rank, _seq, event = heappop(queue)
+                if when < now:
+                    raise SimulationError("event scheduled in the past (scheduler bug)")
+                now = self._now = when
+                if obs.enabled:
+                    obs.on_step(event, when)
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if event._ok is False and not event._defused:
+                    exc = event._value
+                    raise SimulationError(
+                        f"unhandled failure in simulation: {exc!r}"
+                    ) from exc
+                now = self._now
+            return self._now
+        if until < self._now:
             raise SimulationError(f"cannot run until {until!r}, already at {self._now!r}")
-        while self._queue:
-            if until is not None and self.peek() > until:
+        queue = self._queue
+        step = self.step
+        while queue:
+            if queue[0][0] > until:
                 self._now = until
-                break
-            self.step()
+                return until
+            step()
+        # The queue drained before reaching ``until``: the clock still
+        # advances to the requested horizon.
+        if until > self._now:
+            self._now = until
         return self._now
 
     def run_process(self, generator: Generator, name: str = "") -> Any:

@@ -16,6 +16,7 @@ around the ``yield``.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional, Sequence
 
 from repro.util.errors import SimulationError
@@ -26,9 +27,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 # Sentinel distinguishing "no value yet" from a legitimate None value.
 _PENDING = object()
 
+# Queue-entry ranks; the scheduler (repro.sim.core) imports these.  Urgent
+# events (process initialization, interrupts) run before normal events
+# scheduled for the same instant.
+_URGENT = 0
+_NORMAL = 1
+
 
 class Event:
     """A one-shot occurrence in simulated time that processes can wait on."""
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -74,11 +83,15 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value`` as payload."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self)
+        # Inlined zero-delay normal-priority scheduling (the hottest path in
+        # the kernel: every store handoff and resource grant goes through
+        # here); equivalent to ``self.sim._schedule(self)``.
+        sim = self.sim
+        heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -88,11 +101,12 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() requires an exception, got {exception!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self)
+        sim = self.sim
+        heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), self))
         return self
 
     def _add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -110,14 +124,21 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
+        # Field-by-field init (no super() chain) plus an inlined schedule:
+        # timeouts model every wire/processing latency, so this constructor
+        # runs once per modelled delay.
+        self.sim = sim
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
-        sim._schedule(self, delay=delay)
+        heappush(sim._queue, (sim._now + delay, _NORMAL, next(sim._sequence), self))
         if sim.obs.enabled:
             sim.obs.on_timeout(self)
 
@@ -127,6 +148,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event used to start a newly created process."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", process: "Process"):
         super().__init__(sim)
@@ -156,6 +179,8 @@ class Process(Event):
     that escaped it.  Waiting on a process (``yield other_process``) is the
     join operation.
     """
+
+    __slots__ = ("name", "_generator", "_target")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
@@ -191,19 +216,22 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value (or exception) of ``event``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             # Interrupted after completion of the same step; nothing to do.
             return
         # Detach from the event we were actually waiting on (relevant for
         # interrupts, which arrive while self._target is still pending).
-        if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
+        # Common case first: the triggering event IS our target.
+        target = self._target
+        if target is not event and target is not None:
+            if target.callbacks is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    target.callbacks.remove(self._resume)
                 except ValueError:
                     pass
         self._target = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if event._ok:
                 next_event = self._generator.send(event._value)
@@ -212,32 +240,37 @@ class Process(Event):
                 event._defused = True
                 next_event = self._generator.throw(event._value)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self._ok = True
             self._value = stop.value
-            self.sim._schedule(self)
-            if self.sim.obs.enabled:
-                self.sim.obs.on_process_finished(self, ok=True)
+            heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), self))
+            if sim.obs.enabled:
+                sim.obs.on_process_finished(self, ok=True)
             return
         except BaseException as exc:  # noqa: BLE001 - process bodies may raise anything
-            self.sim._active_process = None
+            sim._active_process = None
             self._ok = False
             self._value = exc
-            self.sim._schedule(self)
-            if self.sim.obs.enabled:
-                self.sim.obs.on_process_finished(self, ok=False)
+            heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), self))
+            if sim.obs.enabled:
+                sim.obs.on_process_finished(self, ok=False)
             return
-        self.sim._active_process = None
+        sim._active_process = None
         if not isinstance(next_event, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded a non-event: {next_event!r}"
             )
-        if next_event.sim is not self.sim:
+        if next_event.sim is not sim:
             raise SimulationError(
                 f"process {self.name!r} yielded an event from another simulator"
             )
         self._target = next_event
-        next_event._add_callback(self._resume)
+        callbacks = next_event.callbacks
+        if callbacks is None:
+            # Already processed: run immediately at the current time.
+            self._resume(next_event)
+        else:
+            callbacks.append(self._resume)
 
     def __repr__(self) -> str:
         state = "finished" if self.triggered else "alive"
@@ -246,6 +279,8 @@ class Process(Event):
 
 class Condition(Event):
     """Base for composite events over a fixed set of sub-events."""
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, sim: "Simulator", events: Sequence[Event]):
         super().__init__(sim)
@@ -281,6 +316,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when every sub-event has triggered (fails fast on failure)."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -294,6 +331,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Triggers as soon as one sub-event triggers (fails fast on failure)."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:

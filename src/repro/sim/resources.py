@@ -16,9 +16,10 @@ Two primitives cover everything the network and engine models need:
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Deque, List
 
-from repro.sim.events import Event
+from repro.sim.events import _NORMAL, _PENDING, Event
 from repro.util.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -35,8 +36,16 @@ class Request(Event):
             yield sim.timeout(cost)
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.sim)
+        # Field-by-field init (no super() chain): requests are created for
+        # every link/co-processor acquisition on the transfer hot path.
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self.resource = resource
 
     def __enter__(self) -> "Request":
@@ -48,6 +57,22 @@ class Request(Event):
     def cancel(self) -> None:
         """Withdraw a request that has not been granted yet."""
         self.resource._withdraw(self)
+
+
+class StorePut(Event):
+    """Pending insertion into a :class:`Store`, carrying the item to add."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, sim: "Simulator", item: Any):
+        # Field-by-field init (no super() chain): Store.put is on the
+        # per-buffer hot path of every driver transfer.
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
+        self.item = item
 
 
 class Resource:
@@ -77,9 +102,13 @@ class Resource:
         req = Request(self)
         if len(self._users) < self.capacity:
             self._users.append(req)
-            req.succeed(req)
-            if self.sim.obs.enabled:
-                self.sim.obs.on_resource_acquire(self, req)
+            # Inlined req.succeed(req): grant immediately at the current time.
+            req._ok = True
+            req._value = req
+            sim = self.sim
+            heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), req))
+            if sim.obs.enabled:
+                sim.obs.on_resource_acquire(self, req)
         else:
             self._waiting.append(req)
             if self.sim.obs.enabled:
@@ -98,14 +127,18 @@ class Resource:
         except ValueError:
             self._withdraw(request)
             return
-        if self.sim.obs.enabled:
-            self.sim.obs.on_resource_release(self, request)
+        sim = self.sim
+        if sim.obs.enabled:
+            sim.obs.on_resource_release(self, request)
         while self._waiting and len(self._users) < self.capacity:
             nxt = self._waiting.popleft()
             self._users.append(nxt)
-            nxt.succeed(nxt)
-            if self.sim.obs.enabled:
-                self.sim.obs.on_resource_acquire(self, nxt)
+            # Inlined nxt.succeed(nxt): hand the slot to the longest waiter.
+            nxt._ok = True
+            nxt._value = nxt
+            heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), nxt))
+            if sim.obs.enabled:
+                sim.obs.on_resource_acquire(self, nxt)
 
     def _withdraw(self, request: Request) -> None:
         try:
@@ -133,7 +166,7 @@ class Store:
         self.capacity = capacity
         self.name = name
         self._items: Deque[Any] = deque()
-        self._putters: Deque[Event] = deque()  # events carrying the item to add
+        self._putters: Deque[StorePut] = deque()  # events carrying the item to add
         self._getters: Deque[Event] = deque()
 
     @property
@@ -143,26 +176,36 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Add ``item``; the returned event triggers once there is room."""
-        event = Event(self.sim)
-        event.item = item
+        sim = self.sim
+        event = StorePut(sim, item)
         if len(self._items) < self.capacity and not self._putters:
             self._items.append(item)
-            event.succeed()
-            self._serve_getters()
-            if self.sim.obs.enabled:
-                self.sim.obs.on_store_level(self)
+            # Inlined event.succeed(): room is available right now.
+            event._ok = True
+            event._value = None
+            heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), event))
+            if self._getters:
+                self._serve_getters()
+            if sim.obs.enabled:
+                sim.obs.on_store_level(self)
         else:
             self._putters.append(event)
         return event
 
     def get(self) -> Event:
         """Remove the oldest item; the event's value is the item."""
-        event = Event(self.sim)
-        if self._items:
-            event.succeed(self._items.popleft())
-            self._serve_putters()
-            if self.sim.obs.enabled:
-                self.sim.obs.on_store_level(self)
+        sim = self.sim
+        event = Event(sim)
+        items = self._items
+        if items:
+            # Inlined event.succeed(item): an item is available right now.
+            event._ok = True
+            event._value = items.popleft()
+            heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), event))
+            if self._putters:
+                self._serve_putters()
+            if sim.obs.enabled:
+                sim.obs.on_store_level(self)
         else:
             self._getters.append(event)
         return event

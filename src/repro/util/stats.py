@@ -70,7 +70,10 @@ def percentile(samples: Sequence[float], q: float) -> float:
     if lower == upper:
         return values[lower]
     fraction = rank - lower
-    return values[lower] * (1.0 - fraction) + values[upper] * fraction
+    # One-multiplication form: exact when both order statistics coincide and
+    # always bounded by [values[lower], values[upper]], unlike the two-product
+    # convex combination which can drift below the minimum by one ulp.
+    return values[lower] + fraction * (values[upper] - values[lower])
 
 
 def p50(samples: Sequence[float]) -> float:

@@ -12,6 +12,7 @@ from repro.core.bench import (
     compare_bench,
     format_comparison,
     higher_is_better,
+    is_wall_clock,
     load_bench,
     write_bench,
 )
@@ -24,6 +25,18 @@ class TestDirection:
     def test_latency_is_lower_better(self):
         assert not higher_is_better("fig6[B=200,double]/p50_ms")
         assert not higher_is_better("fig15[Q5,n=5]/p95_ms")
+
+    def test_wall_time_is_lower_better(self):
+        assert not higher_is_better("fig6/wall_s")
+
+    def test_event_throughput_is_higher_better(self):
+        assert higher_is_better("fig6/events_per_sec")
+
+    def test_wall_clock_family(self):
+        assert is_wall_clock("fig6/wall_s")
+        assert is_wall_clock("fig15/events_per_sec")
+        assert not is_wall_clock("fig6[B=200,double]/mbps")
+        assert not is_wall_clock("fig6[B=200,double]/p50_ms")
 
 
 class TestCompare:
@@ -79,6 +92,24 @@ class TestCompare:
         text = format_comparison(deltas, new)
         assert "1 regression(s)" in text
         assert "REGRESSED" in text
+
+    def test_wall_clock_gets_wide_tolerance(self):
+        # 40% slower wall time: noisy host, not a regression.
+        deltas, _ = compare_bench(
+            {"fig6/wall_s": 10.0, "fig6/events_per_sec": 1000.0},
+            {"fig6/wall_s": 14.0, "fig6/events_per_sec": 600.0},
+            tolerance_pct=5.0,
+        )
+        assert not any(d.regressed for d in deltas)
+
+    def test_wall_clock_collapse_still_regresses(self):
+        deltas, _ = compare_bench(
+            {"fig6/events_per_sec": 1000.0},
+            {"fig6/events_per_sec": 400.0},
+            tolerance_pct=5.0,
+        )
+        (delta,) = deltas
+        assert delta.regressed
 
     def test_zero_baseline_has_no_delta_pct(self):
         delta = MetricDelta("a/mbps", baseline=0.0, current=1.0, tolerance_pct=5.0)

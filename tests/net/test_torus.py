@@ -8,7 +8,7 @@ from repro.hardware.bluegene import BlueGene, BlueGeneConfig
 from repro.net.jitter import Jitter
 from repro.net.message import WireBuffer
 from repro.net.params import TorusParams
-from repro.net.torus import TorusNetwork
+from repro.net.torus import RouteTable, TorusNetwork
 from repro.sim import Simulator, Store
 from repro.util.errors import NetworkError
 
@@ -72,6 +72,30 @@ class TestRouting:
         # The route takes the minimal number of hops.
         expected = torus_distance(machine.coord_of(src), machine.coord_of(dst), shape)
         assert len(path) - 1 == expected
+
+
+class TestRouteTable:
+    def test_memoized_route_equals_fresh_compute(self):
+        _, torus = make_torus()
+        table = torus.routes
+        nodes = torus.bluegene.config.num_compute_nodes
+        for src in range(nodes):
+            for dst in range(nodes):
+                assert table.route(src, dst) == table.compute(src, dst)
+
+    def test_repeated_lookup_hits_the_memo(self):
+        _, torus = make_torus()
+        first = torus.route(2, 0)
+        assert torus.route(2, 0) is first  # cached list, by reference
+        assert len(torus.routes) == 1
+
+    def test_table_shared_between_networks(self):
+        machine = BlueGene(BlueGeneConfig(torus_shape=(4, 4, 2), pset_size=8))
+        table = RouteTable(machine)
+        one = TorusNetwork(Simulator(), machine, TorusParams(), Jitter(), routes=table)
+        two = TorusNetwork(Simulator(), machine, TorusParams(), Jitter(), routes=table)
+        assert one.route(5, 0) is two.route(5, 0)
+        assert one.routes is two.routes is table
 
 
 class TestTransfer:

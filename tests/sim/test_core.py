@@ -37,6 +37,17 @@ class TestRun:
         assert sim.now == pytest.approx(3.5)
         assert ticks == [1.0, 2.0, 3.0]
 
+    def test_run_until_past_queue_drain_advances_clock(self, sim):
+        # The queue drains at t=1.0, but run(until=10.0) must still leave
+        # the clock at 10.0 — time passes even when nothing happens.
+        sim.timeout(1.0)
+        assert sim.run(until=10.0) == pytest.approx(10.0)
+        assert sim.now == pytest.approx(10.0)
+
+    def test_run_until_on_empty_queue_advances_clock(self, sim):
+        assert sim.run(until=2.5) == pytest.approx(2.5)
+        assert sim.now == pytest.approx(2.5)
+
     def test_run_until_in_the_past_raises(self, sim):
         sim.timeout(5.0)
         sim.run()
