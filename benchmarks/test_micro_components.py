@@ -6,7 +6,6 @@ and a small end-to-end query.  Useful for catching performance regressions
 when extending the engine.
 """
 
-import pytest
 
 from repro.engine.marshal import StreamDemarshaller, StreamMarshaller
 from repro.engine.objects import SyntheticArray

@@ -6,10 +6,11 @@ tables, then uses what was learned to compare the naive and knowledge-based
 node selection algorithms (the paper's stated purpose for the
 measurements).
 
-Run:  python examples/measure_topologies.py [--full]
+Run:  python examples/measure_topologies.py [--full | --smoke]
 
 ``--full`` runs the paper-scale sweeps (several minutes); the default
-scaled-down run finishes in well under a minute.
+scaled-down run finishes in well under a minute; ``--smoke`` runs every
+sweep with a single repeat (CI's examples job).
 """
 
 import sys
@@ -26,7 +27,7 @@ from repro.core.experiments import (
 
 def main() -> None:
     full = "--full" in sys.argv
-    repeats = 5 if full else 2
+    repeats = 5 if full else (1 if "--smoke" in sys.argv else 2)
     fig6_sizes = None if full else (200, 1000, 5000, 100_000)
     fig8_sizes = None if full else (1000, 10_000, 200_000)
     stream_counts = (1, 2, 3, 4, 5, 6, 7, 8) if full else (1, 2, 4, 5)
@@ -72,7 +73,8 @@ def main() -> None:
     print()
 
     buffers = run_buffer_choice_ablation(
-        buffer_sizes=(1000, 2000, 100_000) if not full else None or (500, 1000, 2000, 10_000, 100_000, 1_000_000),
+        buffer_sizes=(500, 1000, 2000, 10_000, 100_000, 1_000_000)
+        if full else (1000, 2000, 100_000),
         repeats=repeats,
     )
     print(buffers.format_table())

@@ -7,10 +7,17 @@ honouring user-supplied allocation sequences — and start running processes.
 """
 
 from repro.coordinator.allocation import (
+    AllocationDirective,
     AllocationSequence,
+    AllocationSpec,
+    ExplicitNodesSpec,
+    InPsetSpec,
     KnowledgeBasedSelector,
     NaiveSelector,
     NodeSelector,
+    PsetRoundRobinSpec,
+    UrrSpec,
+    constant_node_of,
     in_pset_sequence,
     pset_round_robin_sequence,
     urr_sequence,
@@ -21,10 +28,26 @@ from repro.coordinator.coordinator import (
     ClusterCoordinator,
     CoordinatorRegistry,
 )
+from repro.coordinator.deployer import (
+    CostBasedPlacement,
+    Deployer,
+    Deployment,
+    PlacedPlan,
+    PlacementStrategy,
+    SelectorPlacement,
+    resolve_allocations,
+)
 from repro.coordinator.graph import QueryGraph, SPDef
 
 __all__ = [
+    "AllocationDirective",
     "AllocationSequence",
+    "AllocationSpec",
+    "ExplicitNodesSpec",
+    "UrrSpec",
+    "InPsetSpec",
+    "PsetRoundRobinSpec",
+    "constant_node_of",
     "NodeSelector",
     "NaiveSelector",
     "KnowledgeBasedSelector",
@@ -37,6 +60,13 @@ __all__ = [
     "ClusterCoordinator",
     "CoordinatorRegistry",
     "BG_POLL_INTERVAL",
+    "Deployer",
+    "Deployment",
+    "PlacedPlan",
+    "PlacementStrategy",
+    "SelectorPlacement",
+    "CostBasedPlacement",
+    "resolve_allocations",
     "QueryGraph",
     "SPDef",
 ]

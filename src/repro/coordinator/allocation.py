@@ -24,11 +24,15 @@ psets.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.hardware.cndb import ComputeNodeDatabase
 from repro.hardware.node import Node
 from repro.util.errors import AllocationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (environment -> cndb)
+    from repro.hardware.environment import Environment
 
 
 class AllocationSequence:
@@ -47,6 +51,11 @@ class AllocationSequence:
     @property
     def is_constant(self) -> bool:
         return self._constant is not None
+
+    @property
+    def constant_node(self) -> Optional[int]:
+        """The single node number of a constant sequence (None otherwise)."""
+        return self._constant
 
     def select(self, cndb: ComputeNodeDatabase) -> Node:
         """The first available node of the sequence (consumes the stream).
@@ -106,6 +115,99 @@ def in_pset_sequence(cndb: ComputeNodeDatabase, pset_id: int) -> AllocationSeque
 def pset_round_robin_sequence(cndb: ComputeNodeDatabase) -> AllocationSequence:
     """``psetrr()``: successive nodes belong to successive psets."""
     return AllocationSequence(cndb.pset_round_robin())
+
+
+# ----------------------------------------------------------------------
+# Environment-independent allocation specs (the compiled form)
+# ----------------------------------------------------------------------
+class AllocationSpec:
+    """Symbolic, picklable description of an allocation sequence.
+
+    The SCSQL compiler reduces the third argument of ``sp()``/``spv()`` to
+    a spec *without* consulting a live environment; a
+    :class:`~repro.coordinator.deployer.Deployer` resolves the spec against
+    the target environment's CNDBs at deploy time.  This is what makes a
+    compiled :class:`~repro.scsql.plan.DeploymentPlan` environment-
+    independent: the same plan deploys onto any compatible environment.
+
+    Specs compiled from one ``sp()``/``spv()`` call site are a single
+    shared instance; the deployer resolves each *instance* once per
+    deployment, preserving the paper's semantics that an ``spv()`` over n
+    subqueries consumes one shared stateful sequence.
+    """
+
+    def resolve(self, env: "Environment") -> AllocationSequence:
+        """Materialize the stateful sequence against ``env``'s CNDBs."""
+        raise NotImplementedError
+
+    @property
+    def constant_node(self) -> Optional[int]:
+        """The single node number of a constant spec (None otherwise)."""
+        return None
+
+
+@dataclass(frozen=True)
+class ExplicitNodesSpec(AllocationSpec):
+    """A literal node number or bag of node numbers (e.g. ``'bg', 0``)."""
+
+    nodes: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.nodes:
+            raise AllocationError("empty explicit allocation sequence")
+
+    def resolve(self, env: "Environment") -> AllocationSequence:
+        if len(self.nodes) == 1:
+            return AllocationSequence(self.nodes[0])
+        return AllocationSequence(list(self.nodes))
+
+    @property
+    def constant_node(self) -> Optional[int]:
+        return self.nodes[0] if len(self.nodes) == 1 else None
+
+
+@dataclass(frozen=True)
+class UrrSpec(AllocationSpec):
+    """``urr(cl)``: round-robin over the named cluster's nodes."""
+
+    cluster: str
+
+    def resolve(self, env: "Environment") -> AllocationSequence:
+        return urr_sequence(env.cndb(self.cluster))
+
+
+@dataclass(frozen=True)
+class InPsetSpec(AllocationSpec):
+    """``inPset(k)`` against the stream process's target cluster."""
+
+    cluster: str
+    pset_id: int
+
+    def resolve(self, env: "Environment") -> AllocationSequence:
+        return in_pset_sequence(env.cndb(self.cluster), self.pset_id)
+
+
+@dataclass(frozen=True)
+class PsetRoundRobinSpec(AllocationSpec):
+    """``psetrr()`` against the stream process's target cluster."""
+
+    cluster: str
+
+    def resolve(self, env: "Environment") -> AllocationSequence:
+        return pset_round_robin_sequence(env.cndb(self.cluster))
+
+
+AllocationDirective = Union[AllocationSpec, AllocationSequence]
+"""What :class:`~repro.coordinator.graph.SPDef.allocation` may hold: the
+compiler emits symbolic specs; deployers (and tests building graphs by
+hand) may also pin live sequences directly."""
+
+
+def constant_node_of(allocation: Optional[AllocationDirective]) -> Optional[int]:
+    """The pinned node number of a constant allocation, spec or sequence."""
+    if allocation is None:
+        return None
+    return allocation.constant_node
 
 
 class NodeSelector:

@@ -1,93 +1,34 @@
-"""The client manager: deploys and drives continuous queries.
+"""The client manager: the one-shot facade over the deployment lifecycle.
 
 "SCSQ users interact with the client manager, in which they specify CQs
 using SCSQL ... When a user submits a CQ, it is optimized and started in
-the client manager" (paper section 2.2).  Here the client manager takes a
-compiled :class:`~repro.coordinator.graph.QueryGraph`, asks each cluster
-coordinator to start the stream processes, wires the subscription edges,
-runs the simulation to completion, and collects the root result stream.
+the client manager" (paper section 2.2).  :class:`ClientManager` keeps that
+submit-and-run interface; the mechanics — allocation resolution, node
+selection, RP wiring, the driver process — live in the explicit
+:class:`~repro.coordinator.deployer.Deployment` lifecycle, which this
+facade invokes as one compile-free place/deploy/run step.
+
+:class:`~repro.coordinator.deployer.ExecutionReport` and ``ROOT_RP_ID``
+are re-exported here for compatibility with their historical home.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Optional
 
 from repro.coordinator.coordinator import CoordinatorRegistry
+from repro.coordinator.deployer import (
+    ROOT_RP_ID,
+    Deployment,
+    ExecutionReport,
+    PlacedPlan,
+    resolve_allocations,
+)
 from repro.coordinator.graph import QueryGraph
-from repro.engine.control import StopToken
-from repro.engine.monitor import RPStatistics, snapshot
-from repro.engine.objects import END_OF_STREAM
-from repro.engine.rp import RunningProcess
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import FRONTEND, Environment
-from repro.obs.metrics import MetricsSnapshot
-from repro.util.errors import QueryExecutionError
 
-#: Reserved id of the client manager's own collector RP.
-ROOT_RP_ID = "__client_manager__"
-
-
-@dataclass
-class ExecutionReport:
-    """Everything a measurement needs to know about one query run."""
-
-    result: List[Any]
-    """The objects the root select produced, in arrival order."""
-
-    duration: float
-    """Simulated seconds from query start to final result delivery."""
-
-    rp_placements: Dict[str, str] = field(default_factory=dict)
-    """Stream process id -> node id, for topology assertions."""
-
-    bytes_sent: Dict[str, int] = field(default_factory=dict)
-    """Stream process id -> payload bytes its senders pushed."""
-
-    torus_bytes: int = 0
-    """Total payload bytes carried by the BlueGene torus."""
-
-    ingress_bytes: int = 0
-    """Total payload bytes injected into the BlueGene over TCP."""
-
-    source_switches: int = 0
-    """Receiver co-processor source switches (merging overhead indicator)."""
-
-    stopped: bool = False
-    """True when the query was terminated by user intervention rather than
-    by its streams ending (the result holds whatever arrived before the
-    stop)."""
-
-    rp_statistics: Dict[str, RPStatistics] = field(default_factory=dict)
-    """Per-RP monitoring snapshots (paper Figure 3, responsibility v)."""
-
-    metrics: Optional[MetricsSnapshot] = None
-    """Frozen observability metrics of the run, when the environment was
-    created with an :class:`~repro.obs.Instrumentation` (None otherwise)."""
-
-    def describe(self) -> str:
-        """Human-readable execution summary: result, time, per-RP activity."""
-        lines = [
-            f"result: {self.result!r}",
-            f"duration: {self.duration * 1e3:.3f} ms simulated"
-            + (" (stopped)" if self.stopped else ""),
-        ]
-        for rp_id in sorted(self.rp_statistics):
-            lines.append(self.rp_statistics[rp_id].describe())
-        return "\n".join(lines)
-
-    @property
-    def scalar_result(self) -> Any:
-        """The single value of a one-element result stream.
-
-        Raises:
-            QueryExecutionError: If the result is not exactly one object.
-        """
-        if len(self.result) != 1:
-            raise QueryExecutionError(
-                f"expected a single result object, got {len(self.result)}"
-            )
-        return self.result[0]
+__all__ = ["ROOT_RP_ID", "ClientManager", "ExecutionReport"]
 
 
 class ClientManager:
@@ -111,115 +52,16 @@ class ClientManager:
         intervention" — terminating every RP; the report then carries the
         partial result with ``stopped=True``.  The environment's simulator
         must be quiescent; each execution drains the event queue.
+
+        Unlike the explicit lifecycle, this facade works on ``graph``
+        itself (symbolic allocations are resolved in place, so a graph
+        executed twice keeps consuming the same stateful sequences) and
+        performs no teardown — the CNDB cursors advance across executions,
+        preserving the session-level round-robin behaviour.
         """
         settings = settings or ExecutionSettings()
         graph.validate()
-        rps: Dict[str, RunningProcess] = {}
-        setup_latency = 0.0
-        for sp in graph.sps.values():
-            coordinator = self.coordinators[sp.cluster]
-            rps[sp.sp_id] = coordinator.start_rp(
-                sp.sp_id, sp.plan, settings, allocation=sp.allocation
-            )
-            setup_latency = max(setup_latency, coordinator.registration_latency)
-        assert graph.root_plan is not None  # validate() checked
-        root = RunningProcess(ROOT_RP_ID, self.env, self.node, graph.root_plan, settings)
-        rps[ROOT_RP_ID] = root
-        self._wire(rps)
-        stop_token: Optional[StopToken] = None
-        if stop_after is not None:
-            stop_token = StopToken(self.env.sim)
-            stop_token.attach(rps.values())
-            stop_token.stop_at(stop_after)
-        start_time = self.env.sim.now
-        result, finished_at = self.env.sim.run_process(
-            self._drive(rps, root, setup_latency, stop_token), name="client-manager"
-        )
-        rp_statistics = {rp_id: snapshot(rp) for rp_id, rp in rps.items()}
-        if self.env.obs.enabled:
-            # Unify RP-level monitoring with the obs registry: the metrics
-            # snapshot then carries the per-RP operator/stream counters.
-            for stats in rp_statistics.values():
-                stats.publish(self.env.obs.metrics)
-        report = ExecutionReport(
-            result=result,
-            duration=finished_at - start_time,
-            rp_placements={rp_id: rp.node.node_id for rp_id, rp in rps.items()},
-            bytes_sent={rp_id: rp.bytes_sent for rp_id, rp in rps.items()},
-            torus_bytes=self.env.torus.bytes_on_wire,
-            ingress_bytes=self.env.fabric.bytes_ingress,
-            source_switches=self.env.torus.source_switches,
-            stopped=stop_token.stopped if stop_token else False,
-            rp_statistics=rp_statistics,
-            metrics=self.env.obs.snapshot() if self.env.obs.enabled else None,
-        )
-        return report
-
-    def _wire(self, rps: Dict[str, RunningProcess]) -> None:
-        """Build every RP and connect subscription edges to producers."""
-        for rp in rps.values():
-            for port in rp.build():
-                try:
-                    producer = rps[port.producer_sp]
-                except KeyError:
-                    raise QueryExecutionError(
-                        f"RP {rp.rp_id} subscribes to unknown producer "
-                        f"{port.producer_sp!r}"
-                    ) from None
-                producer.add_subscriber(rp, port.inbox)
-
-    def _drive(
-        self,
-        rps: Dict[str, RunningProcess],
-        root: RunningProcess,
-        setup_latency: float,
-        stop_token: Optional[StopToken],
-    ):
-        """Main simulation process: start RPs, collect the root stream."""
-        sim = self.env.sim
-        if setup_latency:
-            # bgCC polls the feCC for new subqueries before RPs exist there.
-            yield sim.timeout(setup_latency)
-        # Any RP process crash fails this event, aborting the query promptly
-        # (otherwise a dead operator would leave its subscribers waiting on
-        # a stream that never ends).
-        failure = sim.event()
-        for rp in rps.values():
-            rp.start(failure=failure)
-        collected: List[Any] = []
-        collector = sim.process(self._collect(root, collected), name="cm-collector")
-        waits = [collector, failure]
-        if stop_token is not None:
-            waits.append(stop_token.event)
-        try:
-            yield sim.any_of(waits)
-        except BaseException:
-            # An RP crashed: terminate the query and surface the error.
-            for rp in rps.values():
-                rp.terminate()
-            if collector.is_alive:
-                collector.interrupt("query failed")
-                collector._add_callback(lambda event: setattr(event, "_defused", True))
-            raise
-        if stop_token is not None:
-            if stop_token.stopped and collector.is_alive:
-                collector.interrupt("query stopped")
-                collector._add_callback(lambda event: setattr(event, "_defused", True))
-            else:
-                stop_token.cancel()  # completed normally; stand the watchdog down
-        # The measured query time ends when the result stream completes at
-        # the client manager (stray scheduler events — e.g. pending flush
-        # timers — must not count).
-        finished_at = sim.now
-        for rp in rps.values():
-            yield from rp.join()
-        return collected, finished_at
-
-    def _collect(self, root: RunningProcess, collected: List[Any]):
-        """Drain the root result stream into ``collected`` until EOS."""
-        assert root.result_store is not None
-        while True:
-            obj = yield root.result_store.get()
-            if obj is END_OF_STREAM:
-                return
-            collected.append(obj)
+        resolve_allocations(graph, self.env)
+        placed = PlacedPlan(graph=graph, settings=settings)
+        deployment = Deployment(self.env, self.coordinators, self.node, placed)
+        return deployment.run(stop_after=stop_after)

@@ -54,12 +54,21 @@ class ClusterCoordinator:
         """
         return BG_POLL_INTERVAL if self.cluster == BLUEGENE else 0.0
 
-    def select_node(self, allocation: Optional[AllocationSequence]) -> Node:
-        """Choose the node for a new RP, honouring an allocation sequence."""
+    def select_node(
+        self,
+        allocation: Optional[AllocationSequence],
+        selector: Optional[NodeSelector] = None,
+    ) -> Node:
+        """Choose the node for a new RP, honouring an allocation sequence.
+
+        ``selector`` overrides this coordinator's default node-selection
+        algorithm for unconstrained placements (a deployment's placement
+        strategy may differ from the coordinator's standing policy).
+        """
         if allocation is not None:
             return allocation.select(self.cndb)
         try:
-            return self.selector.select(self.cndb)
+            return (selector or self.selector).select(self.cndb)
         except HardwareError as exc:  # normalized error type for callers
             raise AllocationError(str(exc)) from exc
 
@@ -69,11 +78,18 @@ class ClusterCoordinator:
         plan: OpSpec,
         settings: ExecutionSettings,
         allocation: Optional[AllocationSequence] = None,
+        selector: Optional[NodeSelector] = None,
+        rp_id: Optional[str] = None,
     ) -> RunningProcess:
-        """Register a subquery and start its running process."""
-        node = self.select_node(allocation)
+        """Register a subquery and start its running process.
+
+        ``rp_id`` overrides the running process's id (deployments hosting
+        several concurrent queries prefix ids to keep stream ids unique);
+        the default is the stream process id itself.
+        """
+        node = self.select_node(allocation, selector)
         rp = RunningProcess(
-            rp_id=sp_id,
+            rp_id=rp_id if rp_id is not None else sp_id,
             env=self.env,
             node=node,
             plan=plan,

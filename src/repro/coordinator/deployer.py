@@ -1,0 +1,556 @@
+"""The deployer: explicit place -> deploy -> run -> teardown lifecycle.
+
+This is the coordinator-layer half of the compile-once query lifecycle
+(parse -> compile -> **place -> deploy -> run -> teardown**).  The SCSQL
+front end produces an environment-independent
+:class:`~repro.scsql.plan.DeploymentPlan`; the :class:`Deployer` binds it
+to one live :class:`~repro.hardware.environment.Environment`:
+
+* :meth:`Deployer.place` applies a :class:`PlacementStrategy` — the
+  paper's node-selection algorithms (:class:`SelectorPlacement`) or the
+  cost-based optimizer (:class:`CostBasedPlacement`) — to a fresh
+  instantiation of the plan's graph, yielding a :class:`PlacedPlan`.
+* :meth:`Deployer.deploy` resolves the symbolic allocation constraints
+  against the environment's CNDBs, asks each cluster coordinator to start
+  the running processes, and wires the subscription edges — a live
+  :class:`Deployment`.
+* :meth:`Deployment.run` drives one query to completion (the classic
+  single-query path), while :meth:`Deployment.start` /
+  :meth:`Deployment.finish` let several deployments share one simulation —
+  the concurrent-CQ path of :class:`~repro.core.multiquery.MultiQuerySession`.
+* :meth:`Deployment.teardown` stops leftover RPs, returns their nodes to
+  the CNDBs, and restores the CNDB round-robin cursors to their
+  deploy-time positions, so redeploying on the same environment neither
+  raises nor shifts placement.
+
+"When a user submits a CQ, it is optimized and started in the client
+manager" (paper section 2.2) — :class:`~repro.coordinator.client_manager.
+ClientManager` remains as the one-shot facade over this lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.coordinator.allocation import (
+    AllocationSequence,
+    AllocationSpec,
+    NaiveSelector,
+    NodeSelector,
+)
+from repro.coordinator.coordinator import CoordinatorRegistry
+from repro.coordinator.graph import QueryGraph
+from repro.engine.control import StopToken
+from repro.engine.monitor import RPStatistics, snapshot
+from repro.engine.objects import END_OF_STREAM
+from repro.engine.rp import RunningProcess
+from repro.engine.settings import ExecutionSettings
+from repro.hardware.environment import FRONTEND, Environment
+from repro.obs.metrics import MetricsSnapshot
+from repro.util.errors import QueryExecutionError
+
+#: Reserved id of the deployment's own collector RP (the client manager's
+#: root plan interpreter).
+ROOT_RP_ID = "__client_manager__"
+
+
+@dataclass
+class ExecutionReport:
+    """Everything a measurement needs to know about one query run."""
+
+    result: List[Any]
+    """The objects the root select produced, in arrival order."""
+
+    duration: float
+    """Simulated seconds from query start to final result delivery."""
+
+    rp_placements: Dict[str, str] = field(default_factory=dict)
+    """Stream process id -> node id, for topology assertions."""
+
+    bytes_sent: Dict[str, int] = field(default_factory=dict)
+    """Stream process id -> payload bytes its senders pushed."""
+
+    torus_bytes: int = 0
+    """Total payload bytes carried by the BlueGene torus."""
+
+    ingress_bytes: int = 0
+    """Total payload bytes injected into the BlueGene over TCP."""
+
+    source_switches: int = 0
+    """Receiver co-processor source switches (merging overhead indicator)."""
+
+    stopped: bool = False
+    """True when the query was terminated by user intervention rather than
+    by its streams ending (the result holds whatever arrived before the
+    stop)."""
+
+    rp_statistics: Dict[str, RPStatistics] = field(default_factory=dict)
+    """Per-RP monitoring snapshots (paper Figure 3, responsibility v)."""
+
+    metrics: Optional[MetricsSnapshot] = None
+    """Frozen observability metrics of the run, when the environment was
+    created with an :class:`~repro.obs.Instrumentation` (None otherwise)."""
+
+    def describe(self) -> str:
+        """Human-readable execution summary: result, time, per-RP activity."""
+        lines = [
+            f"result: {self.result!r}",
+            f"duration: {self.duration * 1e3:.3f} ms simulated"
+            + (" (stopped)" if self.stopped else ""),
+        ]
+        for rp_id in sorted(self.rp_statistics):
+            lines.append(self.rp_statistics[rp_id].describe())
+        return "\n".join(lines)
+
+    @property
+    def scalar_result(self) -> Any:
+        """The single value of a one-element result stream.
+
+        Raises:
+            QueryExecutionError: If the result is not exactly one object.
+        """
+        if len(self.result) != 1:
+            raise QueryExecutionError(
+                f"expected a single result object, got {len(self.result)}"
+            )
+        return self.result[0]
+
+
+# ----------------------------------------------------------------------
+# Allocation resolution
+# ----------------------------------------------------------------------
+def resolve_allocations(graph: QueryGraph, env: Environment) -> None:
+    """Materialize symbolic allocation specs against ``env``, in place.
+
+    Each :class:`~repro.coordinator.allocation.AllocationSpec` *instance*
+    resolves exactly once per call — the members of one ``spv()`` share one
+    spec instance, so they end up consuming one shared stateful sequence,
+    matching the paper's semantics (and the former compile-time behaviour
+    bit for bit).  Already-resolved sequences pass through untouched, so
+    the function is idempotent.
+    """
+    resolved: Dict[int, AllocationSequence] = {}
+    for sp in graph.sps.values():
+        allocation = sp.allocation
+        if isinstance(allocation, AllocationSpec):
+            sequence = resolved.get(id(allocation))
+            if sequence is None:
+                sequence = resolved[id(allocation)] = allocation.resolve(env)
+            sp.allocation = sequence
+
+
+# ----------------------------------------------------------------------
+# Placement strategies
+# ----------------------------------------------------------------------
+class PlacementStrategy:
+    """How stream processes without explicit allocations get their nodes.
+
+    Explicit allocation sequences in the query always win (the paper's
+    rule); a strategy only governs the unconstrained stream processes —
+    either by *pinning* them during :meth:`prepare` (cost-based placement)
+    or by nominating a :class:`~repro.coordinator.allocation.NodeSelector`
+    the coordinators consult at deploy time (selector placement).
+    """
+
+    name = "strategy"
+
+    @property
+    def selector(self) -> Optional[NodeSelector]:
+        """Node selector the coordinators should use (None: their default)."""
+        return None
+
+    def prepare(
+        self, graph: QueryGraph, env: Environment, settings: ExecutionSettings
+    ) -> None:
+        """Annotate ``graph`` (e.g. pin allocations) before deployment."""
+
+
+class SelectorPlacement(PlacementStrategy):
+    """Placement by a node-selection algorithm, decided at deploy time.
+
+    This is the paper's default pipeline: the cluster coordinators pick
+    "the next available node" (naive) — or any other
+    :class:`~repro.coordinator.allocation.NodeSelector`, e.g. the
+    knowledge-based policy of the ablation study — as each RP starts.
+    """
+
+    def __init__(self, selector: Optional[NodeSelector] = None):
+        self._selector = selector or NaiveSelector()
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"selector:{self._selector.name}"
+
+    @property
+    def selector(self) -> Optional[NodeSelector]:
+        return self._selector
+
+    def prepare(
+        self, graph: QueryGraph, env: Environment, settings: ExecutionSettings
+    ) -> None:
+        pass  # selection happens per-RP at deploy time, on live CNDB state
+
+
+class CostBasedPlacement(PlacementStrategy):
+    """Placement by the cost-based optimizer, pinned at place time.
+
+    Runs :class:`~repro.optimizer.placement.CostBasedPlacer` over the
+    instantiated graph, pinning every unconstrained stream process to the
+    node that maximizes the predicted bottleneck bandwidth.
+    """
+
+    name = "cost-based"
+
+    def __init__(self, settings: Optional[ExecutionSettings] = None):
+        self._settings = settings
+
+    def prepare(
+        self, graph: QueryGraph, env: Environment, settings: ExecutionSettings
+    ) -> None:
+        from repro.optimizer.placement import CostBasedPlacer  # import cycle
+
+        CostBasedPlacer(env, self._settings or settings).place(graph)
+
+
+@dataclass
+class PlacedPlan:
+    """A plan bound to a placement decision, ready to deploy.
+
+    The graph is a private instantiation (the source
+    :class:`~repro.scsql.plan.DeploymentPlan` stays pristine), possibly
+    carrying placer-pinned allocations; unresolved symbolic specs are
+    materialized at deploy time.
+    """
+
+    graph: QueryGraph
+    settings: ExecutionSettings
+    selector: Optional[NodeSelector] = None
+    strategy_name: str = "selector:naive"
+
+
+# ----------------------------------------------------------------------
+# Deployment
+# ----------------------------------------------------------------------
+class Deployment:
+    """One continuous query deployed onto an environment.
+
+    Construction *is* deployment: allocation specs are resolved, every
+    stream process gets a running process on a coordinator-selected node,
+    and subscription edges are wired.  The query then either runs alone
+    (:meth:`run`) or cooperatively with other deployments sharing the
+    environment's simulator (:meth:`start` + one ``sim.run()`` +
+    :meth:`finish`).
+
+    ``rp_prefix`` namespaces the running-process ids (and thereby stream
+    ids) so concurrent deployments of identical plans stay distinct; the
+    reported placements and statistics keep the *unprefixed* stream-process
+    ids, matching the single-query reports.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        coordinators: CoordinatorRegistry,
+        node,
+        placed: PlacedPlan,
+        rp_prefix: str = "",
+    ):
+        self.env = env
+        self.coordinators = coordinators
+        self.node = node
+        self.graph = placed.graph
+        self.settings = placed.settings
+        self.rp_prefix = rp_prefix
+        self.graph.validate()
+        # Snapshot the CNDB round-robin cursors before any node selection,
+        # so teardown() can rewind placement state to the deploy point.
+        self._cursor_snapshot = {
+            name: env.cndb(name)._rr_cursor for name in env.cluster_names()
+        }
+        resolve_allocations(self.graph, env)
+        self.rps: Dict[str, RunningProcess] = {}
+        setup_latency = 0.0
+        for sp in self.graph.sps.values():
+            coordinator = coordinators[sp.cluster]
+            self.rps[sp.sp_id] = coordinator.start_rp(
+                sp.sp_id,
+                sp.plan,
+                self.settings,
+                allocation=sp.allocation,
+                selector=placed.selector,
+                rp_id=rp_prefix + sp.sp_id,
+            )
+            setup_latency = max(setup_latency, coordinator.registration_latency)
+        assert self.graph.root_plan is not None  # validate() checked
+        self.root = RunningProcess(
+            rp_prefix + ROOT_RP_ID, env, node, self.graph.root_plan, self.settings
+        )
+        self.rps[ROOT_RP_ID] = self.root
+        self._wire()
+        self.setup_latency = setup_latency
+        self.start_time: Optional[float] = None
+        self._process = None
+        self._stop_token: Optional[StopToken] = None
+        self._torn_down = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(self, stop_after: Optional[float] = None) -> ExecutionReport:
+        """Run this query to completion on a quiescent simulator.
+
+        Finite queries run until their streams end.  ``stop_after`` arms a
+        user stop at that simulated time — the paper's "explicit user
+        intervention" — terminating every RP; the report then carries the
+        partial result with ``stopped=True``.
+        """
+        stop_token = self._arm(stop_after)
+        self.start_time = self.env.sim.now
+        result, finished_at = self.env.sim.run_process(
+            self._drive(stop_token), name=self.rp_prefix + "client-manager"
+        )
+        return self._report(result, finished_at, stop_token)
+
+    def start(self, stop_after: Optional[float] = None):
+        """Spawn this query's driver process without running the simulator.
+
+        Used when several deployments share one environment: start each,
+        run the simulator once, then :meth:`finish` each.  Returns the
+        driver :class:`~repro.sim.core.Process`.
+        """
+        if self._process is not None:
+            raise QueryExecutionError("deployment already started")
+        self._stop_token = self._arm(stop_after)
+        self.start_time = self.env.sim.now
+        self._process = self.env.sim.process(
+            self._drive(self._stop_token), name=self.rp_prefix + "client-manager"
+        )
+        # finish() re-raises the driver's failure; keep the kernel's
+        # unhandled-exception check from firing first.
+        self._process._add_callback(lambda event: setattr(event, "_defused", True))
+        return self._process
+
+    def finish(self) -> ExecutionReport:
+        """Collect the report of a :meth:`start`-ed query after the run."""
+        process = self._process
+        if process is None:
+            raise QueryExecutionError("deployment was never started")
+        if not process.triggered:
+            raise QueryExecutionError(
+                f"deployment {self.rp_prefix or ROOT_RP_ID!r} never finished "
+                "(simulator stopped early or deadlocked)"
+            )
+        if not process.ok:
+            raise process.value
+        result, finished_at = process.value
+        return self._report(result, finished_at, self._stop_token)
+
+    def teardown(self) -> None:
+        """Release the deployment's resources back to the environment.
+
+        Stops any still-live RP processes, returns every RP's node slot to
+        its CNDB (normally-completed RPs already released theirs on join —
+        this is idempotent), and rewinds the CNDB round-robin cursors to
+        their deploy-time positions.  After teardown the environment hosts
+        a redeployment of the same plan with identical placement.
+        """
+        if self._torn_down:
+            return
+        self._torn_down = True
+        for rp in self.rps.values():
+            rp.terminate()
+            rp.release_node()
+        for cluster, cursor in self._cursor_snapshot.items():
+            self.env.cndb(cluster)._rr_cursor = cursor
+
+    @property
+    def torn_down(self) -> bool:
+        return self._torn_down
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _arm(self, stop_after: Optional[float]) -> Optional[StopToken]:
+        if stop_after is None:
+            return None
+        stop_token = StopToken(self.env.sim)
+        stop_token.attach(self.rps.values())
+        stop_token.stop_at(stop_after)
+        return stop_token
+
+    def _report(
+        self,
+        result: List[Any],
+        finished_at: float,
+        stop_token: Optional[StopToken],
+    ) -> ExecutionReport:
+        assert self.start_time is not None
+        rp_statistics = {rp_id: snapshot(rp) for rp_id, rp in self.rps.items()}
+        if self.env.obs.enabled:
+            # Unify RP-level monitoring with the obs registry: the metrics
+            # snapshot then carries the per-RP operator/stream counters.
+            for stats in rp_statistics.values():
+                stats.publish(self.env.obs.metrics)
+        return ExecutionReport(
+            result=result,
+            duration=finished_at - self.start_time,
+            rp_placements={rp_id: rp.node.node_id for rp_id, rp in self.rps.items()},
+            bytes_sent={rp_id: rp.bytes_sent for rp_id, rp in self.rps.items()},
+            torus_bytes=self.env.torus.bytes_on_wire,
+            ingress_bytes=self.env.fabric.bytes_ingress,
+            source_switches=self.env.torus.source_switches,
+            stopped=stop_token.stopped if stop_token else False,
+            rp_statistics=rp_statistics,
+            metrics=self.env.obs.snapshot() if self.env.obs.enabled else None,
+        )
+
+    def _wire(self) -> None:
+        """Build every RP and connect subscription edges to producers."""
+        for rp in self.rps.values():
+            for port in rp.build():
+                try:
+                    producer = self.rps[port.producer_sp]
+                except KeyError:
+                    raise QueryExecutionError(
+                        f"RP {rp.rp_id} subscribes to unknown producer "
+                        f"{port.producer_sp!r}"
+                    ) from None
+                producer.add_subscriber(rp, port.inbox)
+
+    def _drive(self, stop_token: Optional[StopToken]):
+        """Main simulation process: start RPs, collect the root stream."""
+        sim = self.env.sim
+        if self.setup_latency:
+            # bgCC polls the feCC for new subqueries before RPs exist there.
+            yield sim.timeout(self.setup_latency)
+        # Any RP process crash fails this event, aborting the query promptly
+        # (otherwise a dead operator would leave its subscribers waiting on
+        # a stream that never ends).
+        failure = sim.event()
+        for rp in self.rps.values():
+            rp.start(failure=failure)
+        collected: List[Any] = []
+        collector = sim.process(
+            self._collect(collected), name=self.rp_prefix + "cm-collector"
+        )
+        waits = [collector, failure]
+        if stop_token is not None:
+            waits.append(stop_token.event)
+        try:
+            yield sim.any_of(waits)
+        except BaseException:
+            # An RP crashed: terminate the query and surface the error.
+            for rp in self.rps.values():
+                rp.terminate()
+            if collector.is_alive:
+                collector.interrupt("query failed")
+                collector._add_callback(lambda event: setattr(event, "_defused", True))
+            raise
+        if stop_token is not None:
+            if stop_token.stopped and collector.is_alive:
+                collector.interrupt("query stopped")
+                collector._add_callback(lambda event: setattr(event, "_defused", True))
+            else:
+                stop_token.cancel()  # completed normally; stand the watchdog down
+        # The measured query time ends when the result stream completes at
+        # the client manager (stray scheduler events — e.g. pending flush
+        # timers — must not count).
+        finished_at = sim.now
+        for rp in self.rps.values():
+            yield from rp.join()
+        return collected, finished_at
+
+    def _collect(self, collected: List[Any]):
+        """Drain the root result stream into ``collected`` until EOS."""
+        assert self.root.result_store is not None
+        while True:
+            obj = yield self.root.result_store.get()
+            if obj is END_OF_STREAM:
+                return
+            collected.append(obj)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Deployment prefix={self.rp_prefix!r} sps={len(self.graph.sps)} "
+            f"on {self.env!r}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Deployer
+# ----------------------------------------------------------------------
+class Deployer:
+    """Binds compiled deployment plans to one live environment.
+
+    The explicit-lifecycle successor of the one-shot client manager::
+
+        deployer = Deployer(env)
+        placed = deployer.place(plan, CostBasedPlacement())
+        deployment = deployer.deploy(placed)
+        report = deployment.run()
+        deployment.teardown()
+
+    or, for the common single-query case, :meth:`run` does all four steps.
+    """
+
+    def __init__(self, env: Environment, coordinators: Optional[CoordinatorRegistry] = None):
+        self.env = env
+        self.coordinators = coordinators or CoordinatorRegistry(env)
+        self.node = env.node(FRONTEND, 0)
+        self.deployments: List[Deployment] = []
+
+    def place(
+        self,
+        plan,
+        strategy: Optional[PlacementStrategy] = None,
+        settings: Optional[ExecutionSettings] = None,
+    ) -> PlacedPlan:
+        """Apply a placement strategy to a plan (default: naive selection).
+
+        ``plan`` is a :class:`~repro.scsql.plan.DeploymentPlan` or a bare
+        :class:`~repro.coordinator.graph.QueryGraph`; either way the
+        strategy works on a fresh instantiation, leaving the input pristine.
+        """
+        strategy = strategy or SelectorPlacement()
+        effective = (
+            settings
+            if settings is not None
+            else getattr(plan, "settings", None) or ExecutionSettings()
+        )
+        graph = plan.instantiate()
+        graph.validate()
+        strategy.prepare(graph, self.env, effective)
+        return PlacedPlan(
+            graph=graph,
+            settings=effective,
+            selector=strategy.selector,
+            strategy_name=strategy.name,
+        )
+
+    def deploy(self, placed: PlacedPlan, rp_prefix: str = "") -> Deployment:
+        """Start and wire the running processes of a placed plan."""
+        deployment = Deployment(
+            self.env, self.coordinators, self.node, placed, rp_prefix=rp_prefix
+        )
+        self.deployments.append(deployment)
+        return deployment
+
+    def run(
+        self,
+        plan,
+        strategy: Optional[PlacementStrategy] = None,
+        settings: Optional[ExecutionSettings] = None,
+        stop_after: Optional[float] = None,
+    ) -> ExecutionReport:
+        """Place, deploy, and run one plan (the single-query fast path)."""
+        placed = self.place(plan, strategy, settings)
+        return self.deploy(placed).run(stop_after=stop_after)
+
+    def teardown(self, deployment: Optional[Deployment] = None) -> None:
+        """Tear down one deployment, or all of this deployer's (LIFO)."""
+        if deployment is not None:
+            deployment.teardown()
+            return
+        for live in reversed(self.deployments):
+            live.teardown()

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.coordinator.allocation import AllocationSequence
+from repro.coordinator.allocation import AllocationDirective
 from repro.engine.sqep import OpSpec
 from repro.util.errors import QuerySemanticError
 
@@ -27,13 +27,17 @@ class SPDef:
             stream processes before compiling their subqueries (definitions
             may reference processes defined later), so the plan may be
             filled in after construction; it must be set before validation.
-        allocation: Optional allocation sequence constraining placement.
+        allocation: Optional allocation constraint on placement: a symbolic
+            :class:`~repro.coordinator.allocation.AllocationSpec` straight
+            from the compiler, or a live
+            :class:`~repro.coordinator.allocation.AllocationSequence` once
+            a deployer has resolved it (or a placer pinned it).
     """
 
     sp_id: str
     cluster: str
     plan: Optional[OpSpec] = None
-    allocation: Optional[AllocationSequence] = None
+    allocation: Optional[AllocationDirective] = None
 
 
 @dataclass
@@ -68,3 +72,26 @@ class QueryGraph:
     def producers_of(self, plan: OpSpec) -> List[str]:
         """The stream-process ids a plan subscribes to, in plan order."""
         return [leaf.producer for leaf in plan.input_leaves()]  # type: ignore[misc]
+
+    def instantiate(self) -> "QueryGraph":
+        """A deployable copy of this graph with fresh :class:`SPDef` objects.
+
+        Deployment mutates ``SPDef.allocation`` (spec resolution, placer
+        pinning); instantiating first keeps the source graph — typically
+        owned by a reusable :class:`~repro.scsql.plan.DeploymentPlan` —
+        pristine.  Plans and allocation directives are shared by reference:
+        ``OpSpec`` is immutable, and sharing spec *instances* preserves the
+        compiler's guarantee that the members of one ``spv()`` resolve to
+        one common stateful sequence.
+        """
+        copy = QueryGraph(root_plan=self.root_plan)
+        for sp in self.sps.values():
+            copy.add(
+                SPDef(
+                    sp_id=sp.sp_id,
+                    cluster=sp.cluster,
+                    plan=sp.plan,
+                    allocation=sp.allocation,
+                )
+            )
+        return copy

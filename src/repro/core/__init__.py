@@ -11,9 +11,17 @@ from repro.core.measurement import (
     BandwidthResult,
     measure_query_bandwidth,
 )
+from repro.core.multiquery import (
+    MultiQueryResult,
+    MultiQuerySession,
+    QueryOutcome,
+)
 
 __all__ = [
     "measure_query_bandwidth",
     "BandwidthResult",
     "DEFAULT_REPEATS",
+    "MultiQuerySession",
+    "MultiQueryResult",
+    "QueryOutcome",
 ]

@@ -13,6 +13,10 @@ from repro.core.experiments.ablations import (
     run_buffer_choice_ablation,
     run_node_selection_ablation,
 )
+from repro.core.experiments.contention import (
+    contending_query,
+    run_contention_demo,
+)
 from repro.core.experiments.fig6 import (
     Fig6Point,
     Fig6Result,
@@ -64,4 +68,6 @@ __all__ = [
     "run_scaling_study",
     "ScalingStudy",
     "ScalingPoint",
+    "run_contention_demo",
+    "contending_query",
 ]

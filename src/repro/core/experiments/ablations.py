@@ -25,8 +25,6 @@ from repro.coordinator.allocation import (
     NaiveSelector,
     NodeSelector,
 )
-from repro.coordinator.client_manager import ClientManager
-from repro.coordinator.coordinator import CoordinatorRegistry
 from repro.core.experiments.fig6 import point_to_point_query, scaled_workload
 from repro.core.experiments.fig8 import merge_query
 from repro.core.measurement import (
@@ -35,12 +33,11 @@ from repro.core.measurement import (
     measure_points,
     measure_query_bandwidth,
 )
-from repro.core.parallel import OBSERVE_NONE
+from repro.core.parallel import OBSERVE_NONE, SweepTask, run_sweep_task
 from repro.engine.settings import ExecutionSettings
-from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.hardware.environment import EnvironmentConfig
 from repro.obs.instrument import Instrumentation
-from repro.scsql.compiler import QueryCompiler
-from repro.scsql.parser import parse_query
+from repro.scsql.plan import compile_plan
 from repro.util.stats import MeasurementStats, summarize
 from repro.util.units import MEGA
 
@@ -116,27 +113,28 @@ def _measure_with_selector(
     base_seed: int,
     obs_factory: Optional[Callable[[int], Instrumentation]] = None,
 ) -> SelectorResult:
+    """In-process repeats of one (selector, n) point via the one worker
+    entry point, with the live ``obs_factory`` instrumentation handed in."""
     samples = []
     observations: List[Instrumentation] = []
     query_text = automatic_inbound_query(n, array_bytes, count)
+    plan = compile_plan(query_text)
+    payload = n * array_bytes * count
     for k in range(repeats):
-        config = EnvironmentConfig(
-            bluegene=template.bluegene,
-            backend_nodes=template.backend_nodes,
-            frontend_nodes=template.frontend_nodes,
-            params=template.params,
-            seed=base_seed + k,
-        )
         obs = obs_factory(k) if obs_factory is not None else None
         if obs is not None:
             observations.append(obs)
-        env = Environment(config, obs=obs)
-        coordinators = CoordinatorRegistry(env, selector)
-        compiler = QueryCompiler(env)
-        graph = compiler.compile_select(parse_query(query_text))
-        manager = ClientManager(env, coordinators)
-        report = manager.execute(graph, ExecutionSettings())
-        samples.append(n * array_bytes * count * 8.0 / report.duration / MEGA)
+        task = SweepTask(
+            point_key=(selector.name, n),
+            seed=base_seed + k,
+            query=query_text,
+            payload_bytes=payload,
+            env_config=template,
+            selector=selector.name,
+            plan=plan,
+        )
+        outcome = run_sweep_task(task, obs=obs)
+        samples.append(payload * 8.0 / outcome.report.duration / MEGA)
     return SelectorResult(
         selector_name=selector.name, n=n, mbps=summarize(samples),
         observations=observations,
@@ -292,6 +290,8 @@ def run_buffer_choice_ablation(
         specs, repeats=repeats, env_config=env_config, jobs=jobs, observe=observe
     )
     return BufferChoiceAblation(
-        p2p={size: table[("p2p", size)] for (kind, size) in (s.key for s in specs) if kind == "p2p"},
-        merge={size: table[("merge", size)] for (kind, size) in (s.key for s in specs) if kind == "merge"},
+        p2p={size: table[("p2p", size)]
+             for (kind, size) in (s.key for s in specs) if kind == "p2p"},
+        merge={size: table[("merge", size)]
+               for (kind, size) in (s.key for s in specs) if kind == "merge"},
     )

@@ -98,7 +98,9 @@ class ScalingStudy:
         return "\n".join(lines)
 
 
-def _environment(shape: Tuple[int, int, int], backend_nodes: int, uplink_gbps: float) -> EnvironmentConfig:
+def _environment(
+    shape: Tuple[int, int, int], backend_nodes: int, uplink_gbps: float
+) -> EnvironmentConfig:
     base = NetworkParams()
     params = base.with_overrides(
         ethernet=replace(base.ethernet, uplink_rate=gbps(uplink_gbps))

@@ -18,15 +18,16 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.coordinator.client_manager import ExecutionReport
 from repro.core.parallel import (
-    OBSERVE_FLOWS,
     OBSERVE_NONE,
     SweepExecutor,
     SweepTask,
     TaskOutcome,
+    run_sweep_task,
 )
 from repro.engine.settings import ExecutionSettings
-from repro.hardware.environment import Environment, EnvironmentConfig, EnvironmentTemplate
+from repro.hardware.environment import EnvironmentConfig
 from repro.obs.instrument import Instrumentation
+from repro.scsql.plan import compile_plan
 from repro.scsql.session import SCSQSession
 from repro.util.errors import MeasurementError
 from repro.util.stats import MeasurementStats, summarize
@@ -97,12 +98,19 @@ class PointSpec:
 
 
 def _result_from_outcomes(
-    outcomes: Sequence[TaskOutcome], payload_bytes: int
+    outcomes: Sequence[TaskOutcome],
+    payload_bytes: int,
+    observations: Optional[List[Instrumentation]] = None,
 ) -> BandwidthResult:
-    """Assemble one point's :class:`BandwidthResult` from its repeats."""
+    """Assemble one point's :class:`BandwidthResult` from its repeats.
+
+    ``observations`` carries the live per-repeat instrumentation of an
+    in-process ``obs_factory`` run; without it each outcome's shipped flow
+    records are rebuilt into an observation (the worker path).
+    """
     samples: List[float] = []
     reports: List[ExecutionReport] = []
-    observations: List[Instrumentation] = []
+    rebuilt: List[Instrumentation] = []
     for k, outcome in enumerate(outcomes):
         report = outcome.report
         reports.append(report)
@@ -112,14 +120,15 @@ def _result_from_outcomes(
                 f"({report.duration!r}); bandwidth is undefined"
             )
         samples.append(payload_bytes * 8.0 / report.duration / MEGA)
-        obs = outcome.observation()
-        if obs is not None:
-            observations.append(obs)
+        if observations is None:
+            obs = outcome.observation()
+            if obs is not None:
+                rebuilt.append(obs)
     return BandwidthResult(
         mbps=summarize(samples),
         payload_bytes=payload_bytes,
         reports=reports,
-        observations=observations,
+        observations=rebuilt if observations is None else observations,
     )
 
 
@@ -144,6 +153,9 @@ def measure_points(
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     config = env_config or EnvironmentConfig()
+    # Compile each point once; its (picklable) plan is shared by all the
+    # point's repeat tasks instead of being recompiled per repeat/worker.
+    plans = {spec.key: compile_plan(spec.query, settings=spec.settings) for spec in specs}
     tasks = [
         SweepTask(
             point_key=spec.key,
@@ -154,6 +166,7 @@ def measure_points(
             env_config=config,
             observe=observe,
             selector=spec.selector,
+            plan=plans[spec.key],
         )
         for spec in specs
         for k in range(repeats)
@@ -215,40 +228,30 @@ def measure_query_bandwidth(
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     template_config = env_config or EnvironmentConfig()
     if prepare is not None or obs_factory is not None:
-        # Legacy in-process loop: arbitrary callables cannot be shipped to
-        # spawn workers.  Still reuses one topology template across repeats.
-        template = EnvironmentTemplate(template_config)
-        samples: List[float] = []
-        reports: List[ExecutionReport] = []
+        # In-process loop: arbitrary callables cannot be shipped to spawn
+        # workers.  Each repeat still runs through the one worker entry
+        # point (run_sweep_task), just inline, with the live obs handed in.
+        # ``prepare`` forces text compilation (it may define functions the
+        # query needs); otherwise the query compiles once up front.
+        plan = compile_plan(query, settings=settings) if prepare is None else None
         observations: List[Instrumentation] = []
+        outcomes: List[TaskOutcome] = []
         for k in range(repeats):
-            config = EnvironmentConfig(
-                bluegene=template_config.bluegene,
-                backend_nodes=template_config.backend_nodes,
-                frontend_nodes=template_config.frontend_nodes,
-                params=template_config.params,
-                seed=base_seed + k,
-            )
             obs = obs_factory(k) if obs_factory is not None else None
             if obs is not None:
                 observations.append(obs)
-            session = SCSQSession(Environment(config, obs=obs, template=template), settings)
-            if prepare is not None:
-                prepare(session)
-            report = session.execute(query, settings)
-            assert report is not None  # select queries always report
-            reports.append(report)
-            if report.duration <= 0.0:
-                raise MeasurementError(
-                    f"repeat {k} finished in non-positive simulated time "
-                    f"({report.duration!r}); bandwidth is undefined"
-                )
-            samples.append(payload_bytes * 8.0 / report.duration / MEGA)
-        return BandwidthResult(
-            mbps=summarize(samples),
-            payload_bytes=payload_bytes,
-            reports=reports,
-            observations=observations,
+            task = SweepTask(
+                point_key="point",
+                seed=base_seed + k,
+                query=query,
+                payload_bytes=payload_bytes,
+                settings=settings,
+                env_config=template_config,
+                plan=plan,
+            )
+            outcomes.append(run_sweep_task(task, prepare=prepare, obs=obs))
+        return _result_from_outcomes(
+            outcomes, payload_bytes, observations=observations
         )
     spec = PointSpec(key="point", query=query, payload_bytes=payload_bytes, settings=settings)
     results = measure_points(

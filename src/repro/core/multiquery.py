@@ -1,0 +1,188 @@
+"""Concurrent continuous queries sharing one simulated environment.
+
+The paper's client manager hosts many CQs at once ("When a user submits a
+CQ, it is optimized and started in the client manager", section 2.2); the
+single-query measurement harness never exercises that.  A
+:class:`MultiQuerySession` does: it deploys several compiled
+:class:`~repro.scsql.plan.DeploymentPlan` objects onto *one* environment —
+each under its own rp-prefix namespace so identical plans stay distinct —
+starts them together, drives the shared simulator once, and reports the
+bandwidth every query achieved while the others were running.
+
+Comparing those concurrent bandwidths against solo baselines (same plan,
+fresh environment, same seed) quantifies interference; see
+:func:`repro.core.experiments.contention.run_contention_demo` for the
+canonical two-CQ shared-I/O-node demonstration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.coordinator.deployer import (
+    Deployer,
+    Deployment,
+    ExecutionReport,
+    PlacementStrategy,
+)
+from repro.engine.settings import ExecutionSettings
+from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.util.errors import QueryExecutionError
+from repro.util.units import MEGA
+
+
+@dataclass
+class QueryOutcome:
+    """What one query of a concurrent run achieved.
+
+    Attributes:
+        label: The query's session-unique label.
+        report: Its full execution report (placements keep the unprefixed
+            stream-process ids).
+        payload_bytes: Payload volume the query streamed.
+        solo_mbps: Bandwidth of the same plan running alone (when the
+            caller measured one); ``interference`` derives from it.
+    """
+
+    label: str
+    report: ExecutionReport
+    payload_bytes: int
+    solo_mbps: Optional[float] = None
+
+    @property
+    def mbps(self) -> float:
+        """Bandwidth under concurrency, in megabits/second."""
+        return self.payload_bytes * 8.0 / self.report.duration / MEGA
+
+    @property
+    def interference(self) -> Optional[float]:
+        """Concurrent/solo bandwidth ratio (1.0 = no slowdown), when a
+        solo baseline is attached; None otherwise."""
+        if self.solo_mbps is None:
+            return None
+        return self.mbps / self.solo_mbps
+
+
+@dataclass
+class MultiQueryResult:
+    """Per-query outcomes of one concurrent run, in submission order."""
+
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+
+    def __getitem__(self, label: str) -> QueryOutcome:
+        for outcome in self.outcomes:
+            if outcome.label == label:
+                return outcome
+        raise KeyError(f"no query labelled {label!r}")
+
+    def format_table(self) -> str:
+        """The concurrent run as text: bandwidth (and slowdown) per query."""
+        lines = [
+            "Concurrent continuous queries (one shared environment)",
+            f"{'query':>8}  {'Mbps':>10}  {'solo Mbps':>10}  {'ratio':>6}",
+        ]
+        for outcome in self.outcomes:
+            solo = f"{outcome.solo_mbps:.1f}" if outcome.solo_mbps is not None else "-"
+            ratio = (
+                f"{outcome.interference:.2f}"
+                if outcome.interference is not None
+                else "-"
+            )
+            lines.append(
+                f"{outcome.label:>8}  {outcome.mbps:>10.1f}  {solo:>10}  {ratio:>6}"
+            )
+        return "\n".join(lines)
+
+
+class MultiQuerySession:
+    """Runs several compiled plans concurrently on one environment.
+
+    Usage::
+
+        session = MultiQuerySession(env)
+        session.submit(plan_a, payload_bytes=..., label="a")
+        session.submit(plan_b, payload_bytes=..., label="b")
+        result = session.run()
+        session.teardown()
+
+    Submission deploys immediately (placement is decided in submission
+    order, deterministically); :meth:`run` starts every deployment, drives
+    the shared simulator to completion once, and collects every report.
+    """
+
+    def __init__(
+        self,
+        env: Optional[Environment] = None,
+        settings: Optional[ExecutionSettings] = None,
+    ):
+        self.env = env or Environment(EnvironmentConfig())
+        self.settings = settings
+        self.deployer = Deployer(self.env)
+        self._entries: List[tuple] = []  # (label, deployment, payload, stop_after)
+        self._labels: Dict[str, Deployment] = {}
+        self._ran = False
+
+    def submit(
+        self,
+        plan,
+        payload_bytes: int,
+        strategy: Optional[PlacementStrategy] = None,
+        settings: Optional[ExecutionSettings] = None,
+        label: Optional[str] = None,
+        stop_after: Optional[float] = None,
+    ) -> str:
+        """Place and deploy one plan; returns its label.
+
+        The label namespaces the query's running-process (and stream) ids
+        as ``"<label>/<sp_id>"``; it defaults to ``q0``, ``q1``, ... in
+        submission order and must be session-unique.
+        """
+        if self._ran:
+            raise QueryExecutionError("session already ran; use a new session")
+        if label is None:
+            label = f"q{len(self._entries)}"
+        if label in self._labels:
+            raise QueryExecutionError(f"duplicate query label {label!r}")
+        placed = self.deployer.place(plan, strategy, settings or self.settings)
+        deployment = self.deployer.deploy(placed, rp_prefix=f"{label}/")
+        self._labels[label] = deployment
+        self._entries.append((label, deployment, payload_bytes, stop_after))
+        return label
+
+    def deployment(self, label: str) -> Deployment:
+        """The live deployment behind a label (for placement assertions)."""
+        return self._labels[label]
+
+    def run(self) -> MultiQueryResult:
+        """Run every submitted query to completion, concurrently.
+
+        All queries start at the same simulated instant; one simulator run
+        drives them all, so they contend for nodes, links, and I/O paths
+        exactly as co-resident CQs would.
+        """
+        if self._ran:
+            raise QueryExecutionError("session already ran; use a new session")
+        if not self._entries:
+            raise QueryExecutionError("no queries submitted")
+        self._ran = True
+        for _, deployment, _, stop_after in self._entries:
+            deployment.start(stop_after=stop_after)
+        self.env.sim.run()
+        return MultiQueryResult(
+            outcomes=[
+                QueryOutcome(
+                    label=label,
+                    report=deployment.finish(),
+                    payload_bytes=payload_bytes,
+                )
+                for label, deployment, payload_bytes, _ in self._entries
+            ]
+        )
+
+    def teardown(self) -> None:
+        """Tear down every deployment (nodes return to the CNDBs)."""
+        self.deployer.teardown()
+
+    def __repr__(self) -> str:
+        return f"<MultiQuerySession queries={len(self._entries)} on {self.env!r}>"

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Type
 
 from repro.coordinator.allocation import (
@@ -40,16 +40,16 @@ from repro.coordinator.allocation import (
     NaiveSelector,
     NodeSelector,
 )
-from repro.coordinator.client_manager import ClientManager, ExecutionReport
-from repro.coordinator.coordinator import CoordinatorRegistry
+from repro.coordinator.client_manager import ExecutionReport
+from repro.coordinator.deployer import Deployer, SelectorPlacement
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import Environment, EnvironmentConfig, shared_template
 from repro.obs.flow import FlowRecord, FlowRecorder
 from repro.obs.instrument import Instrumentation
 from repro.obs.tracer import NULL_TRACER
-from repro.scsql.compiler import QueryCompiler
-from repro.scsql.parser import parse_query
+from repro.scsql.plan import DeploymentPlan, compile_plan
 from repro.scsql.session import SCSQSession
+from repro.util.errors import MeasurementError
 
 #: No instrumentation: the run pays one attribute check per hook site.
 OBSERVE_NONE = "none"
@@ -80,7 +80,11 @@ class SweepTask:
         observe: :data:`OBSERVE_NONE` or :data:`OBSERVE_FLOWS`.
         selector: Optional :data:`SELECTORS` name; when set the query is
             placed by that node-selection algorithm instead of the default
-            session pipeline (the ablation path).
+            naive policy (the ablation path).
+        plan: Optional pre-compiled :class:`~repro.scsql.plan.DeploymentPlan`
+            for ``query``.  A sweep compiles each point once and shares the
+            (picklable) plan across all its repeat tasks; without one the
+            worker compiles from ``query`` itself.
     """
 
     point_key: Any
@@ -91,6 +95,7 @@ class SweepTask:
     env_config: EnvironmentConfig = EnvironmentConfig()
     observe: str = OBSERVE_NONE
     selector: Optional[str] = None
+    plan: Optional[DeploymentPlan] = None
 
 
 @dataclass
@@ -125,27 +130,53 @@ def _make_obs(observe: str) -> Optional[Instrumentation]:
     raise ValueError(f"unknown observe spec {observe!r}")
 
 
-def run_sweep_task(task: SweepTask) -> TaskOutcome:
+def run_sweep_task(
+    task: SweepTask,
+    prepare=None,
+    obs: Optional[Instrumentation] = None,
+) -> TaskOutcome:
     """Execute one task in the current process.
 
-    This is the single execution path for serial *and* parallel sweeps:
-    :class:`SweepExecutor` calls it inline for ``jobs=1`` and ships it to
-    pool workers otherwise.
+    This is the single execution path for every measurement: serial and
+    parallel sweeps (:class:`SweepExecutor` calls it inline for ``jobs=1``
+    and ships it to pool workers otherwise) and the in-process
+    ``prepare``/``obs_factory`` loop of
+    :func:`~repro.core.measurement.measure_query_bandwidth`.
+
+    ``prepare`` and ``obs`` are in-process-only conveniences (callables and
+    live instrumentation hubs do not cross the spawn boundary): ``obs``
+    overrides the declarative ``task.observe`` spec, and ``prepare`` runs
+    against a fresh session before the query — which forces the text
+    compilation path, since the callback may define functions or sources
+    the query needs *before* it can compile.
+
+    Raises:
+        MeasurementError: If the query finishes in non-positive simulated
+            time (its bandwidth would be undefined).
     """
-    config = replace(task.env_config, seed=task.seed)
-    obs = _make_obs(task.observe)
+    config = task.env_config.with_seed(task.seed)
+    if obs is None:
+        obs = _make_obs(task.observe)
     env = Environment(config, obs=obs, template=shared_template(config))
-    if task.selector is None:
+    if prepare is not None:
         session = SCSQSession(env, task.settings)
+        prepare(session)
         report = session.execute(task.query, task.settings)
     else:
-        selector = SELECTORS[task.selector]()
-        coordinators = CoordinatorRegistry(env, selector)
-        compiler = QueryCompiler(env)
-        graph = compiler.compile_select(parse_query(task.query))
-        manager = ClientManager(env, coordinators)
-        report = manager.execute(graph, task.settings or ExecutionSettings())
+        plan = task.plan or compile_plan(task.query, settings=task.settings)
+        strategy = (
+            SelectorPlacement(SELECTORS[task.selector]())
+            if task.selector is not None
+            else None
+        )
+        report = Deployer(env).run(plan, strategy=strategy, settings=task.settings)
     assert report is not None  # select queries always report
+    if report.duration <= 0.0:
+        raise MeasurementError(
+            f"task {task.point_key!r} (seed {task.seed}) finished in "
+            f"non-positive simulated time ({report.duration!r}); "
+            f"bandwidth is undefined"
+        )
     flow_records = list(obs.flows.completed) if obs is not None else []
     return TaskOutcome(
         point_key=task.point_key,

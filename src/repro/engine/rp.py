@@ -79,6 +79,7 @@ class RunningProcess:
         self._built = False
         self._started = False
         self._failure = None
+        self._node_released = False
         node.acquire()
 
     # ------------------------------------------------------------------
@@ -319,7 +320,18 @@ class RunningProcess:
                 yield process
             except Interrupt:
                 pass
-        self.node.release()
+        self.release_node()
+
+    def release_node(self) -> None:
+        """Return this RP's node slot to the CNDB (idempotent).
+
+        Called by :meth:`join` on normal completion and by deployment
+        teardown for RPs that never joined (crashed or stopped queries), so
+        the environment can host further deployments.
+        """
+        if not self._node_released:
+            self._node_released = True
+            self.node.release()
 
     # ------------------------------------------------------------------
     # Statistics

@@ -11,7 +11,7 @@ measurement run so runs are independent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict
 
 from repro.hardware.bluegene import BlueGene, BlueGeneConfig
@@ -31,6 +31,11 @@ BLUEGENE = "bg"
 BACKEND = "be"
 FRONTEND = "fe"
 
+#: The clusters every environment exposes, in paper order.  The SCSQL
+#: compiler validates cluster names in queries against this tuple so that
+#: compilation does not require a live :class:`Environment`.
+DEFAULT_CLUSTERS = (FRONTEND, BACKEND, BLUEGENE)
+
 
 @dataclass(frozen=True)
 class EnvironmentConfig:
@@ -47,6 +52,10 @@ class EnvironmentConfig:
     frontend_nodes: int = 2
     params: NetworkParams = field(default_factory=NetworkParams)
     seed: int = 0
+
+    def with_seed(self, seed: int) -> "EnvironmentConfig":
+        """This config with only the seed replaced (topology untouched)."""
+        return replace(self, seed=seed)
 
 
 def _topology_key(config: EnvironmentConfig):
@@ -168,7 +177,7 @@ class Environment:
     # ------------------------------------------------------------------
     def cluster_names(self):
         """The clusters of the environment, in paper order."""
-        return (FRONTEND, BACKEND, BLUEGENE)
+        return DEFAULT_CLUSTERS
 
     def cndb(self, cluster: str) -> ComputeNodeDatabase:
         """The compute node database of ``cluster``."""
@@ -214,7 +223,9 @@ class Environment:
     # ------------------------------------------------------------------
     # Channel selection (paper section 2.3 driver rule)
     # ------------------------------------------------------------------
-    def open_channel(self, source: Node, destination: Node, deliver: Store, stream_id: str) -> Channel:
+    def open_channel(
+        self, source: Node, destination: Node, deliver: Store, stream_id: str
+    ) -> Channel:
         """Create the right stream carrier for a (source, destination) pair.
 
         MPI inside the BlueGene, TCP for back-end -> BlueGene ingress, and

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.coordinator.allocation import AllocationSequence
+from repro.coordinator.allocation import AllocationSequence, constant_node_of
 from repro.coordinator.graph import QueryGraph, SPDef
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import BACKEND, BLUEGENE, Environment
@@ -171,8 +171,9 @@ class CostBasedPlacer:
             return None
         if sp_id in assignment:
             return self.env.node(sp.cluster, assignment[sp_id])
-        if sp.allocation is not None and sp.allocation.is_constant:
-            return self.env.node(sp.cluster, sp.allocation._constant)  # type: ignore[arg-type]
+        pinned = constant_node_of(sp.allocation)
+        if pinned is not None:
+            return self.env.node(sp.cluster, pinned)
         return None
 
     def _objective(self, graph: QueryGraph, assignment: Dict[str, int]) -> float:
@@ -274,8 +275,10 @@ class CostBasedPlacer:
             if graph.sps[sp_id].cluster == BLUEGENE
         }
         for sp in graph.sps.values():
-            if sp.cluster == BLUEGENE and sp.allocation is not None and sp.allocation.is_constant:
-                occupied.add(sp.allocation._constant)  # type: ignore[arg-type]
+            if sp.cluster == BLUEGENE:
+                pinned = constant_node_of(sp.allocation)
+                if pinned is not None:
+                    occupied.add(pinned)
         return any(
             hop in occupied and hop not in exclude for hop in route[1:-1]
         )

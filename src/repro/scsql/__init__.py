@@ -24,6 +24,7 @@ from repro.scsql.compiler import FunctionDef, QueryCompiler
 from repro.scsql.handles import SPHandle, SPVHandle
 from repro.scsql.lexer import Token, TokenKind, tokenize
 from repro.scsql.parser import parse, parse_query
+from repro.scsql.plan import DeploymentPlan, compile_plan
 from repro.scsql.scopes import Scope
 from repro.scsql.session import SCSQSession
 from repro.scsql.unparse import unparse, unparse_expr
@@ -38,6 +39,8 @@ __all__ = [
     "unparse_expr",
     "QueryCompiler",
     "FunctionDef",
+    "DeploymentPlan",
+    "compile_plan",
     "SCSQSession",
     "SPHandle",
     "SPVHandle",

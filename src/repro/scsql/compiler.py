@@ -26,14 +26,16 @@ import itertools
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.coordinator.allocation import (
+    AllocationDirective,
     AllocationSequence,
-    in_pset_sequence,
-    pset_round_robin_sequence,
-    urr_sequence,
+    ExplicitNodesSpec,
+    InPsetSpec,
+    PsetRoundRobinSpec,
+    UrrSpec,
 )
 from repro.coordinator.graph import QueryGraph, SPDef
 from repro.engine.sqep import OpSpec, plan_input, plan_op
-from repro.hardware.environment import Environment
+from repro.hardware.environment import DEFAULT_CLUSTERS
 from repro.scsql.ast import (
     CondKind,
     Condition,
@@ -72,10 +74,26 @@ class FunctionDef:
 
 
 class QueryCompiler:
-    """Compiles one statement against an environment's CNDBs."""
+    """Compiles one statement into an environment-independent query graph.
 
-    def __init__(self, env: Environment, functions: Optional[Dict[str, FunctionDef]] = None):
-        self.env = env
+    Compilation is *setup-time only*: no live
+    :class:`~repro.hardware.environment.Environment` is needed.  Cluster
+    names are validated against ``clusters`` (anything with a
+    ``cluster_names()`` method — e.g. an Environment — or a plain sequence
+    of names; default: the paper's fe/be/bg topology), and allocation
+    queries compile to symbolic
+    :class:`~repro.coordinator.allocation.AllocationSpec` objects that a
+    deployer resolves against a target environment's CNDBs at deploy time.
+    The resulting graph is picklable and reusable across environments.
+    """
+
+    def __init__(self, clusters=None, functions: Optional[Dict[str, FunctionDef]] = None):
+        if clusters is None:
+            self.clusters = tuple(DEFAULT_CLUSTERS)
+        elif hasattr(clusters, "cluster_names"):
+            self.clusters = tuple(clusters.cluster_names())
+        else:
+            self.clusters = tuple(clusters)
         self.functions = functions if functions is not None else {}
         self.graph = QueryGraph()
         self._sp_counter = itertools.count(1)
@@ -384,40 +402,43 @@ class QueryCompiler:
         return scopes
 
     def _check_cluster(self, cluster: str) -> None:
-        if cluster not in self.env.cluster_names():
+        if cluster not in self.clusters:
             raise QuerySemanticError(
                 f"unknown cluster {cluster!r}; this environment has "
-                f"{sorted(self.env.cluster_names())}"
+                f"{sorted(self.clusters)}"
             )
 
     # ------------------------------------------------------------------
     # Allocation sequences
     # ------------------------------------------------------------------
-    def _allocation(self, expr: Expr, scope: Scope, cluster: str) -> AllocationSequence:
-        """Resolve the third argument of sp()/spv() for ``cluster``."""
+    def _allocation(self, expr: Expr, scope: Scope, cluster: str) -> AllocationDirective:
+        """Compile the third argument of sp()/spv() for ``cluster``.
+
+        Allocation queries compile to symbolic specs resolved against the
+        deployment environment's CNDBs by the deployer, so a compiled plan
+        stays environment-independent (and picklable).
+        """
         if isinstance(expr, FuncCall):
             if expr.name == "urr":
                 (name,) = self._eval_args(expr, scope, 1, "urr")
-                return urr_sequence(self.env.cndb(self._require_str(name, "urr")))
+                return UrrSpec(self._require_str(name, "urr"))
             if expr.name == "inPset":
                 (pset,) = self._eval_args(expr, scope, 1, "inPset")
-                return in_pset_sequence(
-                    self.env.cndb(cluster), self._require_int(pset, "inPset")
-                )
+                return InPsetSpec(cluster, self._require_int(pset, "inPset"))
             if expr.name == "psetrr":
                 self._eval_args(expr, scope, 0, "psetrr")
-                return pset_round_robin_sequence(self.env.cndb(cluster))
+                return PsetRoundRobinSpec(cluster)
         value = self.eval_setup(expr, scope)
         if isinstance(value, AllocationSequence):
             return value
         if isinstance(value, bool):
             raise QuerySemanticError(f"invalid allocation sequence {value!r}")
         if isinstance(value, int):
-            return AllocationSequence(value)
-        if isinstance(value, list) and all(
+            return ExplicitNodesSpec((value,))
+        if isinstance(value, list) and value and all(
             isinstance(v, int) and not isinstance(v, bool) for v in value
         ):
-            return AllocationSequence(value)
+            return ExplicitNodesSpec(tuple(value))
         raise QuerySemanticError(
             f"allocation sequences are node numbers, node-number bags, or "
             f"allocation queries; got {value!r}"

@@ -1,0 +1,113 @@
+"""Deployment plans: the compile-once form of a continuous query.
+
+A :class:`DeploymentPlan` is the environment-independent intermediate
+representation sitting between the SCSQL front end and the coordinator
+layer.  It is produced *once* per query by :func:`compile_plan` — parse +
+:class:`~repro.scsql.compiler.QueryCompiler` — and carries everything a
+deployment needs: the :class:`~repro.coordinator.graph.QueryGraph` with its
+symbolic allocation constraints, the execution settings, and the source
+text for provenance.
+
+Because compilation no longer consults a live
+:class:`~repro.hardware.environment.Environment` (cluster names validate
+against a topology vocabulary, allocation queries reduce to picklable
+:class:`~repro.coordinator.allocation.AllocationSpec` objects), one plan
+can be pickled to sweep workers and deployed any number of times onto any
+compatible environment::
+
+    plan = compile_plan("select count(extract(r)) from ...")
+    deployer = Deployer(env)
+    report = deployer.run(plan)            # place + deploy + run
+    report = deployer.run(plan)            # deploy the same plan again
+
+The full lifecycle is parse -> compile -> place -> deploy -> run ->
+teardown; the place/deploy/run/teardown half lives in
+:mod:`repro.coordinator.deployer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Union
+
+from repro.coordinator.graph import QueryGraph
+from repro.engine.settings import ExecutionSettings
+from repro.scsql.ast import SelectQuery
+from repro.scsql.compiler import FunctionDef, QueryCompiler
+from repro.scsql.parser import parse
+from repro.util.errors import QuerySemanticError
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """A compiled continuous query, ready to deploy anywhere.
+
+    Attributes:
+        query: The SCSQL source text the plan was compiled from.
+        graph: The compiled process graph.  Deployments never mutate it:
+            they work on :meth:`instantiate` copies, so one plan may back
+            many (even concurrent) deployments.
+        settings: Execution settings the query was compiled for; a
+            deployment may override them at deploy time.
+    """
+
+    query: str
+    graph: QueryGraph
+    settings: ExecutionSettings = field(default_factory=ExecutionSettings)
+
+    def instantiate(self) -> QueryGraph:
+        """A fresh deployable copy of the plan's process graph."""
+        return self.graph.instantiate()
+
+    def describe(self) -> str:
+        """Human-readable summary of the plan's process graph."""
+        lines = []
+        for sp in self.graph.sps.values():
+            pinned = sp.allocation is not None
+            lines.append(
+                f"stream process {sp.sp_id} on cluster {sp.cluster!r}"
+                + (" (explicit allocation)" if pinned else "")
+            )
+            assert sp.plan is not None
+            lines.append(sp.plan.describe(indent=1))
+        assert self.graph.root_plan is not None
+        lines.append("client manager root plan:")
+        lines.append(self.graph.root_plan.describe(indent=1))
+        return "\n".join(lines)
+
+
+def compile_plan(
+    text: str,
+    functions: Optional[Dict[str, FunctionDef]] = None,
+    settings: Optional[ExecutionSettings] = None,
+    clusters: Optional[Union[Sequence[str], object]] = None,
+) -> DeploymentPlan:
+    """Compile one SCSQL select query into a :class:`DeploymentPlan`.
+
+    Args:
+        text: The select query source.
+        functions: User-defined query functions visible to the query.
+        settings: Execution settings to bake into the plan (defaults used
+            otherwise; deployments may still override).
+        clusters: Cluster vocabulary to validate against — a sequence of
+            names or anything with ``cluster_names()`` (e.g. an
+            :class:`~repro.hardware.environment.Environment`); defaults to
+            the paper's fe/be/bg topology.
+
+    Raises:
+        QuerySemanticError: If ``text`` is not a select query or fails
+            semantic checks.
+    """
+    statement = parse(text)
+    if not isinstance(statement, SelectQuery):
+        raise QuerySemanticError(
+            "compile_plan() takes a select query; create-function statements "
+            "are session state, not deployable plans"
+        )
+    compiler = QueryCompiler(clusters, functions)
+    graph = compiler.compile_select(statement)
+    return DeploymentPlan(
+        query=text,
+        graph=graph,
+        settings=settings if settings is not None else ExecutionSettings(),
+    )

@@ -83,6 +83,16 @@ class SCSQSession:
         compiler = QueryCompiler(self.env, self.functions)
         return compiler.compile_select(statement)
 
+    def plan(self, text: str, settings: Optional[ExecutionSettings] = None):
+        """Compile a select query into a reusable, environment-independent
+        :class:`~repro.scsql.plan.DeploymentPlan` (this session's functions
+        are visible to the query)."""
+        from repro.scsql.plan import compile_plan  # session is imported by plan users
+
+        return compile_plan(
+            text, functions=self.functions, settings=settings or self.settings
+        )
+
     def explain(self, text: str, settings: Optional[ExecutionSettings] = None) -> str:
         """Compile a query and describe its process graph without running it.
 

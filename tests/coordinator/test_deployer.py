@@ -1,0 +1,235 @@
+"""The deployer lifecycle: place -> deploy -> run -> teardown.
+
+The tentpole guarantees under test:
+
+* **Compile once, deploy anywhere**: a :class:`DeploymentPlan` compiled
+  once (even pickled across a process boundary) deploys onto any fresh
+  environment with results *bit-identical* to the legacy
+  compile-per-execute session path, across fig6/fig8/fig15 query shapes.
+* **Teardown returns the environment**: after ``teardown()`` every node
+  slot is back in the CNDBs and the round-robin cursors are rewound, so
+  redeploying the same plan neither raises nor shifts placement.
+"""
+
+import pickle
+
+import pytest
+
+from repro.coordinator.allocation import UrrSpec
+from repro.coordinator.deployer import (
+    CostBasedPlacement,
+    Deployer,
+    SelectorPlacement,
+)
+from repro.core.experiments.fig6 import point_to_point_query, scaled_workload
+from repro.core.experiments.fig8 import merge_query
+from repro.core.experiments.fig15 import inbound_query
+from repro.engine.settings import ExecutionSettings
+from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.scsql.plan import compile_plan
+from repro.scsql.session import SCSQSession
+from repro.util.errors import QueryExecutionError, QuerySemanticError
+
+
+def _sample_points():
+    """One representative query per reproduced figure (small workloads)."""
+    array_bytes, count = scaled_workload(1000, target_buffers=30)
+    settings = ExecutionSettings(mpi_buffer_bytes=1000, double_buffering=True)
+    return [
+        ("fig6", point_to_point_query(array_bytes, count), settings),
+        ("fig8", merge_query(array_bytes, count, 1, 4), settings),
+        ("fig15-q2", inbound_query(2, 2, 50_000, 2), ExecutionSettings()),
+        ("fig15-q5", inbound_query(5, 3, 50_000, 2), ExecutionSettings()),
+    ]
+
+
+def _fresh_env(seed: int = 0) -> Environment:
+    return Environment(EnvironmentConfig(seed=seed))
+
+
+class TestCompileOnceEquivalence:
+    """Plan-based execution is bit-identical to the session path."""
+
+    @pytest.mark.parametrize("label,query,settings", _sample_points())
+    def test_deployer_matches_session_execute(self, label, query, settings):
+        plan = compile_plan(query, settings=settings)  # compiled ONCE
+        for seed in (0, 1):
+            legacy = SCSQSession(_fresh_env(seed), settings).execute(query, settings)
+            fresh = Deployer(_fresh_env(seed)).run(plan)
+            assert fresh.result == legacy.result
+            assert fresh.duration == legacy.duration  # float-exact
+            assert fresh.rp_placements == legacy.rp_placements
+            assert fresh.bytes_sent == legacy.bytes_sent
+
+    def test_plan_survives_pickling(self):
+        _, query, settings = _sample_points()[2]
+        plan = compile_plan(query, settings=settings)
+        thawed = pickle.loads(pickle.dumps(plan))
+        original = Deployer(_fresh_env()).run(plan)
+        roundtripped = Deployer(_fresh_env()).run(thawed)
+        assert roundtripped.result == original.result
+        assert roundtripped.duration == original.duration
+        assert roundtripped.rp_placements == original.rp_placements
+
+    def test_pickling_preserves_shared_spec_instances(self):
+        # The spv() members share ONE spec instance; pickle must keep that
+        # sharing or urr() placement would shift after a process hop.
+        plan = compile_plan(inbound_query(2, 3, 50_000, 2))
+        thawed = pickle.loads(pickle.dumps(plan))
+        specs = [
+            sp.allocation
+            for sp in thawed.graph.sps.values()
+            if isinstance(sp.allocation, UrrSpec)
+        ]
+        assert len(specs) >= 2
+        assert len({id(spec) for spec in specs}) == 1
+
+    def test_plan_is_reusable_across_deploys(self):
+        _, query, settings = _sample_points()[0]
+        plan = compile_plan(query, settings=settings)
+        first = Deployer(_fresh_env()).run(plan)
+        second = Deployer(_fresh_env()).run(plan)
+        assert second.duration == first.duration
+        assert second.rp_placements == first.rp_placements
+
+    def test_plan_requires_select_query(self):
+        with pytest.raises(QuerySemanticError):
+            compile_plan(
+                "create function f() -> stream as select extract(a) from sp a "
+                "where a=sp(gen_array(10,1), 'bg');"
+            )
+
+
+class TestTeardown:
+    def _occupied_nodes(self, env: Environment) -> int:
+        return sum(
+            node.running_processes
+            for cluster in env.cluster_names()
+            for node in env.cndb(cluster).all_nodes()
+        )
+
+    def test_teardown_returns_nodes_to_cndb(self):
+        _, query, settings = _sample_points()[0]
+        plan = compile_plan(query, settings=settings)
+        env = _fresh_env()
+        deployer = Deployer(env)
+        deployment = deployer.deploy(deployer.place(plan))
+        assert self._occupied_nodes(env) > 0
+        deployment.run()
+        deployment.teardown()
+        assert deployment.torn_down
+        assert self._occupied_nodes(env) == 0
+
+    def test_redeploy_after_teardown_is_stable(self):
+        # urr('be') placements come off the CNDB round-robin cursor, which
+        # teardown() must rewind: the redeployment then neither raises nor
+        # shifts a single placement.
+        plan = compile_plan(inbound_query(2, 3, 50_000, 2))
+        env = _fresh_env()
+        deployer = Deployer(env)
+        first = deployer.deploy(deployer.place(plan)).run()
+        deployer.teardown()
+        second = deployer.deploy(deployer.place(plan)).run()
+        deployer.teardown()
+        assert second.rp_placements == first.rp_placements
+        assert second.duration > 0.0  # jitter RNG advanced; only placement is pinned
+        assert self._occupied_nodes(env) == 0
+
+    def test_teardown_without_running_releases_nodes(self):
+        _, query, settings = _sample_points()[0]
+        plan = compile_plan(query, settings=settings)
+        env = _fresh_env()
+        deployer = Deployer(env)
+        deployer.deploy(deployer.place(plan))  # deployed, never run
+        deployer.teardown()
+        assert self._occupied_nodes(env) == 0
+        # The environment is immediately reusable.
+        report = Deployer(env).run(plan)
+        assert report.duration > 0.0
+
+    def test_teardown_is_idempotent(self):
+        _, query, settings = _sample_points()[0]
+        plan = compile_plan(query, settings=settings)
+        env = _fresh_env()
+        deployer = Deployer(env)
+        deployment = deployer.deploy(deployer.place(plan))
+        deployment.run()
+        deployment.teardown()
+        deployment.teardown()
+        deployer.teardown()  # sweeps the (already torn down) deployment
+        assert self._occupied_nodes(env) == 0
+
+    def test_successive_deployments_on_one_environment(self):
+        # The env hosts successive deployments: run, teardown, run again.
+        _, query, settings = _sample_points()[0]
+        plan = compile_plan(query, settings=settings)
+        env = _fresh_env()
+        deployer = Deployer(env)
+        reports = []
+        for _ in range(3):
+            deployment = deployer.deploy(deployer.place(plan))
+            reports.append(deployment.run())
+            deployment.teardown()
+        assert reports[1].rp_placements == reports[0].rp_placements
+        assert reports[2].rp_placements == reports[0].rp_placements
+
+
+class TestPlacementStrategies:
+    def test_selector_placement_names_its_selector(self):
+        assert SelectorPlacement().name == "selector:naive"
+
+    def test_cost_based_placement_matches_optimized_session(self):
+        query = point_to_point_query(*scaled_workload(1000, target_buffers=30))
+        settings = ExecutionSettings(mpi_buffer_bytes=1000, double_buffering=True)
+        legacy = SCSQSession(_fresh_env(), settings).execute(
+            query, settings, optimize=True
+        )
+        plan = compile_plan(query, settings=settings)
+        report = Deployer(_fresh_env()).run(plan, strategy=CostBasedPlacement())
+        assert report.rp_placements == legacy.rp_placements
+        assert report.duration == legacy.duration
+
+    def test_strategy_leaves_source_plan_pristine(self):
+        query = point_to_point_query(*scaled_workload(1000, target_buffers=30))
+        plan = compile_plan(query)
+        before = {
+            sp_id: sp.allocation for sp_id, sp in plan.graph.sps.items()
+        }
+        deployer = Deployer(_fresh_env())
+        deployer.place(plan, CostBasedPlacement())
+        after = {sp_id: sp.allocation for sp_id, sp in plan.graph.sps.items()}
+        assert after == before  # the placer pinned a COPY, not the plan
+
+
+class TestDeploymentStartFinish:
+    def test_finish_before_simulation_raises(self):
+        _, query, settings = _sample_points()[0]
+        plan = compile_plan(query, settings=settings)
+        deployer = Deployer(_fresh_env())
+        deployment = deployer.deploy(deployer.place(plan))
+        deployment.start()
+        with pytest.raises(QueryExecutionError, match="never finished"):
+            deployment.finish()
+
+    def test_double_start_raises(self):
+        _, query, settings = _sample_points()[0]
+        plan = compile_plan(query, settings=settings)
+        deployer = Deployer(_fresh_env())
+        deployment = deployer.deploy(deployer.place(plan))
+        deployment.start()
+        with pytest.raises(QueryExecutionError, match="already started"):
+            deployment.start()
+
+    def test_start_run_finish_matches_plain_run(self):
+        _, query, settings = _sample_points()[0]
+        plan = compile_plan(query, settings=settings)
+        plain = Deployer(_fresh_env()).run(plan)
+        env = _fresh_env()
+        deployer = Deployer(env)
+        deployment = deployer.deploy(deployer.place(plan))
+        deployment.start()
+        env.sim.run()
+        report = deployment.finish()
+        assert report.result == plain.result
+        assert report.duration == plain.duration
+        assert report.rp_placements == plain.rp_placements

@@ -1,0 +1,139 @@
+"""Concurrent CQ sessions: N plans on one shared environment.
+
+What must hold: every submitted query gets its own rp-prefix namespace
+(identical plans stay distinct), one simulator run drives them all, each
+reports its own bandwidth, and concurrency through a shared I/O-node
+path costs real bandwidth versus the solo baselines.
+"""
+
+import pytest
+
+from repro.core.experiments.contention import (
+    DEFAULT_SENDERS,
+    SHARED_PSET,
+    contending_query,
+    run_contention_demo,
+)
+from repro.core.multiquery import MultiQuerySession
+from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.scsql.plan import compile_plan
+from repro.util.errors import QueryExecutionError
+
+#: Small, fast workload shared by the tests.
+N, ARRAY_BYTES, COUNT = 2, 50_000, 2
+PAYLOAD = N * ARRAY_BYTES * COUNT
+
+
+def _session() -> MultiQuerySession:
+    return MultiQuerySession(Environment(EnvironmentConfig()))
+
+
+def _plan(sender: int):
+    return compile_plan(contending_query(sender, N, ARRAY_BYTES, COUNT))
+
+
+class TestMultiQuerySession:
+    def test_two_concurrent_queries_report_separately(self):
+        session = _session()
+        session.submit(_plan(1), payload_bytes=PAYLOAD, label="left")
+        session.submit(_plan(2), payload_bytes=PAYLOAD, label="right")
+        result = session.run()
+        session.teardown()
+        assert [o.label for o in result.outcomes] == ["left", "right"]
+        for outcome in result.outcomes:
+            assert outcome.mbps > 0.0
+            assert outcome.report.duration > 0.0
+            # Reports keep the unprefixed stream-process ids.
+            assert all("/" not in rp_id for rp_id in outcome.report.rp_placements)
+        # The queries really ran on distinct nodes.
+        left, right = result.outcomes
+        left_nodes = {
+            node
+            for rp_id, node in left.report.rp_placements.items()
+            if rp_id.startswith("b")
+        }
+        right_nodes = {
+            node
+            for rp_id, node in right.report.rp_placements.items()
+            if rp_id.startswith("b")
+        }
+        assert left_nodes and right_nodes
+        assert left_nodes.isdisjoint(right_nodes)
+
+    def test_identical_plans_deploy_concurrently(self):
+        # The SAME plan object twice: instantiation + rp prefixes keep the
+        # deployments (and their stream ids) fully distinct.
+        plan = _plan(1)
+        session = _session()
+        session.submit(plan, payload_bytes=PAYLOAD)
+        session.submit(plan, payload_bytes=PAYLOAD)
+        result = session.run()
+        session.teardown()
+        assert [o.label for o in result.outcomes] == ["q0", "q1"]
+        assert all(o.mbps > 0.0 for o in result.outcomes)
+
+    def test_duplicate_label_raises(self):
+        session = _session()
+        session.submit(_plan(1), payload_bytes=PAYLOAD, label="dup")
+        with pytest.raises(QueryExecutionError, match="duplicate"):
+            session.submit(_plan(2), payload_bytes=PAYLOAD, label="dup")
+
+    def test_run_requires_submissions(self):
+        with pytest.raises(QueryExecutionError, match="no queries"):
+            _session().run()
+
+    def test_session_is_single_shot(self):
+        session = _session()
+        session.submit(_plan(1), payload_bytes=PAYLOAD)
+        session.run()
+        with pytest.raises(QueryExecutionError, match="already ran"):
+            session.run()
+        with pytest.raises(QueryExecutionError, match="already ran"):
+            session.submit(_plan(2), payload_bytes=PAYLOAD)
+
+    def test_teardown_frees_every_deployment(self):
+        session = _session()
+        session.submit(_plan(1), payload_bytes=PAYLOAD)
+        session.submit(_plan(2), payload_bytes=PAYLOAD)
+        session.run()
+        session.teardown()
+        occupied = sum(
+            node.running_processes
+            for cluster in session.env.cluster_names()
+            for node in session.env.cndb(cluster).all_nodes()
+        )
+        assert occupied == 0
+
+    def test_result_lookup_by_label(self):
+        session = _session()
+        session.submit(_plan(1), payload_bytes=PAYLOAD, label="only")
+        result = session.run()
+        assert result["only"].label == "only"
+        with pytest.raises(KeyError):
+            result["missing"]
+
+
+class TestContentionDemo:
+    def test_shared_io_path_costs_bandwidth(self):
+        result = run_contention_demo(n=N, array_bytes=ARRAY_BYTES, count=COUNT)
+        assert {o.label for o in result.outcomes} == set(DEFAULT_SENDERS)
+        for outcome in result.outcomes:
+            assert outcome.solo_mbps is not None and outcome.solo_mbps > 0.0
+            # Contending for one pset's I/O node must cost real bandwidth.
+            assert outcome.interference is not None
+            assert outcome.interference < 1.0
+            # Receivers really sit inside the contended pset.
+            env = Environment(EnvironmentConfig())
+            pset_nodes = {
+                f"bg:{index}"
+                for index in env.cndb("bg").nodes_in_pset(SHARED_PSET)
+            }
+            receivers = {
+                node
+                for rp_id, node in outcome.report.rp_placements.items()
+                if rp_id.startswith("b[")
+            }
+            assert receivers <= pset_nodes
+        # The table renders both baselines and ratios.
+        table = result.format_table()
+        assert "ratio" in table and "qA" in table and "qB" in table

@@ -1,6 +1,5 @@
 """Integration tests: the cost-based placer rediscovers the paper's topologies."""
 
-import pytest
 
 from repro.coordinator import ClientManager
 from repro.core.experiments.ablations import automatic_inbound_query

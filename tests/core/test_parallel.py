@@ -9,17 +9,21 @@ payloads and merge outcomes in task order, never completion order.
 
 import pytest
 
+from repro.coordinator.deployer import ExecutionReport
 from repro.core.experiments.fig6 import point_to_point_query, scaled_workload
 from repro.core.experiments.fig15 import inbound_query
 from repro.core.measurement import PointSpec, measure_points
 from repro.core.parallel import (
     OBSERVE_FLOWS,
     OBSERVE_NONE,
+    Deployer,
     SweepExecutor,
     SweepTask,
     run_sweep_task,
 )
 from repro.engine.settings import ExecutionSettings
+from repro.scsql.plan import compile_plan
+from repro.util.errors import MeasurementError
 from repro.util.stats import percentile
 
 
@@ -106,6 +110,41 @@ class TestExecutor:
         # e.g. EOS markers, carry no measurable latency and are filtered).
         assert obs.flows.latencies()
         assert len(obs.flows.latencies()) <= len(outcome.flow_records)
+
+
+class TestWorkerPath:
+    """run_sweep_task IS the worker: its own guards and plan handling."""
+
+    def test_precompiled_plan_matches_text_compilation(self):
+        array_bytes, count = scaled_workload(1000, target_buffers=20)
+        query = point_to_point_query(array_bytes, count)
+        base = dict(
+            point_key="k", seed=0, query=query, payload_bytes=array_bytes * count
+        )
+        from_text = run_sweep_task(SweepTask(**base))
+        from_plan = run_sweep_task(SweepTask(**base, plan=compile_plan(query)))
+        assert from_plan.report.duration == from_text.report.duration
+        assert from_plan.report.rp_placements == from_text.report.rp_placements
+
+    def test_non_positive_duration_raises(self, monkeypatch):
+        # The guard lives in the worker path itself (not just the result
+        # assembly), so a degenerate run fails loudly inside the worker.
+        monkeypatch.setattr(
+            Deployer,
+            "run",
+            lambda self, plan, strategy=None, settings=None, stop_after=None: (
+                ExecutionReport(result=[1], duration=0.0)
+            ),
+        )
+        array_bytes, count = scaled_workload(1000, target_buffers=20)
+        task = SweepTask(
+            point_key="degenerate",
+            seed=0,
+            query=point_to_point_query(array_bytes, count),
+            payload_bytes=array_bytes * count,
+        )
+        with pytest.raises(MeasurementError, match="non-positive"):
+            run_sweep_task(task)
 
 
 class TestParallelDeterminism:

@@ -5,7 +5,7 @@ import pytest
 from repro.engine.context import ExecutionContext
 from repro.engine.drivers import ReceiverDriver, SenderDriver
 from repro.engine.inbox import Inbox
-from repro.engine.objects import END_OF_STREAM, SyntheticArray
+from repro.engine.objects import SyntheticArray
 from repro.engine.settings import ExecutionSettings
 from repro.net.channels import MpiChannel
 from repro.sim import Store

@@ -1,7 +1,6 @@
 """Unit tests for the object model and size estimation."""
 
 import numpy as np
-import pytest
 
 from repro.engine.objects import (
     END_OF_STREAM,

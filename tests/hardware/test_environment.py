@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware.environment import BACKEND, BLUEGENE, FRONTEND, Environment
+from repro.hardware.environment import BACKEND, BLUEGENE, FRONTEND
 from repro.hardware.node import PPC440D, PPC970
 from repro.net.channels import LatencyChannel, MpiChannel, TcpChannel
 from repro.sim import Store

@@ -8,7 +8,6 @@ hold**: the sink counts exactly the objects the generators produced, and
 the byte counters balance.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.hardware.environment import Environment, EnvironmentConfig
 from repro.net.ethernet import TcpStreamConnection
 from repro.net.message import WireBuffer
 from repro.sim import Store

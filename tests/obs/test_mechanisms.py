@@ -14,7 +14,6 @@ the right bandwidth emerged for the right reason:
   bytes on the wire far exceed the payload.
 """
 
-import pytest
 
 from repro.core.experiments.fig6 import point_to_point_query
 from repro.core.experiments.fig8 import BALANCED, SEQUENTIAL, merge_query

@@ -2,6 +2,12 @@
 
 import pytest
 
+from repro.coordinator.allocation import (
+    ExplicitNodesSpec,
+    InPsetSpec,
+    UrrSpec,
+)
+from repro.coordinator.deployer import resolve_allocations
 from repro.scsql.compiler import QueryCompiler
 from repro.scsql.parser import parse_query
 from repro.util.errors import QuerySemanticError
@@ -92,7 +98,17 @@ class TestBasicCompilation:
 class TestAllocationResolution:
     def _allocations(self, env, text):
         graph = compile_text(env, text)
+        resolve_allocations(graph, env)
         return {sp.sp_id.split("@")[0]: sp.allocation for sp in graph.sps.values()}
+
+    def test_constant_allocation_compiles_to_spec(self, env):
+        graph = compile_text(
+            env, "select extract(a) from sp a where a=sp(iota(1,2), 'bg', 7)"
+        )
+        (sp,) = [sp for sp in graph.sps.values() if sp.sp_id.startswith("a")]
+        # The compiled form is symbolic and environment-free...
+        assert sp.allocation == ExplicitNodesSpec((7,))
+        assert sp.allocation.constant_node == 7
 
     def test_constant_allocation(self, env):
         allocations = self._allocations(
@@ -109,7 +125,14 @@ class TestAllocationResolution:
             "where a=spv((select gen_array(10,1) from integer i "
             "where i in iota(1,3)), 'be', urr('be'))",
         )
-        # urr was resolved once and shared; placements spread over be nodes.
+        # All spv members share one spec instance from the compiler...
+        specs = {id(sp.allocation) for sp in graph.sps.values()}
+        assert len(specs) == 1
+        assert next(iter(graph.sps.values())).allocation == UrrSpec("be")
+        # ...which resolves once and is shared: placements spread over be nodes.
+        resolve_allocations(graph, env)
+        sequences = {id(sp.allocation) for sp in graph.sps.values()}
+        assert len(sequences) == 1
         placements = set()
         for sp in graph.sps.values():
             node = sp.allocation.select(env.cndb("be"))
@@ -118,11 +141,14 @@ class TestAllocationResolution:
         assert placements == {0, 1, 2}
 
     def test_inpset_resolved_against_target_cluster(self, env):
-        allocations = self._allocations(
+        graph = compile_text(
             env,
             "select extract(b) from sp b where b=sp(iota(1,2), 'bg', inPset(1))",
         )
-        node = allocations["b"].select(env.cndb("bg"))
+        (sp,) = graph.sps.values()
+        assert sp.allocation == InPsetSpec("bg", 1)
+        resolve_allocations(graph, env)
+        node = sp.allocation.select(env.cndb("bg"))
         assert env.bluegene.pset_of(node.index) == 1
 
     def test_allocation_query_outside_sp_rejected(self, env):
@@ -287,6 +313,7 @@ class TestSetupLevelNestedSelects:
             "select merge(a) from bag of sp a "
             "where a=spv({iota(1,2), iota(3,4)}, 'bg', {5, 6})",
         )
+        resolve_allocations(graph, env)
         placements = []
         for sp in graph.sps.values():
             node = sp.allocation.select(env.cndb("bg"))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Event, Interrupt, Simulator, Timeout
+from repro.sim import Interrupt
 from repro.util.errors import SimulationError
 
 

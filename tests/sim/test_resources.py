@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Interrupt, Resource, Simulator, Store
+from repro.sim import Interrupt, Resource, Store
 from repro.util.errors import SimulationError
 
 

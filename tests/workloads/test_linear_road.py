@@ -5,14 +5,11 @@ import pytest
 from repro.engine.operators import GroupWindowAggregate
 from repro.util.errors import QueryExecutionError
 from repro.workloads.linear_road import (
-    ACCIDENT_SPEED,
     CONGESTION_SPEED,
-    FREE_FLOW_SPEED,
     Accident,
     expected_congested_windows,
     partition_by_segment,
     position_reports,
-    segment_speeds,
 )
 from tests.conftest import run_operator
 
