@@ -46,6 +46,11 @@ def congestion_query(n_segments: int) -> str:
     return f"select merge({merge_set}) from {decls} where {conjuncts};"
 
 
+def scsql_queries():
+    """The example's SCSQL statements, for ``python -m repro analyze``."""
+    return [("congestion", congestion_query(N_SEGMENTS))]
+
+
 def main() -> None:
     reports = position_reports(
         N_VEHICLES, N_SEGMENTS, TICKS, seed=7, accident=ACCIDENT

@@ -67,6 +67,11 @@ def monitoring_query(n_antennas: int) -> str:
     )
 
 
+def scsql_queries():
+    """The example's SCSQL statements, for ``python -m repro analyze``."""
+    return [("monitor-n6", monitoring_query(6))]
+
+
 def main() -> None:
     n_antennas = int(sys.argv[1]) if len(sys.argv) > 1 else 6
     for i in range(n_antennas):

@@ -36,6 +36,25 @@ def grep_query(pattern: str, n_files: int) -> str:
     """
 
 
+def count_query(pattern: str, n_files: int) -> str:
+    """A count-only variant: the reduce aggregates instead of concatenating."""
+    return f"""
+    select count(merge(g)) from bag of sp g
+    where g=spv(
+      (select grep('{pattern}', filename(i))
+       from integer i where i in iota(1,{n_files})),
+      'be', urr('be'));
+    """
+
+
+def scsql_queries():
+    """The example's SCSQL statements, for ``python -m repro analyze``."""
+    return [
+        ("grep", grep_query(corpus.MARKER, 100)),
+        ("grep-count", count_query(corpus.MARKER, 100)),
+    ]
+
+
 def main() -> None:
     n_files = int(sys.argv[1]) if len(sys.argv) > 1 else 100
     session = SCSQSession()
@@ -60,15 +79,7 @@ def main() -> None:
           f"{sorted(placements)}")
 
     # A count-only variant: the reduce aggregates instead of concatenating.
-    report = session.execute(
-        f"""
-        select count(merge(g)) from bag of sp g
-        where g=spv(
-          (select grep('{corpus.MARKER}', filename(i))
-           from integer i where i in iota(1,{n_files})),
-          'be', urr('be'));
-        """
-    )
+    report = session.execute(count_query(corpus.MARKER, n_files))
     print("count(merge(...)) =", report.scalar_result)
 
 

@@ -25,6 +25,22 @@ from repro.core.experiments import (
 )
 
 
+def scsql_queries():
+    """One query per measured topology, at the example's scaled-down sizes,
+    for ``python -m repro analyze`` (the full grids are ``analyze --sweeps``)."""
+    from repro.core.experiments.fig6 import point_to_point_query, scaled_workload
+    from repro.core.experiments.fig8 import BALANCED, merge_query
+    from repro.core.experiments.fig15 import inbound_query
+
+    array_bytes, count = scaled_workload(1000, 300)
+    x, y = BALANCED
+    return [
+        ("fig6", point_to_point_query(array_bytes, count)),
+        ("fig8-balanced", merge_query(array_bytes, count, x, y)),
+        ("fig15-q5", inbound_query(5, 4, 3_000_000, 5)),
+    ]
+
+
 def main() -> None:
     full = "--full" in sys.argv
     repeats = 5 if full else (1 if "--smoke" in sys.argv else 2)

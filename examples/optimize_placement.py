@@ -33,6 +33,11 @@ and b=sp(gen_array(200000,15), 'bg');
 INBOUND_QUERY = automatic_inbound_query(4, 3_000_000, 5)
 
 
+def scsql_queries():
+    """The example's SCSQL statements, for ``python -m repro analyze``."""
+    return [("intra-bg-merge", MERGE_QUERY), ("inbound-n4", INBOUND_QUERY)]
+
+
 def measure(query_text, payload_bytes, placer, settings):
     env = Environment()
     graph = QueryCompiler(env).compile_select(parse_query(query_text))

@@ -11,6 +11,27 @@ Run:  python examples/quickstart.py
 from repro import ExecutionSettings, SCSQSession
 from repro.util.units import MEGA
 
+POINT_TO_POINT = """
+select extract(b)
+from sp a, sp b
+where b=sp(streamof(count(extract(a))), 'bg', 0)
+and a=sp(gen_array(3000000,10), 'bg', 1);
+"""
+
+PARALLEL_SPV = """
+select count(merge(a)) from bag of sp a, integer n
+where a=spv(
+  (select gen_array(1000000,5)
+   from integer i where i in iota(1,n)),
+  'bg')
+and n=4;
+"""
+
+
+def scsql_queries():
+    """The example's SCSQL statements, for ``python -m repro analyze``."""
+    return [("point-to-point", POINT_TO_POINT), ("parallel-spv", PARALLEL_SPV)]
+
 
 def main() -> None:
     session = SCSQSession()
@@ -20,12 +41,7 @@ def main() -> None:
     # --- 1. A first continuous query -----------------------------------
     # Stream process a generates ten 3 MB arrays on BlueGene compute node 1;
     # b counts them on node 0.  Only the count leaves the BlueGene.
-    query = """
-    select extract(b)
-    from sp a, sp b
-    where b=sp(streamof(count(extract(a))), 'bg', 0)
-    and a=sp(gen_array(3000000,10), 'bg', 1);
-    """
+    query = POINT_TO_POINT
     report = session.execute(query)
     print("count(extract(a)) =", report.scalar_result)
     print(f"simulated query time: {report.duration * 1e3:.2f} ms")
@@ -55,16 +71,7 @@ def main() -> None:
 
     # --- 3. Parallelism with spv() --------------------------------------
     parallel = SCSQSession()
-    report = parallel.execute(
-        """
-        select count(merge(a)) from bag of sp a, integer n
-        where a=spv(
-          (select gen_array(1000000,5)
-           from integer i where i in iota(1,n)),
-          'bg')
-        and n=4;
-        """
-    )
+    report = parallel.execute(PARALLEL_SPV)
     print()
     print("4 parallel generators produced", report.scalar_result, "arrays")
 

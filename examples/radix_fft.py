@@ -40,6 +40,17 @@ N_SIGNALS = 6
 N_POINTS = 1024
 SEED = 2007
 
+FFT_QUERY = "select radix2('antenna') from integer z where z=0;"
+
+
+def scsql_queries():
+    """The example's SCSQL statements, for ``python -m repro analyze``.
+
+    The create-function statement registers ``radix2`` for the select that
+    follows, exactly as the session executes them.
+    """
+    return [("radix2-def", RADIX2), ("radix2-call", FFT_QUERY)]
+
 
 def main() -> None:
     SCSQSession.register_source(
@@ -47,7 +58,7 @@ def main() -> None:
     )
     session = SCSQSession()
     session.execute(RADIX2)
-    report = session.execute("select radix2('antenna') from integer z where z=0;")
+    report = session.execute(FFT_QUERY)
 
     expected = [
         np.fft.fft(x) for x in signal_stream(N_SIGNALS, n_points=N_POINTS, seed=SEED)

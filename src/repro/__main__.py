@@ -9,6 +9,8 @@ Usage::
     python -m repro scaling [--repeats N] [--quick] [--jobs N] [OBS FLAGS]
     python -m repro all [--repeats N] [--quick] [--jobs N]
     python -m repro query 'select ...;' [OBS FLAGS]
+    python -m repro analyze 'select ...;' [--file F] [--example E.py]
+                            [--sweeps] [--strict] [--json]
     python -m repro multiquery [--streams N] [--array-bytes B] [--count N]
     python -m repro bench [--out B.json] [--baseline B.json]
                           [--tolerance PCT] [--warn-only] [--jobs N]
@@ -463,6 +465,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     m.add_argument("--seed", type=int, default=0, help="environment seed")
     m.set_defaults(func=_multiquery)
+    from repro.analysis.cli import add_analyze_parser
+
+    add_analyze_parser(sub)
     return parser
 
 

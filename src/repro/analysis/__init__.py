@@ -1,0 +1,36 @@
+"""Static analysis of compiled queries and of the simulator's own code.
+
+Two halves:
+
+* :mod:`repro.analysis.verifier` — proves a compiled
+  :class:`~repro.scsql.plan.DeploymentPlan` deployable (or rejects it with
+  coded diagnostics) by replaying placement against a CNDB snapshot, and
+  warns where the cost model shows a topology link-bound.
+* :mod:`repro.analysis.lint` — AST lints keeping the simulation kernel
+  deterministic (no wall clock, no global RNG, no set-order dependence,
+  ``__slots__`` events, guarded obs hooks).
+
+Entry points: ``Deployer.verify(plan)``, ``python -m repro analyze``, and
+``python -m repro.analysis.lint``.
+"""
+
+from repro.analysis.diagnostics import (
+    CATALOG,
+    AnalysisReport,
+    Diagnostic,
+    PlanVerificationError,
+    Severity,
+)
+from repro.analysis.snapshot import EnvironmentSnapshot
+from repro.analysis.verifier import PlanVerifier, verify_plan
+
+__all__ = [
+    "AnalysisReport",
+    "CATALOG",
+    "Diagnostic",
+    "EnvironmentSnapshot",
+    "PlanVerificationError",
+    "PlanVerifier",
+    "Severity",
+    "verify_plan",
+]

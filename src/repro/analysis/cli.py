@@ -1,0 +1,275 @@
+"""``python -m repro analyze``: static verification from the command line.
+
+Compiles SCSQL statements (from arguments, files, or an example script's
+``scsql_queries()`` hook), runs the :mod:`repro.analysis.verifier` pass
+pipeline over every resulting plan against the paper's default topology,
+pretty-prints the diagnostics, and exits non-zero when any plan has
+errors (or, with ``--strict``, warnings).
+
+``--sweeps`` verifies the full fig6/fig8/fig15 (and ablation) sweep grids
+— every plan a ``python -m repro all`` run would deploy — which is what CI
+runs to keep the experiment definitions deployable.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.snapshot import EnvironmentSnapshot
+from repro.analysis.verifier import PlanVerifier
+from repro.scsql.ast import CreateFunction
+from repro.scsql.compiler import FunctionDef
+from repro.scsql.parser import parse
+from repro.scsql.plan import compile_plan
+from repro.util.errors import QueryError
+
+__all__ = ["run_analyze", "add_analyze_parser", "split_statements"]
+
+
+def split_statements(text: str) -> List[str]:
+    """Split SCSQL source into ``;``-separated statements.
+
+    Respects single-quoted strings (the only SCSQL quoting form); empty
+    fragments (trailing semicolons, blank lines) are dropped.
+    """
+    statements: List[str] = []
+    current: List[str] = []
+    in_string = False
+    for ch in text:
+        if ch == "'":
+            in_string = not in_string
+        if ch == ";" and not in_string:
+            statements.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    statements.append("".join(current))
+    return [s.strip() for s in statements if s.strip()]
+
+
+def _compile_failure(label: str, exc: Exception) -> AnalysisReport:
+    """A synthetic error report for a statement that didn't compile."""
+    report = AnalysisReport(label=label)
+    report.add(
+        Diagnostic(
+            code="SCSQ000",
+            severity=Severity.ERROR,
+            message=f"statement does not compile: {exc}",
+        )
+    )
+    return report
+
+
+def _verify_statements(
+    statements: Iterable[Tuple[str, str]],
+) -> List[AnalysisReport]:
+    """Compile and verify labelled statements, sharing a function registry.
+
+    ``create function`` statements register their function for the
+    statements that follow (mirroring a session) and produce no report.
+    Each select query is verified against a *fresh* topology snapshot, as
+    ``Deployer.run`` on a fresh environment would see it (concurrent-
+    deployment conflicts are the ``MultiQuerySession(verify=...)`` path).
+    """
+    functions = {}
+    reports: List[AnalysisReport] = []
+    for label, text in statements:
+        try:
+            statement = parse(text)
+            if isinstance(statement, CreateFunction):
+                functions[statement.name] = FunctionDef(statement)
+                continue
+            plan = compile_plan(text, functions=dict(functions))
+        except QueryError as exc:
+            reports.append(_compile_failure(label, exc))
+            continue
+        verifier = PlanVerifier(EnvironmentSnapshot.from_config())
+        reports.append(verifier.verify(plan, label=label))
+    return reports
+
+
+def _example_statements(path: Path) -> List[Tuple[str, str]]:
+    """Load an example script's queries via its ``scsql_queries()`` hook.
+
+    The hook returns an iterable of SCSQL statement strings or
+    ``(label, statement)`` pairs, in session order (function definitions
+    before the queries that use them).
+    """
+    spec = importlib.util.spec_from_file_location(f"_analyze_{path.stem}", path)
+    if spec is None or spec.loader is None:
+        raise SystemExit(f"analyze: cannot import example {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    hook = getattr(module, "scsql_queries", None)
+    if hook is None:
+        raise SystemExit(
+            f"analyze: example {path} has no scsql_queries() hook; add one "
+            "returning its SCSQL statements in session order"
+        )
+    statements: List[Tuple[str, str]] = []
+    for index, entry in enumerate(hook()):
+        if isinstance(entry, str):
+            statements.append((f"{path.stem}[{index}]", entry))
+        else:
+            label, text = entry
+            statements.append((f"{path.stem}:{label}", text))
+    return statements
+
+
+def _sweep_statements() -> List[Tuple[str, str]]:
+    """Every distinct query text of the fig6/fig8/fig15/ablation sweeps."""
+    from repro.core.experiments.ablations import automatic_inbound_query
+    from repro.core.experiments.fig6 import (
+        DEFAULT_BUFFER_SIZES as FIG6_SIZES,
+        point_to_point_query,
+        scaled_workload,
+    )
+    from repro.core.experiments.fig8 import (
+        BALANCED,
+        DEFAULT_BUFFER_SIZES as FIG8_SIZES,
+        SEQUENTIAL,
+        merge_query,
+    )
+    from repro.core.experiments.fig15 import (
+        DEFAULT_STREAM_COUNTS,
+        PAPER_ARRAY_BYTES,
+        QUERY_NUMBERS,
+        inbound_query,
+    )
+
+    statements: List[Tuple[str, str]] = []
+    for buffer_bytes in FIG6_SIZES:
+        array_bytes, count = scaled_workload(buffer_bytes, 1500)
+        statements.append(
+            (f"fig6 B={buffer_bytes}", point_to_point_query(array_bytes, count))
+        )
+    for buffer_bytes in FIG8_SIZES:
+        array_bytes, count = scaled_workload(buffer_bytes, 1200)
+        for balanced in (False, True):
+            x, y = BALANCED if balanced else SEQUENTIAL
+            statements.append(
+                (
+                    f"fig8 B={buffer_bytes} {'bal' if balanced else 'seq'}",
+                    merge_query(array_bytes, count, x, y),
+                )
+            )
+    for query_number in QUERY_NUMBERS:
+        for n in DEFAULT_STREAM_COUNTS:
+            statements.append(
+                (
+                    f"fig15 Q{query_number} n={n}",
+                    inbound_query(query_number, n, PAPER_ARRAY_BYTES, 10),
+                )
+            )
+    for n in (2, 4, 6, 8):
+        statements.append(
+            (f"ablation auto n={n}", automatic_inbound_query(n, PAPER_ARRAY_BYTES, 10))
+        )
+    return statements
+
+
+def run_analyze(args) -> int:
+    statements: List[Tuple[str, str]] = []
+    for index, text in enumerate(args.queries):
+        for sub_index, stmt in enumerate(split_statements(text)):
+            statements.append((f"arg{index}[{sub_index}]", stmt))
+    for file_path in args.files:
+        path = Path(file_path)
+        for sub_index, stmt in enumerate(split_statements(path.read_text())):
+            statements.append((f"{path.name}[{sub_index}]", stmt))
+    for example in args.examples:
+        statements.extend(_example_statements(Path(example)))
+    if args.sweeps:
+        statements.extend(_sweep_statements())
+    if not statements:
+        print(
+            "analyze: nothing to verify (pass queries, --file, --example, "
+            "or --sweeps)",
+            file=sys.stderr,
+        )
+        return 2
+
+    reports = _verify_statements(statements)
+
+    failed = [r for r in reports if not r.ok(strict=args.strict)]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": not failed,
+                    "strict": args.strict,
+                    "reports": [json.loads(r.to_json()) for r in reports],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for report in reports:
+            if report.diagnostics or args.verbose:
+                print(report.format_text(verbose=args.verbose))
+        clean = sum(1 for r in reports if not r.diagnostics)
+        print(
+            f"analyze: {len(reports)} plan(s) verified, {clean} clean, "
+            f"{len(failed)} failing"
+            + (" (strict)" if args.strict else "")
+        )
+    return 1 if failed else 0
+
+
+def add_analyze_parser(sub) -> None:
+    """Register the ``analyze`` subcommand on a subparsers object."""
+    p = sub.add_parser(
+        "analyze",
+        help="statically verify SCSQL plans (no simulation)",
+        description=(
+            "Compile SCSQL statements and run the static plan verifier: "
+            "placement conflicts, exhausted allocation sequences, graph "
+            "defects, and cost-model capacity bounds, with SCSQxxx codes. "
+            "See docs/static-analysis.md for the catalogue."
+        ),
+    )
+    p.add_argument(
+        "queries",
+        nargs="*",
+        help="SCSQL statements (';'-separated; create-function statements "
+        "register functions for later statements)",
+    )
+    p.add_argument(
+        "--file",
+        dest="files",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="read ';'-separated SCSQL statements from a file",
+    )
+    p.add_argument(
+        "--example",
+        dest="examples",
+        action="append",
+        default=[],
+        metavar="PATH.py",
+        help="verify the queries an example script declares via its "
+        "scsql_queries() hook",
+    )
+    p.add_argument(
+        "--sweeps",
+        action="store_true",
+        help="verify every plan of the fig6/fig8/fig15/ablation sweeps",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (errors always fail)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print clean reports and info-level diagnostics",
+    )
+    p.set_defaults(func=run_analyze)

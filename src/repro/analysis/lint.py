@@ -1,0 +1,392 @@
+"""Determinism and correctness lints for the simulation kernel.
+
+The DES substrate must be bit-reproducible: two runs with the same seed
+must schedule the same events in the same order.  The lints below catch
+the ways that property has historically been lost in stream-processing
+simulators — wall-clock reads, unseeded global randomness, iteration over
+unordered sets — plus two kernel-hygiene rules (``__slots__`` on event
+classes, observability hooks outside their disabled-singleton guard).
+
+Rules (``DET00x``):
+
+* **DET001** — no wall-clock time sources (``time.time``,
+  ``time.perf_counter``, ``time.monotonic``, ``datetime.now``, ...) in
+  simulation code; simulated time comes from ``sim.now``.
+* **DET002** — no module-level/global randomness (``random.random``,
+  ``random.randint``, ...); use a seeded ``random.Random(seed)`` instance.
+* **DET003** — no iteration over set displays or ``set()`` results; set
+  iteration order is undefined across runs and Python builds.
+* **DET004** — event classes in the simulation kernel must declare
+  ``__slots__`` (keeps per-event allocation flat on the hot path).
+* **DET005** — observability hook calls (``*.obs.on_*``, ``*.flows.*``)
+  must be guarded by an ``if ....enabled`` test, so the disabled
+  singleton costs nothing.
+
+Run standalone (CI does)::
+
+    python -m repro.analysis.lint [paths...] [--json]
+
+Suppressions: ``# lint: disable=DET003`` on the offending line, or a
+module-level ``# lint: disable-file=DET004`` anywhere in the file.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+__all__ = ["LintRule", "RULES", "lint_file", "lint_paths", "main"]
+
+#: Directories (relative to ``src/repro``) whose code is simulation-kernel
+#: hot path and must stay deterministic.
+HOT_PACKAGES = ("sim", "net", "engine")
+
+#: Wall-clock attribute calls banned in hot packages (DET001).
+WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+}
+
+#: ``random``-module functions that consume the *global* (unseeded) RNG
+#: (DET002).  ``random.Random(seed)`` instances are the sanctioned way.
+GLOBAL_RANDOM_CALLS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "gauss",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "seed",
+}
+
+_SUPPRESS_LINE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+)")
+_SUPPRESS_FILE = re.compile(r"#\s*lint:\s*disable-file=([A-Z0-9,\s]+)")
+
+
+def _parse_suppressions(source: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """File-wide and per-line (1-based) rule suppressions from comments."""
+    file_wide: Set[str] = set()
+    per_line: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_FILE.search(line)
+        if match:
+            file_wide |= {c.strip() for c in match.group(1).split(",") if c.strip()}
+        match = _SUPPRESS_LINE.search(line)
+        if match:
+            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+            per_line.setdefault(lineno, set()).update(codes)
+    return file_wide, per_line
+
+
+class LintRule:
+    """One lint rule: a code, a description, and an AST check.
+
+    Subclasses override :meth:`check`, yielding ``(lineno, message)``
+    pairs.  ``hot_path_only`` restricts a rule to the simulation-kernel
+    packages (:data:`HOT_PACKAGES`).
+    """
+
+    code = "DET000"
+    title = "abstract rule"
+    hot_path_only = True
+
+    def check(self, tree: ast.Module, path: Path) -> Iterable[Tuple[int, str]]:
+        raise NotImplementedError
+
+    def applies_to(self, path: Path) -> bool:
+        if not self.hot_path_only:
+            return True
+        parts = path.parts
+        if "repro" not in parts:
+            return False
+        rest = parts[parts.index("repro") + 1:]
+        return bool(rest) and rest[0] in HOT_PACKAGES
+
+
+class WallClockRule(LintRule):
+    code = "DET001"
+    title = "wall-clock time source in simulation code"
+
+    def check(self, tree: ast.Module, path: Path) -> Iterable[Tuple[int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and (func.value.id, func.attr) in WALL_CLOCK_CALLS
+            ):
+                yield (
+                    node.lineno,
+                    f"{func.value.id}.{func.attr}() reads the wall clock; "
+                    "simulated time must come from sim.now",
+                )
+
+
+class GlobalRandomRule(LintRule):
+    code = "DET002"
+    title = "unseeded global randomness in simulation code"
+
+    def check(self, tree: ast.Module, path: Path) -> Iterable[Tuple[int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr in GLOBAL_RANDOM_CALLS
+            ):
+                yield (
+                    node.lineno,
+                    f"random.{func.attr}() consumes the global RNG; use a "
+                    "seeded random.Random(seed) instance",
+                )
+
+
+class SetIterationRule(LintRule):
+    code = "DET003"
+    title = "iteration over an unordered set"
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+            # sorted(set(...)) etc. re-establish order; bare set() does not
+        )
+
+    def check(self, tree: ast.Module, path: Path) -> Iterable[Tuple[int, str]]:
+        for node in ast.walk(tree):
+            iters: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._is_set_expr(it):
+                    yield (
+                        it.lineno,
+                        "iterating a set: order varies between runs/builds; "
+                        "iterate a list/tuple or sort first",
+                    )
+
+
+class SlotsRule(LintRule):
+    code = "DET004"
+    title = "kernel event class without __slots__"
+
+    #: Only the event hierarchy of the kernel proper is hot enough to
+    #: require flat instances.
+    hot_path_only = True
+
+    def applies_to(self, path: Path) -> bool:
+        parts = path.parts
+        if "repro" not in parts:
+            return False
+        rest = parts[parts.index("repro") + 1:]
+        return bool(rest) and rest[0] == "sim"
+
+    def check(self, tree: ast.Module, path: Path) -> Iterable[Tuple[int, str]]:
+        # Lexical closure over base-class names: a class is an event class
+        # if it is named Event or (transitively) subclasses one defined in
+        # this module.
+        classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+        base_names = {
+            cls.name: [b.id for b in cls.bases if isinstance(b, ast.Name)]
+            for cls in classes
+        }
+        event_like: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in base_names.items():
+                if name in event_like:
+                    continue
+                if name == "Event" or any(b in event_like or b == "Event" for b in bases):
+                    event_like.add(name)
+                    changed = True
+        for cls in classes:
+            if cls.name not in event_like:
+                continue
+            has_slots = any(
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__slots__"
+                    for t in stmt.targets
+                )
+                for stmt in cls.body
+            )
+            if not has_slots:
+                yield (
+                    cls.lineno,
+                    f"event class {cls.name} has no __slots__; kernel events "
+                    "are allocated per scheduled occurrence and must stay flat",
+                )
+
+
+class ObsGuardRule(LintRule):
+    code = "DET005"
+    title = "observability hook call outside its enabled-guard"
+
+    @staticmethod
+    def _is_obs_call(node: ast.Call) -> Optional[str]:
+        """The rendered hook name when ``node`` is an obs hook call."""
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        # *.obs.on_xxx(...) / obs.on_xxx(...)
+        if func.attr.startswith("on_"):
+            owner = func.value
+            if isinstance(owner, ast.Attribute) and owner.attr in ("obs", "flows"):
+                return f"{owner.attr}.{func.attr}"
+            if isinstance(owner, ast.Name) and owner.id in ("obs", "flows"):
+                return f"{owner.id}.{func.attr}"
+        # *.flows.begin/advance/end(...)
+        if func.attr in ("begin", "advance", "end"):
+            owner = func.value
+            if isinstance(owner, ast.Attribute) and owner.attr == "flows":
+                return f"flows.{func.attr}"
+        return None
+
+    @staticmethod
+    def _guards(test: ast.AST) -> bool:
+        """True when an ``if`` test consults an ``.enabled`` flag."""
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+                return True
+            if isinstance(sub, ast.Name) and sub.id == "enabled":
+                return True
+        return False
+
+    def check(self, tree: ast.Module, path: Path) -> Iterable[Tuple[int, str]]:
+        guarded_spans: List[Tuple[int, int]] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.If) and self._guards(node.test):
+                end = max(
+                    (getattr(n, "end_lineno", n.lineno) for n in node.body),
+                    default=node.lineno,
+                )
+                start = node.body[0].lineno if node.body else node.lineno
+                guarded_spans.append((start, end))
+            if isinstance(node, ast.IfExp) and self._guards(node.test):
+                guarded_spans.append((node.lineno, getattr(node, "end_lineno", node.lineno)))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            hook = self._is_obs_call(node)
+            if hook is None:
+                continue
+            line = node.lineno
+            if any(start <= line <= end for start, end in guarded_spans):
+                continue
+            yield (
+                line,
+                f"obs hook {hook}() called outside an `if ....enabled:` "
+                "guard; the disabled singleton must cost nothing",
+            )
+
+
+#: The rule registry, in execution (and documentation) order.
+RULES: Tuple[LintRule, ...] = (
+    WallClockRule(),
+    GlobalRandomRule(),
+    SetIterationRule(),
+    SlotsRule(),
+    ObsGuardRule(),
+)
+
+
+def lint_file(path: Path, rules: Sequence[LintRule] = RULES) -> List[Diagnostic]:
+    """Lint one Python file; returns findings (suppressions applied)."""
+    source = path.read_text()
+    file_wide, per_line = _parse_suppressions(source)
+    tree = ast.parse(source, filename=str(path))
+    findings: List[Diagnostic] = []
+    for rule in rules:
+        if not rule.applies_to(path) or rule.code in file_wide:
+            continue
+        for lineno, message in rule.check(tree, path):
+            if rule.code in per_line.get(lineno, ()):
+                continue
+            findings.append(
+                Diagnostic(
+                    code=rule.code,
+                    severity=Severity.ERROR,
+                    message=message,
+                    path=str(path),
+                    line=lineno,
+                )
+            )
+    findings.sort(key=lambda d: (d.path or "", d.line or 0, d.code))
+    return findings
+
+
+def _default_paths() -> List[Path]:
+    """The hot packages of the source tree this module belongs to."""
+    src = Path(__file__).resolve().parent.parent
+    return [src / package for package in HOT_PACKAGES]
+
+
+def lint_paths(paths: Sequence[Path]) -> List[Diagnostic]:
+    """Lint every ``*.py`` under the given files/directories."""
+    findings: List[Diagnostic] = []
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                findings.extend(lint_file(file))
+        else:
+            findings.extend(lint_file(path))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Determinism/correctness lints for the simulation kernel.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: repro's sim/net/engine)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    args = parser.parse_args(argv)
+    paths = args.paths or _default_paths()
+    findings = lint_paths(paths)
+    if args.json:
+        print(json.dumps([d.to_dict() for d in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        print(f"{len(findings)} finding(s) in {len(paths)} path(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

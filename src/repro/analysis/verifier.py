@@ -1,0 +1,505 @@
+"""Static verification of deployment plans.
+
+A :class:`PlanVerifier` proves — without running a simulation — that a
+compiled :class:`~repro.scsql.plan.DeploymentPlan` can deploy onto a given
+environment, and warns about placements the cost model can already show to
+be link-bound.  It runs a pass pipeline over the plan's process graph and a
+CNDB snapshot:
+
+1. **Structure** (``SCSQ00x``): missing plans, subscriptions to unknown
+   stream processes, cycles in the subscription graph, dangling streams.
+2. **Placement** (``SCSQ1xx``/``SCSQ201``): a *static placement
+   simulation* that replays exactly what
+   :class:`~repro.coordinator.deployer.Deployment` construction does —
+   resolve each allocation-spec instance once, walk the stream processes
+   in graph order, select a node per RP (allocation sequence or the naive
+   selector), acquire it — against a private
+   :class:`~repro.analysis.snapshot.EnvironmentSnapshot`.  Any failure the
+   deployer would hit is reported with a precise code instead of a deep
+   ``AllocationError``; because the replay is exact, *verifier-accepts
+   implies deploy-succeeds* on an environment in the snapshot's state.
+3. **Locality** (``SCSQ301``): pinned stream processes whose intra-
+   BlueGene streams cross pset boundaries.
+4. **Capacity** (``SCSQ4xx``): inbound (back-end -> BlueGene) connection
+   fan-in that the calibrated cost model proves link-bound — e.g. the
+   shared io-proxy funnel behind the paper's Figure 15 Query 5 dip.
+
+Use :func:`verify_plan` for the one-shot form, or
+``Deployer.verify(plan)`` to check against a live environment (which also
+detects double allocation across concurrently deployed plans).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import AnalysisReport, diagnostic
+from repro.analysis.snapshot import EnvironmentSnapshot
+from repro.coordinator.allocation import (
+    AllocationSequence,
+    AllocationSpec,
+    ExplicitNodesSpec,
+    InPsetSpec,
+    NaiveSelector,
+    NodeSelector,
+    PsetRoundRobinSpec,
+)
+from repro.coordinator.graph import QueryGraph, SPDef
+from repro.hardware.environment import BACKEND, BLUEGENE, FRONTEND
+from repro.hardware.node import Node
+from repro.util.errors import AllocationError, HardwareError
+from repro.util.units import MEGA
+
+__all__ = ["PlanVerifier", "verify_plan"]
+
+
+def _graph_of(plan) -> QueryGraph:
+    """Accept a DeploymentPlan, PlacedPlan, or bare QueryGraph."""
+    graph = getattr(plan, "graph", plan)
+    if not isinstance(graph, QueryGraph):
+        raise TypeError(f"cannot verify {plan!r}: no query graph found")
+    return graph
+
+
+class PlanVerifier:
+    """Verifies plans against one (mutable, private) environment snapshot.
+
+    Verifying a plan acquires its nodes *in the snapshot*, so verifying
+    several plans through one verifier checks them as concurrent
+    deployments: a node taken by an earlier plan surfaces as ``SCSQ201``
+    for a later one.  Use a fresh verifier (or :func:`verify_plan`) for
+    independent checks.
+    """
+
+    def __init__(
+        self,
+        snapshot: Optional[EnvironmentSnapshot] = None,
+        selector: Optional[NodeSelector] = None,
+    ):
+        self.snapshot = snapshot or EnvironmentSnapshot.from_config()
+        self.selector = selector or NaiveSelector()
+        #: node_id -> sp label, for nodes acquired by earlier verified plans.
+        self._owners: Dict[str, str] = {
+            node_id: "a pre-existing deployment"
+            for node_id in self.snapshot.busy_nodes()
+        }
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def verify(
+        self, plan, label: str = "query", selector: Optional[NodeSelector] = None
+    ) -> AnalysisReport:
+        """Run every pass over one plan; returns the full report.
+
+        ``selector`` overrides the verifier's node-selection algorithm for
+        this plan (pass the deployment's strategy selector to predict its
+        placement exactly).
+        """
+        report = AnalysisReport(label=label)
+        graph = _graph_of(plan).instantiate()
+        structure_ok = self._check_structure(graph, report)
+        if not structure_ok:
+            return report  # placement over a broken graph compounds noise
+        placements = self._check_placement(graph, report, label, selector)
+        self._check_locality(graph, report, placements)
+        self._check_capacity(graph, report, placements)
+        return report
+
+    # ------------------------------------------------------------------
+    # Pass 1: graph structure (SCSQ00x)
+    # ------------------------------------------------------------------
+    def _check_structure(self, graph: QueryGraph, report: AnalysisReport) -> bool:
+        ok = True
+        if graph.root_plan is None:
+            report.add(diagnostic("SCSQ001", "query graph has no root plan"))
+            return False
+        for sp in graph.sps.values():
+            if sp.plan is None:
+                report.add(
+                    diagnostic(
+                        "SCSQ001",
+                        f"stream process {sp.sp_id!r} has no compiled subquery plan",
+                        sp_id=sp.sp_id,
+                        span=sp.span,
+                    )
+                )
+                ok = False
+        if not ok:
+            return False
+
+        # Unknown producers (SCSQ002).
+        consumed: Set[str] = set()
+        subscriptions: Dict[str, List[str]] = {}
+        for sp in graph.sps.values():
+            assert sp.plan is not None
+            producers = graph.producers_of(sp.plan)
+            subscriptions[sp.sp_id] = producers
+            for producer in producers:
+                if producer not in graph.sps:
+                    report.add(
+                        diagnostic(
+                            "SCSQ002",
+                            f"stream process {sp.sp_id!r} subscribes to unknown "
+                            f"stream process {producer!r}",
+                            sp_id=sp.sp_id,
+                            span=sp.span,
+                        )
+                    )
+                    ok = False
+                consumed.add(producer)
+        for producer in graph.producers_of(graph.root_plan):
+            if producer not in graph.sps:
+                report.add(
+                    diagnostic(
+                        "SCSQ002",
+                        "the client manager's root plan subscribes to unknown "
+                        f"stream process {producer!r}",
+                    )
+                )
+                ok = False
+            consumed.add(producer)
+        if not ok:
+            return False
+
+        # Cycles (SCSQ003): depth-first search over sp -> producer edges.
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(sp_id: str, trail: Tuple[str, ...]) -> Optional[Tuple[str, ...]]:
+            if state.get(sp_id) == 1:
+                return None
+            if state.get(sp_id) == 0:
+                return trail[trail.index(sp_id):] + (sp_id,)
+            state[sp_id] = 0
+            for producer in subscriptions[sp_id]:
+                cycle = visit(producer, trail + (sp_id,))
+                if cycle is not None:
+                    return cycle
+            state[sp_id] = 1
+            return None
+
+        for sp_id in graph.sps:
+            cycle = visit(sp_id, ())
+            if cycle is not None:
+                report.add(
+                    diagnostic(
+                        "SCSQ003",
+                        "subscription cycle "
+                        + " -> ".join(cycle)
+                        + ": the streams can never end and the query deadlocks",
+                        sp_id=cycle[0],
+                        span=graph.sps[cycle[0]].span,
+                    )
+                )
+                return False
+
+        # Dangling streams (SCSQ004, warning): produced but never consumed.
+        for sp in graph.sps.values():
+            if sp.sp_id not in consumed:
+                report.add(
+                    diagnostic(
+                        "SCSQ004",
+                        f"the output stream of {sp.sp_id!r} is never consumed "
+                        "(dangling stream process)",
+                        sp_id=sp.sp_id,
+                        span=sp.span,
+                    )
+                )
+        return True
+
+    # ------------------------------------------------------------------
+    # Pass 2: static placement simulation (SCSQ1xx, SCSQ201)
+    # ------------------------------------------------------------------
+    def _resolve_specs(
+        self, graph: QueryGraph, report: AnalysisReport
+    ) -> Tuple[Dict[int, AllocationSequence], bool]:
+        """Mirror ``resolve_allocations``: one resolution per spec instance."""
+        resolved: Dict[int, AllocationSequence] = {}
+        ok = True
+        for sp in graph.sps.values():
+            allocation = sp.allocation
+            if not isinstance(allocation, AllocationSpec):
+                continue
+            if id(allocation) in resolved:
+                continue
+            try:
+                resolved[id(allocation)] = allocation.resolve(self.snapshot)
+            except HardwareError as exc:
+                code = "SCSQ101"
+                if isinstance(allocation, InPsetSpec):
+                    code = "SCSQ105"
+                elif isinstance(allocation, PsetRoundRobinSpec):
+                    code = "SCSQ106"
+                report.add(diagnostic(code, str(exc), sp_id=sp.sp_id, span=sp.span))
+                ok = False
+            except AllocationError as exc:
+                report.add(diagnostic("SCSQ102", str(exc), sp_id=sp.sp_id, span=sp.span))
+                ok = False
+        return resolved, ok
+
+    def _check_placement(
+        self,
+        graph: QueryGraph,
+        report: AnalysisReport,
+        label: str,
+        selector: Optional[NodeSelector] = None,
+    ) -> Dict[str, Node]:
+        placements: Dict[str, Node] = {}
+        selector = selector or self.selector
+        resolved, ok = self._resolve_specs(graph, report)
+        if not ok:
+            return placements
+        acquired_here: Set[str] = set()
+        for sp in graph.sps.values():
+            try:
+                cndb = self.snapshot.cndb(sp.cluster)
+            except HardwareError as exc:
+                report.add(diagnostic("SCSQ101", str(exc), sp_id=sp.sp_id, span=sp.span))
+                continue
+            allocation = sp.allocation
+            if isinstance(allocation, AllocationSpec):
+                allocation = resolved[id(allocation)]
+            try:
+                if isinstance(allocation, AllocationSequence):
+                    node = self._select_constrained(
+                        sp, allocation, cndb, acquired_here, report
+                    )
+                elif allocation is None:
+                    node = selector.select(cndb)
+                else:  # unknown directive type: leave to the deployer
+                    node = None
+            except (AllocationError, HardwareError) as exc:
+                code = "SCSQ107" if allocation is None else "SCSQ104"
+                report.add(diagnostic(code, str(exc), sp_id=sp.sp_id, span=sp.span))
+                continue
+            if node is None:
+                continue
+            node.acquire()
+            acquired_here.add(node.node_id)
+            self._owners.setdefault(node.node_id, f"{label}:{sp.sp_id}")
+            placements[sp.sp_id] = node
+        # The client manager's own collector RP lands on fe:0 (Linux,
+        # unbounded) — acquire it too so the replay stays exact.
+        try:
+            self.snapshot.node(FRONTEND, 0).acquire()
+        except HardwareError:
+            pass  # non-default topology without a front end: nothing to check
+        return placements
+
+    def _select_constrained(
+        self,
+        sp: SPDef,
+        sequence: AllocationSequence,
+        cndb,
+        acquired_here: Set[str],
+        report: AnalysisReport,
+    ) -> Optional[Node]:
+        """Select via an allocation sequence, classifying every failure."""
+        constant = sequence.constant_node
+        if constant is None:
+            # Non-constant: any failure is sequence exhaustion (SCSQ104) —
+            # lookup of a nonexistent member raises through select() too,
+            # but carries its own message; classify it as SCSQ102.
+            try:
+                return sequence.select(cndb)
+            except AllocationError as exc:
+                if "does not exist" in str(exc):
+                    report.add(
+                        diagnostic("SCSQ102", str(exc), sp_id=sp.sp_id, span=sp.span)
+                    )
+                else:
+                    report.add(
+                        diagnostic(
+                            "SCSQ104",
+                            f"allocation sequence of {sp.sp_id!r} is exhausted: {exc}",
+                            sp_id=sp.sp_id,
+                            span=sp.span,
+                        )
+                    )
+                return None
+        # Constant node: distinguish missing / over-subscribed / taken by
+        # another plan, which the deployer folds into one AllocationError.
+        try:
+            node = cndb.node(constant)
+        except HardwareError:
+            report.add(
+                diagnostic(
+                    "SCSQ102",
+                    f"stream process {sp.sp_id!r} explicitly selects node "
+                    f"{constant} of cluster {cndb.cluster!r}, which does not exist "
+                    f"(cluster has nodes 0..{cndb.num_nodes() - 1})",
+                    sp_id=sp.sp_id,
+                    span=sp.span,
+                )
+            )
+            return None
+        if node.is_available:
+            return node
+        if node.node_id in acquired_here:
+            report.add(
+                diagnostic(
+                    "SCSQ103",
+                    f"node {node.node_id} is over-subscribed: {sp.sp_id!r} selects "
+                    "it explicitly but this plan already placed a stream process "
+                    "there, and the node accepts a single process",
+                    sp_id=sp.sp_id,
+                    span=sp.span,
+                )
+            )
+        else:
+            owner = self._owners.get(node.node_id, "another deployment")
+            report.add(
+                diagnostic(
+                    "SCSQ201",
+                    f"node {node.node_id} selected by {sp.sp_id!r} is already "
+                    f"allocated by {owner}",
+                    sp_id=sp.sp_id,
+                    span=sp.span,
+                )
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Pass 3: pset locality (SCSQ301)
+    # ------------------------------------------------------------------
+    def _pinned_pset(self, sp: SPDef) -> Optional[int]:
+        """The pset a *pinned* bg stream process is constrained to, if any."""
+        if sp.cluster != BLUEGENE:
+            return None
+        allocation = sp.allocation
+        if isinstance(allocation, InPsetSpec):
+            return allocation.pset_id
+        constant = None
+        if isinstance(allocation, (ExplicitNodesSpec, AllocationSequence)):
+            constant = allocation.constant_node
+        if constant is None:
+            return None
+        try:
+            return self.snapshot.node(BLUEGENE, constant).pset_id
+        except HardwareError:
+            return None
+
+    def _check_locality(
+        self, graph: QueryGraph, report: AnalysisReport, placements: Dict[str, Node]
+    ) -> None:
+        for sp in graph.sps.values():
+            consumer_pset = self._pinned_pset(sp)
+            if consumer_pset is None:
+                continue
+            assert sp.plan is not None
+            for producer_id in graph.producers_of(sp.plan):
+                producer = graph.sps.get(producer_id)
+                if producer is None:
+                    continue
+                producer_pset = self._pinned_pset(producer)
+                if producer_pset is None or producer_pset == consumer_pset:
+                    continue
+                report.add(
+                    diagnostic(
+                        "SCSQ301",
+                        f"stream process {sp.sp_id!r} is pinned to pset "
+                        f"{consumer_pset} but consumes {producer_id!r} pinned to "
+                        f"pset {producer_pset}; the stream crosses pset "
+                        "boundaries (longer torus routes, no shared I/O node)",
+                        sp_id=sp.sp_id,
+                        span=sp.span,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Pass 4: cost-model capacity bounds (SCSQ40x)
+    # ------------------------------------------------------------------
+    def _check_capacity(
+        self, graph: QueryGraph, report: AnalysisReport, placements: Dict[str, Node]
+    ) -> None:
+        """Prove inbound fan-in link-bound from the calibrated cost model.
+
+        Uses the placements the static simulation just computed (identical
+        to what the deployer will do), so unconstrained stream processes
+        participate too.
+        """
+        io = self.snapshot.params.io_node
+        # Inbound edges: a be producer feeding a bg consumer over TCP.
+        inbound: List[Tuple[str, str]] = []  # (producer, consumer)
+        for sp in graph.sps.values():
+            if sp.cluster != BLUEGENE or sp.sp_id not in placements:
+                continue
+            assert sp.plan is not None
+            for producer_id in graph.producers_of(sp.plan):
+                producer = graph.sps.get(producer_id)
+                if producer is not None and producer.cluster == BACKEND:
+                    inbound.append((producer_id, sp.sp_id))
+        if not inbound:
+            return
+        # SCSQ401: connections sharing one I/O-node proxy.
+        per_pset: Dict[int, List[Tuple[str, str]]] = {}
+        for producer_id, consumer_id in inbound:
+            pset = placements[consumer_id].pset_id
+            if pset is not None:
+                per_pset.setdefault(pset, []).append((producer_id, consumer_id))
+        for pset in sorted(per_pset):
+            edges = per_pset[pset]
+            connections = len(edges)
+            if connections < 2:
+                continue
+            bound = io.proxy_rate / (1.0 + io.connection_sharing_penalty * (connections - 1))
+            consumers = sorted({consumer for _, consumer in edges})
+            first = graph.sps[consumers[0]]
+            report.add(
+                diagnostic(
+                    "SCSQ401",
+                    f"{connections} inbound connections share the I/O-node proxy "
+                    f"of pset {pset} (consumers: {', '.join(consumers)}); the "
+                    "cost model bounds their aggregate bandwidth at "
+                    f"{bound * 8.0 / MEGA:.0f} Mbps — spread receivers over "
+                    "psets (psetrr()) to engage more I/O nodes",
+                    sp_id=first.sp_id,
+                    span=first.span,
+                )
+            )
+        # SCSQ402 (info): several distinct back-end hosts share the ingress
+        # uplink and pay the host-coordination penalty.
+        hosts = sorted(
+            {
+                placements[producer_id].node_id
+                for producer_id, _ in inbound
+                if producer_id in placements
+            }
+        )
+        if len(hosts) >= 2:
+            factor = 1.0 / (1.0 + io.uplink_host_coordination * (len(hosts) - 1))
+            report.add(
+                diagnostic(
+                    "SCSQ402",
+                    f"{len(hosts)} back-end hosts ({', '.join(hosts)}) feed the "
+                    "BlueGene ingress concurrently; the shared-uplink "
+                    f"coordination penalty scales their rate by {factor:.2f}",
+                )
+            )
+
+
+def verify_plan(
+    plan,
+    env=None,
+    config=None,
+    label: str = "query",
+    selector: Optional[NodeSelector] = None,
+) -> AnalysisReport:
+    """Verify one plan against a fresh snapshot (one-shot convenience).
+
+    Args:
+        plan: A :class:`~repro.scsql.plan.DeploymentPlan`,
+            :class:`~repro.coordinator.deployer.PlacedPlan`, or bare
+            :class:`~repro.coordinator.graph.QueryGraph`.
+        env: Live environment to snapshot (detects cross-plan conflicts);
+            mutually exclusive with ``config``.
+        config: Topology to verify against when no environment exists
+            (default: the paper's).
+        label: Name used in the report and error messages.
+        selector: Node selector the deployment will use (default naive).
+    """
+    if env is not None:
+        snapshot = EnvironmentSnapshot.from_environment(env)
+    else:
+        snapshot = EnvironmentSnapshot.from_config(config)
+    return PlanVerifier(snapshot, selector=selector).verify(plan, label=label)

@@ -31,11 +31,12 @@ ClientManager` remains as the one-shot facade over this lifecycle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
 
 from repro.coordinator.allocation import (
     AllocationSequence,
     AllocationSpec,
+    ExplicitNodesSpec,
     NaiveSelector,
     NodeSelector,
 )
@@ -48,7 +49,12 @@ from repro.engine.rp import RunningProcess
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import FRONTEND, Environment
 from repro.obs.metrics import MetricsSnapshot
-from repro.util.errors import QueryExecutionError
+from repro.util.errors import PlanVerificationError, QueryExecutionError
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import AnalysisReport
+    from repro.hardware.node import Node
+    from repro.sim.events import Process
 
 #: Reserved id of the deployment's own collector RP (the client manager's
 #: root plan interpreter).
@@ -129,10 +135,42 @@ def resolve_allocations(graph: QueryGraph, env: Environment) -> None:
     matching the paper's semantics (and the former compile-time behaviour
     bit for bit).  Already-resolved sequences pass through untouched, so
     the function is idempotent.
+
+    Raises:
+        PlanVerificationError: When an explicit allocation names a node the
+            target environment's CNDB does not contain.  Checked eagerly
+            here — before any RP starts — so a typo like ``sp(..., 'bg',
+            999)`` fails with the offending node id instead of surfacing as
+            an :class:`~repro.util.errors.AllocationError` deep inside node
+            selection, halfway through a partially started deployment.
     """
     resolved: Dict[int, AllocationSequence] = {}
     for sp in graph.sps.values():
         allocation = sp.allocation
+        if isinstance(allocation, ExplicitNodesSpec):
+            cndb = env.cndb(sp.cluster)
+            known = {node.index for node in cndb.all_nodes()}
+            missing = [index for index in allocation.nodes if index not in known]
+            if missing:
+                from repro.analysis.diagnostics import diagnostic
+
+                rendered = ", ".join(str(index) for index in missing)
+                raise PlanVerificationError(
+                    f"stream process {sp.sp_id!r} explicitly selects node(s) "
+                    f"{rendered} absent from the CNDB of cluster "
+                    f"{sp.cluster!r} (it has {cndb.num_nodes()} nodes)",
+                    diagnostics=[
+                        diagnostic(
+                            "SCSQ102",
+                            f"stream process {sp.sp_id!r} explicitly selects "
+                            f"node {index} of cluster {sp.cluster!r}, which "
+                            "does not exist",
+                            sp_id=sp.sp_id,
+                            span=sp.span,
+                        )
+                        for index in missing
+                    ],
+                )
         if isinstance(allocation, AllocationSpec):
             sequence = resolved.get(id(allocation))
             if sequence is None:
@@ -252,7 +290,7 @@ class Deployment:
         self,
         env: Environment,
         coordinators: CoordinatorRegistry,
-        node,
+        node: "Node",
         placed: PlacedPlan,
         rp_prefix: str = "",
     ):
@@ -312,7 +350,7 @@ class Deployment:
         )
         return self._report(result, finished_at, stop_token)
 
-    def start(self, stop_after: Optional[float] = None):
+    def start(self, stop_after: Optional[float] = None) -> "Process":
         """Spawn this query's driver process without running the simulator.
 
         Used when several deployments share one environment: start each,
@@ -418,7 +456,7 @@ class Deployment:
                     ) from None
                 producer.add_subscriber(rp, port.inbox)
 
-    def _drive(self, stop_token: Optional[StopToken]):
+    def _drive(self, stop_token: Optional[StopToken]) -> Iterator[Any]:
         """Main simulation process: start RPs, collect the root stream."""
         sim = self.env.sim
         if self.setup_latency:
@@ -461,7 +499,7 @@ class Deployment:
             yield from rp.join()
         return collected, finished_at
 
-    def _collect(self, collected: List[Any]):
+    def _collect(self, collected: List[Any]) -> Iterator[Any]:
         """Drain the root result stream into ``collected`` until EOS."""
         assert self.root.result_store is not None
         while True:
@@ -502,7 +540,7 @@ class Deployer:
 
     def place(
         self,
-        plan,
+        plan: Any,
         strategy: Optional[PlacementStrategy] = None,
         settings: Optional[ExecutionSettings] = None,
     ) -> PlacedPlan:
@@ -528,8 +566,50 @@ class Deployer:
             strategy_name=strategy.name,
         )
 
-    def deploy(self, placed: PlacedPlan, rp_prefix: str = "") -> Deployment:
-        """Start and wire the running processes of a placed plan."""
+    def verify(
+        self,
+        plan: Any,
+        strategy: Optional[PlacementStrategy] = None,
+        settings: Optional[ExecutionSettings] = None,
+        label: str = "query",
+    ) -> "AnalysisReport":
+        """Statically verify a plan against this environment's live state.
+
+        Runs the :class:`~repro.analysis.verifier.PlanVerifier` pass
+        pipeline over the plan (placed with ``strategy``, like
+        :meth:`run` would) and a snapshot of the environment's *current*
+        CNDB state — so nodes held by this deployer's live deployments
+        surface as cross-plan conflicts (``SCSQ201``).  Pure: neither the
+        plan nor the environment is touched.
+
+        Returns the :class:`~repro.analysis.diagnostics.AnalysisReport`;
+        call ``report.raise_if_failed()`` (or use the ``verify=`` mode of
+        :meth:`deploy`/:meth:`run`) to enforce it.
+        """
+        from repro.analysis.snapshot import EnvironmentSnapshot
+        from repro.analysis.verifier import PlanVerifier
+
+        placed = plan if isinstance(plan, PlacedPlan) else self.place(plan, strategy, settings)
+        snapshot = EnvironmentSnapshot.from_environment(self.env)
+        return PlanVerifier(snapshot).verify(
+            placed.graph, label=label, selector=placed.selector
+        )
+
+    def deploy(
+        self, placed: PlacedPlan, rp_prefix: str = "", verify: Optional[str] = None
+    ) -> Deployment:
+        """Start and wire the running processes of a placed plan.
+
+        ``verify`` enables static verification first: ``"warn"`` raises
+        :class:`~repro.util.errors.PlanVerificationError` on verifier
+        *errors* only, ``"strict"`` also on warnings.  ``None`` (default)
+        deploys unchecked, matching the historical behaviour.
+        """
+        if verify is not None:
+            if verify not in ("warn", "strict"):
+                raise ValueError(f"verify mode must be 'warn' or 'strict', not {verify!r}")
+            report = self.verify(placed, label=rp_prefix.rstrip("/") or "query")
+            report.raise_if_failed(strict=verify == "strict")
         deployment = Deployment(
             self.env, self.coordinators, self.node, placed, rp_prefix=rp_prefix
         )
@@ -538,14 +618,15 @@ class Deployer:
 
     def run(
         self,
-        plan,
+        plan: Any,
         strategy: Optional[PlacementStrategy] = None,
         settings: Optional[ExecutionSettings] = None,
         stop_after: Optional[float] = None,
+        verify: Optional[str] = None,
     ) -> ExecutionReport:
         """Place, deploy, and run one plan (the single-query fast path)."""
         placed = self.place(plan, strategy, settings)
-        return self.deploy(placed).run(stop_after=stop_after)
+        return self.deploy(placed, verify=verify).run(stop_after=stop_after)
 
     def teardown(self, deployment: Optional[Deployment] = None) -> None:
         """Tear down one deployment, or all of this deployer's (LIFO)."""

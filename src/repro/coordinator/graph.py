@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 from repro.coordinator.allocation import AllocationDirective
 from repro.engine.sqep import OpSpec
 from repro.util.errors import QuerySemanticError
+from repro.util.source import Span
 
 
 @dataclass
@@ -32,12 +33,16 @@ class SPDef:
             from the compiler, or a live
             :class:`~repro.coordinator.allocation.AllocationSequence` once
             a deployer has resolved it (or a placer pinned it).
+        span: Source position of the ``sp()``/``spv()`` call that created
+            this stream process, when compiled from SCSQL text; static
+            analysis diagnostics point at it.
     """
 
     sp_id: str
     cluster: str
     plan: Optional[OpSpec] = None
     allocation: Optional[AllocationDirective] = None
+    span: Optional[Span] = None
 
 
 @dataclass
@@ -92,6 +97,7 @@ class QueryGraph:
                     cluster=sp.cluster,
                     plan=sp.plan,
                     allocation=sp.allocation,
+                    span=sp.span,
                 )
             )
         return copy

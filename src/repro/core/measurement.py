@@ -97,6 +97,24 @@ class PointSpec:
     selector: Optional[str] = None
 
 
+def _verify_sweep_plan(plan, spec: "PointSpec", config: EnvironmentConfig) -> None:
+    """Fail a sweep fast on a malformed point.
+
+    Static verification of the compiled plan against the sweep's topology
+    catches over-subscription, nonexistent nodes, exhausted allocation
+    sequences, etc. *before* any worker spins up — one
+    :class:`~repro.util.errors.PlanVerificationError` naming the point
+    instead of a mid-sweep crash.  Warnings (capacity bounds) pass; many
+    legitimate sweep points are deliberately link-bound.
+    """
+    from repro.analysis.verifier import verify_plan
+    from repro.core.parallel import SELECTORS
+
+    selector = SELECTORS[spec.selector]() if spec.selector else None
+    report = verify_plan(plan, config=config, label=str(spec.key), selector=selector)
+    report.raise_if_failed()
+
+
 def _result_from_outcomes(
     outcomes: Sequence[TaskOutcome],
     payload_bytes: int,
@@ -156,6 +174,8 @@ def measure_points(
     # Compile each point once; its (picklable) plan is shared by all the
     # point's repeat tasks instead of being recompiled per repeat/worker.
     plans = {spec.key: compile_plan(spec.query, settings=spec.settings) for spec in specs}
+    for spec in specs:
+        _verify_sweep_plan(plans[spec.key], spec, config)
     tasks = [
         SweepTask(
             point_key=spec.key,
@@ -234,6 +254,12 @@ def measure_query_bandwidth(
         # ``prepare`` forces text compilation (it may define functions the
         # query needs); otherwise the query compiles once up front.
         plan = compile_plan(query, settings=settings) if prepare is None else None
+        if plan is not None:
+            _verify_sweep_plan(
+                plan,
+                PointSpec(key="point", query=query, payload_bytes=payload_bytes),
+                template_config,
+            )
         observations: List[Instrumentation] = []
         outcomes: List[TaskOutcome] = []
         for k in range(repeats):

@@ -115,9 +115,20 @@ class MultiQuerySession:
         self,
         env: Optional[Environment] = None,
         settings: Optional[ExecutionSettings] = None,
+        verify: Optional[str] = None,
     ):
+        """``verify`` (``None``/``"warn"``/``"strict"``) statically checks
+        every submitted plan against the session's live environment before
+        deploying it — including double allocation against queries already
+        submitted (``SCSQ201``), since earlier deployments hold their nodes
+        in the shared CNDBs."""
+        if verify not in (None, "warn", "strict"):
+            raise QueryExecutionError(
+                f"verify mode must be None, 'warn' or 'strict', not {verify!r}"
+            )
         self.env = env or Environment(EnvironmentConfig())
         self.settings = settings
+        self.verify = verify
         self.deployer = Deployer(self.env)
         self._entries: List[tuple] = []  # (label, deployment, payload, stop_after)
         self._labels: Dict[str, Deployment] = {}
@@ -145,7 +156,9 @@ class MultiQuerySession:
         if label in self._labels:
             raise QueryExecutionError(f"duplicate query label {label!r}")
         placed = self.deployer.place(plan, strategy, settings or self.settings)
-        deployment = self.deployer.deploy(placed, rp_prefix=f"{label}/")
+        deployment = self.deployer.deploy(
+            placed, rp_prefix=f"{label}/", verify=self.verify
+        )
         self._labels[label] = deployment
         self._entries.append((label, deployment, payload_bytes, stop_after))
         return label

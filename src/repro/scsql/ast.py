@@ -16,8 +16,10 @@ subquery argument of ``spv``).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Set, Tuple, Union
+
+from repro.util.source import Span
 
 
 # ----------------------------------------------------------------------
@@ -53,10 +55,16 @@ class Var(Expr):
 
 @dataclass(frozen=True)
 class FuncCall(Expr):
-    """A function application, builtin or user-defined."""
+    """A function application, builtin or user-defined.
+
+    ``span`` is the source position of the function name, attached by the
+    parser; it identifies nodes but not their value (excluded from
+    equality), and static-analysis diagnostics report it.
+    """
 
     name: str
     args: Tuple[Expr, ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def free_vars(self) -> Set[str]:
         names: Set[str] = set()

@@ -87,7 +87,9 @@ class QueryCompiler:
     The resulting graph is picklable and reusable across environments.
     """
 
-    def __init__(self, clusters=None, functions: Optional[Dict[str, FunctionDef]] = None):
+    def __init__(
+        self, clusters: Any = None, functions: Optional[Dict[str, FunctionDef]] = None
+    ):
         if clusters is None:
             self.clusters = tuple(DEFAULT_CLUSTERS)
         elif hasattr(clusters, "cluster_names"):
@@ -316,7 +318,7 @@ class QueryCompiler:
         self._check_cluster(cluster)
         allocation = self._allocation(call.args[2], scope, cluster) if len(call.args) == 3 else None
         sp_id = self._fresh_sp_id()
-        sp_def = SPDef(sp_id=sp_id, cluster=cluster, allocation=allocation)
+        sp_def = SPDef(sp_id=sp_id, cluster=cluster, allocation=allocation, span=call.span)
         self.graph.add(sp_def)
         self._pending.append((sp_def, call.args[0], scope))
         return SPHandle(sp_id)
@@ -349,7 +351,9 @@ class QueryCompiler:
         handles = []
         for index, (expr, member_scope) in enumerate(members):
             sp_id = self._fresh_sp_id(f"{hint}[{index}]" if hint else None)
-            sp_def = SPDef(sp_id=sp_id, cluster=cluster, allocation=allocation)
+            sp_def = SPDef(
+                sp_id=sp_id, cluster=cluster, allocation=allocation, span=call.span
+            )
             self.graph.add(sp_def)
             self._pending.append((sp_def, expr, member_scope))
             handles.append(SPHandle(sp_id))

@@ -57,7 +57,7 @@ class Token:
     column: int
 
     @property
-    def value(self):
+    def value(self) -> float:
         """The literal value of a NUMBER token (int if integral)."""
         if self.kind is not TokenKind.NUMBER:
             raise QueryParseError(f"token {self.text!r} is not a number", self.line, self.column)

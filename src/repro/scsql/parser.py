@@ -39,6 +39,7 @@ from repro.scsql.ast import (
 )
 from repro.scsql.lexer import Token, TokenKind, tokenize
 from repro.util.errors import QueryParseError
+from repro.util.source import Span
 
 #: Types a from-clause may declare.  ``sp`` is the paper's stream-process
 #: type; the rest are conventional scalar/stream types.
@@ -213,7 +214,11 @@ class _Parser:
                         if not self._accept(TokenKind.COMMA):
                             break
                 self._expect(TokenKind.RPAREN)
-                return FuncCall(name=token.text, args=tuple(args))
+                return FuncCall(
+                    name=token.text,
+                    args=tuple(args),
+                    span=Span(token.line, token.column),
+                )
             return Var(name=token.text)
         raise QueryParseError(
             f"expected an expression, found {str(token) or 'end of input'!r}",

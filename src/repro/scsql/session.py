@@ -14,7 +14,7 @@ simulated time), a *measurement* typically uses a fresh session per run;
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Optional
 
 from repro.coordinator.client_manager import ClientManager, ExecutionReport
 from repro.coordinator.coordinator import CoordinatorRegistry
@@ -25,6 +25,10 @@ from repro.scsql.ast import CreateFunction, SelectQuery
 from repro.scsql.compiler import FunctionDef, QueryCompiler
 from repro.scsql.parser import parse
 from repro.util.errors import QuerySemanticError
+
+if TYPE_CHECKING:
+    from repro.coordinator.graph import QueryGraph
+    from repro.scsql.plan import DeploymentPlan
 
 
 class SCSQSession:
@@ -75,7 +79,7 @@ class SCSQSession:
             CostBasedPlacer(self.env, effective).place(graph)
         return self.client_manager.execute(graph, effective, stop_after=stop_after)
 
-    def compile(self, text: str):
+    def compile(self, text: str) -> "QueryGraph":
         """Compile a select query without executing it (for inspection)."""
         statement = parse(text)
         if not isinstance(statement, SelectQuery):
@@ -83,7 +87,7 @@ class SCSQSession:
         compiler = QueryCompiler(self.env, self.functions)
         return compiler.compile_select(statement)
 
-    def plan(self, text: str, settings: Optional[ExecutionSettings] = None):
+    def plan(self, text: str, settings: Optional[ExecutionSettings] = None) -> "DeploymentPlan":
         """Compile a select query into a reusable, environment-independent
         :class:`~repro.scsql.plan.DeploymentPlan` (this session's functions
         are visible to the query)."""

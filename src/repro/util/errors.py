@@ -64,3 +64,23 @@ class QuerySemanticError(QueryError):
 
 class QueryExecutionError(QueryError):
     """The query failed while executing on the simulated environment."""
+
+
+class PlanVerificationError(QueryError):
+    """A deployment plan failed static verification.
+
+    Raised by the :mod:`repro.analysis` plan verifier (and by the deployer's
+    pre-deployment checks) *before* any simulation runs, so a malformed plan
+    — an over-subscribed node, an exhausted allocation sequence, an
+    allocation naming a node absent from the CNDB — fails fast with
+    structured diagnostics instead of a bare error deep inside allocation.
+
+    Attributes:
+        diagnostics: The :class:`repro.analysis.Diagnostic` objects behind
+            the failure (empty when raised from a context that has no
+            report, e.g. hand-rolled checks).
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)

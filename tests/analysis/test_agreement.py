@@ -1,0 +1,113 @@
+"""Property test: the static verifier's verdict agrees with the deployer.
+
+The verifier's contract (``repro.analysis.verifier``) is that its placement
+pass *replays* deployment exactly, so over arbitrary allocation-directive
+mixes on a fresh paper-shaped environment:
+
+* verifier accepts (no error diagnostics)  =>  deployment succeeds, on the
+  exact nodes the verifier predicted;
+* verifier rejects with errors            =>  deployment raises.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import EnvironmentSnapshot, PlanVerifier
+from repro.coordinator.deployer import Deployer
+from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.scsql.plan import compile_plan
+from repro.util.errors import (
+    AllocationError,
+    HardwareError,
+    PlanVerificationError,
+)
+
+#: One BlueGene allocation directive, as SCSQL text (None = unconstrained).
+#: Constants range past the 32-node torus and inPset past the 4 psets, so
+#: nonexistent-node/pset rejections are generated alongside feasible mixes
+#: and same-node collisions.
+directive_st = st.one_of(
+    st.integers(min_value=0, max_value=35).map(str),
+    st.just("urr('bg')"),
+    st.integers(min_value=0, max_value=4).map(lambda k: f"inPset({k})"),
+    st.just("psetrr()"),
+    st.none(),
+)
+
+
+def build_query(directives) -> str:
+    names = [f"s{i}" for i in range(len(directives))]
+    decls = ", ".join(f"sp {name}" for name in names)
+    conjuncts = " and ".join(
+        f"{name}=sp(gen_array(10,2), 'bg'"
+        + (f", {directive})" if directive is not None else ")")
+        for name, directive in zip(names, directives)
+    )
+    if len(names) == 1:
+        root = f"count(extract({names[0]}))"
+    else:
+        root = "count(merge({" + ",".join(names) + "}))"
+    return f"select {root} from {decls} where {conjuncts};"
+
+
+@given(directives=st.lists(directive_st, min_size=1, max_size=8))
+@settings(max_examples=80, deadline=None)
+def test_verdict_agrees_with_deployment(directives):
+    plan = compile_plan(build_query(directives))
+    verifier = PlanVerifier(EnvironmentSnapshot.from_config())
+    report = verifier.verify(plan)
+
+    deployer = Deployer(Environment(EnvironmentConfig()))
+    try:
+        deployment = deployer.deploy(deployer.place(plan))
+    except (AllocationError, HardwareError, PlanVerificationError) as exc:
+        assert not report.ok(), (
+            f"verifier accepted but deployment raised {exc!r}"
+        )
+        return
+    assert report.ok(), (
+        "verifier rejected but deployment succeeded:\n"
+        + report.format_text(verbose=True)
+    )
+
+    # Exact-replay guarantee: the nodes the verifier acquired in its
+    # snapshot are the nodes the deployment acquired for the same sps.
+    predicted = {
+        owner.split(":", 1)[1]: node_id
+        for node_id, owner in verifier._owners.items()
+    }
+    actual = {
+        sp_id: rp.node.node_id
+        for sp_id, rp in deployment.rps.items()
+        if sp_id in deployment.graph.sps
+    }
+    assert predicted == actual
+    deployer.teardown()
+
+
+@given(directives=st.lists(directive_st, min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_concurrent_verdicts_agree_with_shared_environment(directives):
+    """Two copies of one plan, one environment: the verifier's cross-plan
+    pass (SCSQ201) agrees with submitting both to one deployer."""
+    plan_text = build_query(directives)
+    verifier = PlanVerifier(EnvironmentSnapshot.from_config())
+    first = verifier.verify(compile_plan(plan_text), label="first")
+    second = verifier.verify(compile_plan(plan_text), label="second")
+
+    env = Environment(EnvironmentConfig())
+    deployer = Deployer(env)
+
+    def try_deploy():
+        try:
+            deployer.deploy(deployer.place(compile_plan(plan_text)))
+            return True
+        except (AllocationError, HardwareError, PlanVerificationError):
+            return False
+
+    assert first.ok() == try_deploy()
+    # The second verdict only binds when the first deployment went through
+    # (a failed first deploy may leave partial allocations the verifier's
+    # all-or-nothing snapshot replay does not model).
+    if first.ok():
+        assert second.ok() == try_deploy()

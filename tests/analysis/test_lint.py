@@ -1,0 +1,176 @@
+"""The determinism lint suite: rules fire, suppressions work, repo is clean."""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import RULES, _default_paths, lint_file, lint_paths
+
+#: A hot-path file stuffed with one violation per rule.
+BAD_SIM_SOURCE = textwrap.dedent(
+    """
+    import random
+    import time
+
+
+    class Event:
+        __slots__ = ("time",)
+
+
+    class TickEvent(Event):
+        pass
+
+
+    def schedule(sim, events, obs):
+        start = time.time()
+        jitter = random.random()
+        for event in {e for e in events}:
+            obs.on_event_scheduled(event)
+        return start + jitter
+    """
+)
+
+
+def write_hot_file(tmp_path: Path, source: str, package: str = "sim") -> Path:
+    """Place a file where the hot-path rules apply (under ``repro/<pkg>/``)."""
+    directory = tmp_path / "repro" / package
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "case.py"
+    path.write_text(source)
+    return path
+
+
+class TestRulesFire:
+    def test_every_rule_fires_on_the_bad_file(self, tmp_path):
+        findings = lint_file(write_hot_file(tmp_path, BAD_SIM_SOURCE))
+        fired = {d.code for d in findings}
+        assert fired == {"DET001", "DET002", "DET003", "DET004", "DET005"}
+
+    def test_findings_carry_path_and_line(self, tmp_path):
+        path = write_hot_file(tmp_path, BAD_SIM_SOURCE)
+        findings = lint_file(path)
+        assert all(d.path == str(path) for d in findings)
+        wall_clock = next(d for d in findings if d.code == "DET001")
+        assert BAD_SIM_SOURCE.splitlines()[wall_clock.line - 1].strip() == (
+            "start = time.time()"
+        )
+
+    def test_slots_rule_tracks_transitive_event_subclasses(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            class Event:
+                __slots__ = ()
+
+            class Base(Event):
+                __slots__ = ()
+
+            class Leaf(Base):
+                pass
+            """
+        )
+        findings = lint_file(write_hot_file(tmp_path, source))
+        assert [d.code for d in findings] == ["DET004"]
+        assert "Leaf" in findings[0].message
+
+    def test_guarded_obs_call_passes(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            def notify(self, event):
+                if self.obs.enabled:
+                    self.obs.on_event_scheduled(event)
+            """
+        )
+        assert lint_file(write_hot_file(tmp_path, source)) == []
+
+    def test_seeded_random_instance_passes(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            import random
+
+            def make_rng(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """
+        )
+        assert lint_file(write_hot_file(tmp_path, source)) == []
+
+    def test_hot_path_rules_skip_cold_packages(self, tmp_path):
+        # The same violations outside sim/net/engine are not hot-path code.
+        path = write_hot_file(tmp_path, BAD_SIM_SOURCE, package="obs")
+        assert lint_file(path) == []
+
+
+class TestSuppressions:
+    def test_line_suppression(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            def pick(items):
+                for item in {i for i in items}:  # lint: disable=DET003
+                    return item
+            """
+        )
+        assert lint_file(write_hot_file(tmp_path, source)) == []
+
+    def test_file_suppression(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            # lint: disable-file=DET003
+
+            def pick(items, extra):
+                for item in {i for i in items}:
+                    return item
+                for item in set(extra):
+                    return item
+            """
+        )
+        assert lint_file(write_hot_file(tmp_path, source)) == []
+
+    def test_suppression_is_code_specific(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            import time
+
+            def stamp():  # the DET003 suppression must not mask DET001
+                return time.time()  # lint: disable=DET003
+            """
+        )
+        findings = lint_file(write_hot_file(tmp_path, source))
+        assert [d.code for d in findings] == ["DET001"]
+
+
+class TestRepoIsClean:
+    def test_hot_packages_have_no_findings(self):
+        findings = lint_paths(_default_paths())
+        assert findings == [], "\n".join(d.format() for d in findings)
+
+    def test_cli_exits_zero_on_the_repo(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 finding(s)" in result.stdout
+
+
+class TestCLI:
+    def test_nonzero_exit_and_json_on_findings(self, tmp_path):
+        import json
+
+        path = write_hot_file(tmp_path, BAD_SIM_SOURCE)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", str(path), "--json"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert {d["code"] for d in payload} == {
+            "DET001", "DET002", "DET003", "DET004", "DET005"
+        }
+
+    def test_rule_registry_is_complete(self):
+        assert [rule.code for rule in RULES] == [
+            "DET001", "DET002", "DET003", "DET004", "DET005"
+        ]
