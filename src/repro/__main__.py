@@ -341,11 +341,48 @@ def _bench(args) -> int:
         write_bench,
     )
 
-    if not args.out and not args.baseline:
+    if args.mode == "gate" and args.fault:
+        print("bench: --fault needs --mode throughput", file=sys.stderr)
+        return 2
+    if not args.out and not args.baseline and args.mode == "gate":
         print("bench: nothing to do (pass --out and/or --baseline)",
               file=sys.stderr)
         return 2
-    metrics = run_bench(repeats=args.repeats, progress=print, jobs=args.jobs)
+    if args.mode == "gate":
+        metrics = run_bench(repeats=args.repeats, progress=print, jobs=args.jobs)
+    else:
+        from repro.bench import (
+            DEFAULT_SCALE,
+            SMOKE_SCALE,
+            run_fault_benchmark,
+            run_power_mode,
+            run_throughput_mode,
+        )
+
+        scale = SMOKE_SCALE if args.smoke else DEFAULT_SCALE
+        if args.mode == "power":
+            if args.fault:
+                print("bench: --fault needs --mode throughput", file=sys.stderr)
+                return 2
+            report = run_power_mode(scale=scale, seed=args.seed)
+        elif args.fault:
+            report = run_fault_benchmark(
+                args.fault,
+                args.streams,
+                scale=scale,
+                seed=args.seed,
+                repeats=args.repeats,
+                jobs=args.jobs,
+            )
+        else:
+            report = run_throughput_mode(
+                args.streams,
+                scale=scale,
+                seed=args.seed,
+                rounds=1 if args.smoke else None,
+            )
+        print(report.describe())
+        metrics = report.metrics
     if args.out:
         write_bench(args.out, metrics, repeats=args.repeats)
         print(f"bench: {len(metrics)} metrics -> {args.out}")
@@ -434,6 +471,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the bench sweeps (wall-clock metrics "
              "then measure the parallel harness)",
+    )
+    b.add_argument(
+        "--mode", choices=("gate", "power", "throughput"), default="gate",
+        help="'gate' (default) runs the figure-sweep regression subset; "
+             "'power' runs the numbered-stream deck serially and reports "
+             "per-query latency; 'throughput' interleaves N streams and "
+             "reports per-stream bandwidth (see docs/benchmarking.md)",
+    )
+    b.add_argument(
+        "--streams", type=int, default=4, metavar="N",
+        help="number of concurrent query streams in throughput mode",
+    )
+    b.add_argument(
+        "--fault", metavar="SCENARIO", default=None,
+        choices=("kill-node", "kill-io-node", "degrade-link", "degrade-uplink"),
+        help="inject a mid-run failure into the throughput run and report "
+             "recovery time and bandwidth dip (kill-node, kill-io-node, "
+             "degrade-link, degrade-uplink)",
+    )
+    b.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed of the power/throughput/fault runs (repeat i uses "
+             "seed+i); identical seeds reproduce identical numbers",
+    )
+    b.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke scale: small deck workloads, one throughput round",
     )
     b.set_defaults(func=_bench)
     q = sub.add_parser("query", help="execute one SCSQL statement")

@@ -173,6 +173,32 @@ def _sweep_statements() -> List[Tuple[str, str]]:
     return statements
 
 
+def _bench_statements() -> List[Tuple[str, str]]:
+    """Every deck query the benchmark harness would deploy.
+
+    The full deck for a handful of numbered streams (enough to cover every
+    kind x every per-stream source-name/file-range specialization), at both
+    shipped scales — what the CI ``bench-faults`` job verifies before it
+    runs anything.
+    """
+    from repro.bench.query_stream import (
+        DEFAULT_SCALE,
+        SMOKE_SCALE,
+        build_query,
+        query_order,
+    )
+
+    statements: List[Tuple[str, str]] = []
+    for scale in (DEFAULT_SCALE, SMOKE_SCALE):
+        for stream_id in range(4):
+            for kind in query_order(stream_id):
+                query = build_query(kind, stream_id, scale)
+                statements.append(
+                    (f"bench {scale.name} s{stream_id} {kind}", query.query)
+                )
+    return statements
+
+
 def run_analyze(args) -> int:
     statements: List[Tuple[str, str]] = []
     for index, text in enumerate(args.queries):
@@ -186,10 +212,12 @@ def run_analyze(args) -> int:
         statements.extend(_example_statements(Path(example)))
     if args.sweeps:
         statements.extend(_sweep_statements())
+    if args.bench:
+        statements.extend(_bench_statements())
     if not statements:
         print(
             "analyze: nothing to verify (pass queries, --file, --example, "
-            "or --sweeps)",
+            "--sweeps, or --bench)",
             file=sys.stderr,
         )
         return 2
@@ -260,6 +288,12 @@ def add_analyze_parser(sub) -> None:
         "--sweeps",
         action="store_true",
         help="verify every plan of the fig6/fig8/fig15/ablation sweeps",
+    )
+    p.add_argument(
+        "--bench",
+        action="store_true",
+        help="verify every deck query of the benchmark harness "
+        "(see docs/benchmarking.md)",
     )
     p.add_argument(
         "--strict",

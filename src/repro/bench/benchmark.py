@@ -1,0 +1,278 @@
+"""Power and throughput benchmark modes over the numbered query streams.
+
+The TPC-H-style driver half of the harness, on top of
+:mod:`repro.bench.query_stream`:
+
+* **power mode** — one stream (stream 0) runs the deck serially, each
+  query alone on a freshly seeded environment; the figure of merit is
+  end-to-end latency per query plus their geometric mean.
+* **throughput mode** — N numbered streams run the deck concurrently:
+  round r deploys every stream's r-th deck query into one
+  :class:`~repro.core.multiquery.MultiQuerySession`, so the streams
+  contend for the ingress links the paper measures.  Per-stream bandwidth
+  is paired with a solo baseline (same plan, same seed, fresh
+  environment) into an interference ratio.
+* **fault mode** — throughput streams plus a deterministic
+  :class:`~repro.bench.faults.FaultSchedule`; repeats fan out over
+  :meth:`repro.core.parallel.SweepExecutor.map` and the recovery metrics
+  (recovery time, bandwidth dip) land next to the bandwidth ones.
+
+Every mode returns a :class:`BenchReport` whose ``metrics`` mapping obeys
+the BENCH v2 naming convention (:func:`repro.core.bench.higher_is_better`
+reads the direction off the suffix), so ``repro bench --out/--baseline``
+gates recovery regressions exactly like bandwidth regressions.
+
+Every query's result is checked against its workload's reference value;
+a harness that reports fast wrong answers is worse than no harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.faults import FaultOutcome, FaultTask, run_fault_task
+from repro.bench.query_stream import (
+    DEFAULT_SCALE,
+    BenchQuery,
+    StreamScale,
+    build_query,
+    query_order,
+    registered,
+)
+from repro.coordinator.deployer import Deployer
+from repro.core.parallel import SweepExecutor
+from repro.core.multiquery import MultiQuerySession
+from repro.engine.settings import ExecutionSettings
+from repro.hardware.environment import Environment, EnvironmentConfig, shared_template
+from repro.scsql.plan import compile_plan
+from repro.util.errors import MeasurementError
+from repro.util.units import MEGA
+
+
+@dataclass
+class BenchReport:
+    """One benchmark mode's outcome: gateable metrics plus a text report."""
+
+    mode: str
+    metrics: Dict[str, float]
+    lines: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return "\n".join(self.lines)
+
+
+def _check_result(query: BenchQuery, result: List[object], context: str) -> None:
+    if result != [query.expected_result]:
+        raise MeasurementError(
+            f"{context}: query {query.name} produced {result!r}, "
+            f"expected [{query.expected_result!r}]"
+        )
+
+
+def _fresh_env(config: EnvironmentConfig, seed: int) -> Environment:
+    seeded = config.with_seed(seed)
+    return Environment(seeded, template=shared_template(seeded))
+
+
+# ----------------------------------------------------------------------
+# Power mode
+# ----------------------------------------------------------------------
+def run_power_mode(
+    scale: StreamScale = DEFAULT_SCALE,
+    seed: int = 0,
+    env_config: EnvironmentConfig = EnvironmentConfig(),
+    settings: Optional[ExecutionSettings] = None,
+) -> BenchReport:
+    """Stream 0 runs the deck serially; per-query latency is the metric."""
+    metrics: Dict[str, float] = {}
+    lines = [f"power mode: deck scale {scale.name!r}, seed {seed}"]
+    latencies_ms: List[float] = []
+    for kind in query_order(0, seed):
+        query = build_query(kind, 0, scale, seed)
+        plan = compile_plan(query.query, settings=settings)
+        with registered([query]):
+            env = _fresh_env(env_config, seed)
+            report = Deployer(env).run(plan, settings=settings)
+        _check_result(query, report.result, "power mode")
+        latency_ms = report.duration * 1e3
+        mbps = query.payload_bytes * 8.0 / report.duration / MEGA
+        metrics[f"power[{kind}]/latency_ms"] = latency_ms
+        metrics[f"power[{kind}]/mbps"] = mbps
+        latencies_ms.append(latency_ms)
+        lines.append(f"  {kind:>12}: {latency_ms:8.3f} ms  {mbps:8.2f} Mbps")
+    metrics["power/geomean_ms"] = math.exp(
+        sum(math.log(value) for value in latencies_ms) / len(latencies_ms)
+    )
+    lines.append(f"  geometric mean latency: {metrics['power/geomean_ms']:.3f} ms")
+    return BenchReport(mode="power", metrics=metrics, lines=lines)
+
+
+# ----------------------------------------------------------------------
+# Throughput mode
+# ----------------------------------------------------------------------
+def run_throughput_mode(
+    streams: int,
+    scale: StreamScale = DEFAULT_SCALE,
+    seed: int = 0,
+    env_config: EnvironmentConfig = EnvironmentConfig(),
+    settings: Optional[ExecutionSettings] = None,
+    rounds: Optional[int] = None,
+    with_solo: bool = True,
+) -> BenchReport:
+    """N interleaved streams; per-stream bandwidth and interference ratios.
+
+    Round r runs every stream's r-th deck query concurrently on one fresh
+    environment (all rounds reuse the same seed, so placement is
+    reproducible).  ``rounds`` truncates the deck (the ``--smoke`` path);
+    ``with_solo=False`` skips the solo baselines and the interference
+    ratios they feed.
+    """
+    if streams < 1:
+        raise MeasurementError(f"need at least one stream, got {streams}")
+    orders = [query_order(k, seed) for k in range(streams)]
+    deck_len = len(orders[0]) if rounds is None else min(rounds, len(orders[0]))
+    tag = f"throughput[n={streams}]"
+    lines = [
+        f"throughput mode: {streams} streams x {deck_len} round(s), "
+        f"deck scale {scale.name!r}, seed {seed}"
+    ]
+    payload_bits: Dict[int, float] = {k: 0.0 for k in range(streams)}
+    concurrent_s: Dict[int, float] = {k: 0.0 for k in range(streams)}
+    ratios: Dict[int, List[float]] = {k: [] for k in range(streams)}
+    for round_no in range(deck_len):
+        queries = [
+            build_query(orders[k][round_no], k, scale, seed)
+            for k in range(streams)
+        ]
+        plans = [compile_plan(q.query, settings=settings) for q in queries]
+        with registered(queries):
+            env = _fresh_env(env_config, seed)
+            session = MultiQuerySession(env, settings, verify="warn")
+            for query, plan in zip(queries, plans):
+                session.submit(plan, query.payload_bytes, label=f"s{query.stream_id}")
+            result = session.run()
+            solo_mbps: Dict[int, float] = {}
+            if with_solo:
+                for query, plan in zip(queries, plans):
+                    solo_env = _fresh_env(env_config, seed)
+                    solo_report = Deployer(solo_env).run(plan, settings=settings)
+                    _check_result(query, solo_report.result, "throughput solo")
+                    solo_mbps[query.stream_id] = (
+                        query.payload_bytes * 8.0 / solo_report.duration / MEGA
+                    )
+        for query in queries:
+            outcome = result[f"s{query.stream_id}"]
+            _check_result(query, outcome.report.result, "throughput mode")
+            payload_bits[query.stream_id] += query.payload_bytes * 8.0
+            concurrent_s[query.stream_id] += outcome.report.duration
+            note = ""
+            if query.stream_id in solo_mbps:
+                ratios[query.stream_id].append(outcome.mbps / solo_mbps[query.stream_id])
+                note = (
+                    f"  solo {solo_mbps[query.stream_id]:8.2f} Mbps"
+                    f"  ratio {ratios[query.stream_id][-1]:.2f}"
+                )
+            lines.append(
+                f"  round {round_no} s{query.stream_id} "
+                f"{query.kind:>12}: {outcome.mbps:8.2f} Mbps{note}"
+            )
+    metrics: Dict[str, float] = {}
+    for k in range(streams):
+        metrics[f"{tag}[s{k}]/mbps"] = payload_bits[k] / concurrent_s[k] / MEGA
+        if ratios[k]:
+            metrics[f"{tag}[s{k}]/interference"] = sum(ratios[k]) / len(ratios[k])
+    metrics[f"{tag}/aggregate_mbps"] = sum(
+        metrics[f"{tag}[s{k}]/mbps"] for k in range(streams)
+    )
+    for k in range(streams):
+        ratio = metrics.get(f"{tag}[s{k}]/interference")
+        lines.append(
+            f"  s{k}: {metrics[f'{tag}[s{k}]/mbps']:8.2f} Mbps"
+            + (f"  interference {ratio:.2f}" if ratio is not None else "")
+        )
+    lines.append(f"  aggregate: {metrics[f'{tag}/aggregate_mbps']:.2f} Mbps")
+    return BenchReport(mode="throughput", metrics=metrics, lines=lines)
+
+
+# ----------------------------------------------------------------------
+# Fault mode
+# ----------------------------------------------------------------------
+def run_fault_benchmark(
+    scenario: str,
+    streams: int,
+    scale: StreamScale = DEFAULT_SCALE,
+    seed: int = 0,
+    env_config: EnvironmentConfig = EnvironmentConfig(),
+    settings: Optional[ExecutionSettings] = None,
+    repeats: int = 1,
+    jobs: int = 1,
+    at_fraction: float = 0.5,
+) -> BenchReport:
+    """Concurrent streams with a mid-run failure; recovery is the metric.
+
+    Repeat i runs with seed ``seed + i`` (fresh environments, fresh victim
+    selection); metrics are means over the repeats.  ``jobs > 1`` fans the
+    repeats over worker processes with bit-identical results.
+    """
+    tasks = [
+        FaultTask(
+            seed=seed + i,
+            streams=streams,
+            scenario=scenario,
+            scale=scale,
+            at_fraction=at_fraction,
+            settings=settings,
+            env_config=env_config,
+        )
+        for i in range(repeats)
+    ]
+    outcomes: List[FaultOutcome] = SweepExecutor(jobs).map(run_fault_task, tasks)
+    for outcome in outcomes:
+        if not outcome.results_ok:
+            raise MeasurementError(
+                f"fault benchmark (seed {outcome.seed}): a stream's final "
+                "result does not match its workload reference"
+            )
+    tag = f"fault[{scenario},n={streams}]"
+    mean = lambda values: sum(values) / len(values)
+    metrics: Dict[str, float] = {
+        f"{tag}/recovery_s": mean([o.recovery_s for o in outcomes]),
+        f"{tag}/retained_ratio": mean([o.bandwidth_retained for o in outcomes]),
+        f"{tag}/makespan_ms": mean([o.faulted_makespan for o in outcomes]) * 1e3,
+        f"{tag}/aggregate_mbps": mean([o.aggregate_mbps for o in outcomes]),
+    }
+    for k in range(streams):
+        metrics[f"{tag}[s{k}]/mbps"] = mean(
+            [o.per_stream_mbps[f"s{k}"] for o in outcomes]
+        )
+    lines = [
+        f"fault mode: scenario {scenario!r}, {streams} streams, "
+        f"{repeats} repeat(s), deck scale {scale.name!r}, seed {seed}"
+    ]
+    for outcome in outcomes:
+        lines.append(
+            f"  seed {outcome.seed}: fault at {outcome.fault_time * 1e3:.3f} ms"
+            + (
+                f", failed {', '.join(outcome.failed_nodes)}"
+                if outcome.failed_nodes
+                else ""
+            )
+            + (
+                f", degraded {', '.join(outcome.degraded)}"
+                if outcome.degraded
+                else ""
+            )
+            + f", replanned {len(outcome.replacements)} stream(s)"
+        )
+    for k in range(streams):
+        lines.append(f"  s{k}: {metrics[f'{tag}[s{k}]/mbps']:8.2f} Mbps")
+    lines.append(f"  aggregate:      {metrics[f'{tag}/aggregate_mbps']:.2f} Mbps")
+    lines.append(f"  recovery time:  {metrics[f'{tag}/recovery_s'] * 1e3:.3f} ms")
+    lines.append(
+        f"  bandwidth dip:  {100.0 * (1.0 - metrics[f'{tag}/retained_ratio']):.1f}% "
+        f"(retained ratio {metrics[f'{tag}/retained_ratio']:.3f})"
+    )
+    lines.append(f"  makespan:       {metrics[f'{tag}/makespan_ms']:.3f} ms")
+    return BenchReport(mode="fault", metrics=metrics, lines=lines)

@@ -1,0 +1,547 @@
+"""Deterministic fault injection for the benchmark harness.
+
+Mid-run failures over concurrent numbered query streams: a seed-driven
+:class:`FaultSchedule` kills a BlueGene compute node (or a whole pset with
+its I/O node) or degrades a torus link / the Ethernet switch uplink at a
+chosen simulated time.  :func:`run_faulted_session` deploys every stream,
+drives the shared simulator up to each fault instant, applies the failure,
+and exercises the *existing* recovery machinery end to end:
+
+* :meth:`~repro.coordinator.deployer.Deployment.teardown` stops the
+  victim's running processes and returns their node slots;
+* the hardware effect lands (``Node.fail()``,
+  :meth:`~repro.net.torus.TorusNetwork.degrade_link`,
+  :meth:`~repro.net.ethernet.EthernetFabric.degrade_uplink`);
+* the victim is **replanned** through the deployer's
+  :class:`~repro.coordinator.deployer.PlacementStrategy` interface and
+  redeployed under a ``<label>+rN/`` prefix, re-verified by the static
+  :class:`~repro.analysis.verifier.PlanVerifier` against the live
+  environment (failed nodes are unavailable in the snapshot replay).
+
+Recovery time and the bandwidth dip are read back from the
+:class:`~repro.obs.flow.FlowRecorder`: recovery is the first delivery of a
+replacement-stream flow after the fault; the dip compares the delivered
+byte rate after the fault against the rate before it.
+
+Everything is a pure function of ``(seed, streams, scenario, scale)``:
+:class:`FaultTask` is a frozen picklable payload and
+:func:`run_fault_task` the module-level worker, so
+:meth:`repro.core.parallel.SweepExecutor.map` fans repeats out over
+processes with bit-identical results to a serial run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.query_stream import (
+    DEFAULT_SCALE,
+    BenchQuery,
+    StreamScale,
+    build_query,
+    query_order,
+    registered,
+)
+from repro.coordinator.deployer import (
+    Deployer,
+    Deployment,
+    ExecutionReport,
+    PlacementStrategy,
+)
+from repro.engine.settings import ExecutionSettings
+from repro.hardware.environment import (
+    BLUEGENE,
+    Environment,
+    EnvironmentConfig,
+    shared_template,
+)
+from repro.hardware.node import NodeKind
+from repro.obs.flow import FlowRecord
+from repro.obs.instrument import Instrumentation
+from repro.obs.tracer import NULL_TRACER
+from repro.scsql.plan import compile_plan
+from repro.util.errors import QueryExecutionError
+from repro.util.units import MEGA
+
+#: Fault scenarios the schedule can inject.
+SCENARIOS: Tuple[str, ...] = (
+    "kill-node",
+    "kill-io-node",
+    "degrade-link",
+    "degrade-uplink",
+)
+
+#: Default slowdown factor of the degradation scenarios.
+DEFAULT_DEGRADE_FACTOR = 8.0
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled failure.
+
+    Attributes:
+        time: Simulated second at which the fault strikes.
+        scenario: A :data:`SCENARIOS` member.
+        target: Optional explicit hardware target — a compute-node index
+            for ``kill-node``, a pset id for ``kill-io-node``.  ``None``
+            (the default) lets the schedule's seeded RNG pick among the
+            nodes that actually host running processes at fault time.
+        factor: Slowdown multiplier of the degradation scenarios.
+    """
+
+    time: float
+    scenario: str
+    target: Optional[int] = None
+    factor: float = DEFAULT_DEGRADE_FACTOR
+
+    def __post_init__(self):
+        if self.scenario not in SCENARIOS:
+            raise QueryExecutionError(
+                f"unknown fault scenario {self.scenario!r}; "
+                f"expected one of {SCENARIOS}"
+            )
+        if self.time < 0.0:
+            raise QueryExecutionError(
+                f"fault time must be >= 0, got {self.time}"
+            )
+        if self.factor < 1.0:
+            raise QueryExecutionError(
+                f"degrade factor must be >= 1, got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A deterministic, seed-driven sequence of failures.
+
+    The seed drives *victim selection* (which occupied node dies, which
+    stream gets replanned) — the schedule itself is explicit data, so the
+    same ``(events, seed)`` pair injects bit-identical failures in any
+    process, which is what lets repeats run under ``--jobs N``.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        times = [event.time for event in self.events]
+        if times != sorted(times):
+            raise QueryExecutionError("fault events must be time-ordered")
+
+    def with_seed(self, seed: int) -> "FaultSchedule":
+        """This schedule with only the victim-selection seed replaced."""
+        return replace(self, seed=seed)
+
+    @staticmethod
+    def single(
+        scenario: str,
+        at_time: float,
+        seed: int = 0,
+        target: Optional[int] = None,
+        factor: float = DEFAULT_DEGRADE_FACTOR,
+    ) -> "FaultSchedule":
+        """The common one-failure schedule."""
+        return FaultSchedule(
+            events=(FaultEvent(at_time, scenario, target=target, factor=factor),),
+            seed=seed,
+        )
+
+
+@dataclass
+class StreamState:
+    """The deployment history of one numbered stream inside a session."""
+
+    label: str
+    query: BenchQuery
+    plan: object
+    deployments: List[Deployment] = field(default_factory=list)
+
+    @property
+    def final(self) -> Deployment:
+        return self.deployments[-1]
+
+
+@dataclass
+class FaultedRunResult:
+    """Everything one (possibly faulted) concurrent run produced."""
+
+    reports: Dict[str, ExecutionReport]
+    """Stream label -> execution report of the stream's *final* deployment
+    (the replacement, for streams that were killed and replanned)."""
+
+    completions: Dict[str, float]
+    """Stream label -> simulated second its final deployment delivered the
+    last result (streams all start at time 0)."""
+
+    makespan: float
+    """Simulated second the last stream completed."""
+
+    fault_time: Optional[float]
+    """When the first fault struck (None for a healthy run)."""
+
+    failed_nodes: List[str] = field(default_factory=list)
+    """Node ids marked failed by the schedule."""
+
+    degraded: List[str] = field(default_factory=list)
+    """Human-readable descriptions of degraded links/uplinks."""
+
+    replacements: List[str] = field(default_factory=list)
+    """RP prefixes of the replacement deployments, e.g. ``"s0+r1/"``."""
+
+    flow_records: List[FlowRecord] = field(default_factory=list)
+    """Completed flows of the run (empty without flow instrumentation)."""
+
+    @property
+    def recovery_s(self) -> float:
+        """Seconds from the fault to the first replacement-flow delivery.
+
+        Falls back to makespan minus fault time when no replacement flow
+        completed (e.g. flow instrumentation off), and to 0.0 for healthy
+        runs or faults that found nothing left to kill.
+        """
+        if self.fault_time is None:
+            return 0.0
+        if not self.replacements:
+            return 0.0
+        recovered = [
+            record.delivered
+            for record in self.flow_records
+            if record.delivered is not None and "+r" in record.stream_id
+        ]
+        if not recovered:
+            return self.makespan - self.fault_time
+        return min(recovered) - self.fault_time
+
+    @property
+    def outage_rate_ratio(self) -> float:
+        """Delivered byte rate through the outage, relative to before it.
+
+        Compares the aggregate delivery rate over the *outage window*
+        ``[fault, fault + recovery)`` — the victim is down, its
+        replacement has not delivered yet — against the rate over the
+        equal-length window ending at the fault.  1.0 means no dip;
+        degenerate windows (healthy run, no pre-fault deliveries, zero
+        recovery) report 1.0.
+        """
+        if self.fault_time is None or self.fault_time <= 0.0:
+            return 1.0
+        window = self.recovery_s
+        if window <= 0.0:
+            return 1.0
+        lo = max(0.0, self.fault_time - window)
+        pre_span = self.fault_time - lo
+        pre = post = 0
+        for record in self.flow_records:
+            if record.delivered is None or record.eos:
+                continue
+            if lo < record.delivered <= self.fault_time:
+                pre += record.nbytes
+            elif self.fault_time < record.delivered < self.fault_time + window:
+                post += record.nbytes
+        if pre == 0:
+            return 1.0
+        return (post / window) / (pre / pre_span)
+
+
+# ----------------------------------------------------------------------
+# The injection loop
+# ----------------------------------------------------------------------
+def _is_running(deployment: Deployment) -> bool:
+    """True while a started deployment's driver has not completed."""
+    process = deployment._process
+    return (
+        process is not None
+        and not process.triggered
+        and not deployment.torn_down
+    )
+
+
+def _occupied_bg_nodes(states: Sequence[StreamState]) -> Dict[int, List[StreamState]]:
+    """Compute-node index -> streams with a live RP there, deterministic."""
+    occupied: Dict[int, List[StreamState]] = {}
+    for state in states:
+        deployment = state.final
+        if not _is_running(deployment):
+            continue
+        for rp in deployment.rps.values():
+            node = rp.node
+            if node.cluster == BLUEGENE and node.kind is NodeKind.BG_COMPUTE:
+                holders = occupied.setdefault(node.index, [])
+                if state not in holders:
+                    holders.append(state)
+    return occupied
+
+
+def run_faulted_session(
+    env: Environment,
+    queries: Sequence[BenchQuery],
+    schedule: FaultSchedule = FaultSchedule(),
+    settings: Optional[ExecutionSettings] = None,
+    strategy: Optional[PlacementStrategy] = None,
+    verify: Optional[str] = "warn",
+) -> FaultedRunResult:
+    """Run the queries concurrently on ``env``, injecting the schedule.
+
+    Every query deploys under its own ``s<stream_id>/`` prefix and starts
+    at simulated time 0 (external sources must already be registered — use
+    :func:`repro.bench.query_stream.registered`).  The simulator then runs
+    up to each fault instant in turn; the fault tears down its victims,
+    damages the hardware, and redeploys each victim through ``strategy``
+    (naive next-available selection by default) with static re-verification
+    per ``verify``.  An empty schedule is simply a healthy concurrent run.
+    """
+    rng = random.Random(f"fault:{schedule.seed}")
+    deployer = Deployer(env)
+    states: List[StreamState] = []
+    for bench_query in queries:
+        label = f"s{bench_query.stream_id}"
+        plan = compile_plan(bench_query.query, settings=settings)
+        placed = deployer.place(plan, strategy, settings)
+        deployment = deployer.deploy(placed, rp_prefix=f"{label}/", verify=verify)
+        states.append(
+            StreamState(label=label, query=bench_query, plan=plan,
+                        deployments=[deployment])
+        )
+    for state in states:
+        state.final.start()
+
+    failed_nodes: List[str] = []
+    degraded: List[str] = []
+    replacements: List[str] = []
+    for event in schedule.events:
+        env.sim.run(until=event.time)
+        victims = _apply_event(env, event, states, rng, failed_nodes, degraded)
+        for state in victims:
+            deployer.teardown(state.final)
+            placed = deployer.place(state.plan, strategy, settings)
+            prefix = f"{state.label}+r{len(state.deployments)}/"
+            replacement = deployer.deploy(placed, rp_prefix=prefix, verify=verify)
+            state.deployments.append(replacement)
+            replacement.start()
+            replacements.append(prefix)
+    env.sim.run()
+
+    reports: Dict[str, ExecutionReport] = {}
+    completions: Dict[str, float] = {}
+    for state in states:
+        deployment = state.final
+        report = deployment.finish()
+        reports[state.label] = report
+        assert deployment.start_time is not None
+        completions[state.label] = deployment.start_time + report.duration
+    makespan = max(completions.values()) if completions else 0.0
+    return FaultedRunResult(
+        reports=reports,
+        completions=completions,
+        makespan=makespan,
+        fault_time=schedule.events[0].time if schedule.events else None,
+        failed_nodes=failed_nodes,
+        degraded=degraded,
+        replacements=replacements,
+        flow_records=list(env.obs.flows.completed),
+    )
+
+
+def _apply_event(
+    env: Environment,
+    event: FaultEvent,
+    states: Sequence[StreamState],
+    rng: random.Random,
+    failed_nodes: List[str],
+    degraded: List[str],
+) -> List[StreamState]:
+    """Damage the hardware; return the streams that must be replanned."""
+    occupied = _occupied_bg_nodes(states)
+    if event.scenario == "kill-node":
+        candidates = sorted(occupied)
+        if event.target is not None:
+            index = event.target
+        elif candidates:
+            index = rng.choice(candidates)
+        else:
+            return []  # nothing left running: the fault finds no victim
+        node = env.bluegene.node(index)
+        node.fail()
+        failed_nodes.append(node.node_id)
+        return list(occupied.get(index, []))
+
+    if event.scenario == "kill-io-node":
+        if event.target is not None:
+            pset_id = event.target
+        else:
+            candidates = sorted(occupied)
+            if not candidates:
+                return []
+            pset_id = env.bluegene.pset_of(rng.choice(candidates))
+        victims: List[StreamState] = []
+        for node in env.bluegene.nodes_in_pset(pset_id):
+            node.fail()
+            failed_nodes.append(node.node_id)
+            for state in occupied.get(node.index, []):
+                if state not in victims:
+                    victims.append(state)
+        io_node = env.bluegene.io_nodes[pset_id]
+        io_node.fail()
+        failed_nodes.append(io_node.node_id)
+        return victims
+
+    if event.scenario == "degrade-link":
+        candidates = sorted(occupied)
+        if len(candidates) < 2:
+            return []
+        src, dst = rng.sample(candidates, 2)
+        path = env.torus.routes.route(src, dst)
+        for a, b in zip(path, path[1:]):
+            env.torus.degrade_link(a, b, event.factor)
+            degraded.append(f"torus {a}<->{b} x{event.factor:g}")
+        return list(occupied.get(dst, []))
+
+    assert event.scenario == "degrade-uplink"
+    env.fabric.degrade_uplink(event.factor)
+    degraded.append(f"eth uplink x{event.factor:g}")
+    running = [state for state in states if _is_running(state.final)]
+    if not running:
+        return []
+    return [rng.choice(running)]
+
+
+# ----------------------------------------------------------------------
+# Picklable repeat payloads for SweepExecutor.map
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultTask:
+    """One fault-benchmark repeat, as a spawn-safe payload.
+
+    The worker rebuilds everything — queries, schedule, environments —
+    from these coordinates, so ``--jobs 1`` and ``--jobs N`` execute the
+    same function on the same data and agree bit for bit.
+    """
+
+    seed: int
+    streams: int
+    scenario: str
+    scale: StreamScale = DEFAULT_SCALE
+    at_fraction: float = 0.5
+    factor: float = DEFAULT_DEGRADE_FACTOR
+    target: Optional[int] = None
+    settings: Optional[ExecutionSettings] = None
+    env_config: EnvironmentConfig = EnvironmentConfig()
+
+    def __post_init__(self):
+        if self.streams < 1:
+            raise QueryExecutionError(
+                f"need at least one stream, got {self.streams}"
+            )
+        if not 0.0 < self.at_fraction < 1.0:
+            raise QueryExecutionError(
+                f"at_fraction must be in (0, 1), got {self.at_fraction}"
+            )
+        if self.scenario not in SCENARIOS:
+            raise QueryExecutionError(
+                f"unknown fault scenario {self.scenario!r}; "
+                f"expected one of {SCENARIOS}"
+            )
+
+
+@dataclass
+class FaultOutcome:
+    """What one :class:`FaultTask` measured (picklable)."""
+
+    scenario: str
+    seed: int
+    streams: int
+    fault_time: float
+    healthy_makespan: float
+    faulted_makespan: float
+    recovery_s: float
+    bandwidth_retained: float
+    """Faulted/healthy aggregate-bandwidth ratio: the streams move the
+    same payload either way, so this is ``healthy_makespan /
+    faulted_makespan`` — 1.0 when the failure cost nothing."""
+
+    per_stream_mbps: Dict[str, float]
+    failed_nodes: List[str]
+    degraded: List[str]
+    replacements: List[str]
+    results_ok: bool
+    flow_records: List[FlowRecord] = field(default_factory=list)
+
+    @property
+    def bandwidth_dip(self) -> float:
+        """Fraction of fault-free aggregate bandwidth the failure cost."""
+        return max(0.0, 1.0 - self.bandwidth_retained)
+
+    @property
+    def aggregate_mbps(self) -> float:
+        return sum(self.per_stream_mbps.values())
+
+
+def fault_queries(task: FaultTask) -> List[BenchQuery]:
+    """The deck queries of a fault run: stream k runs its deck's opener."""
+    return [
+        build_query(query_order(k, task.seed)[0], k, task.scale, task.seed)
+        for k in range(task.streams)
+    ]
+
+
+def run_fault_task(task: FaultTask) -> FaultOutcome:
+    """Execute one fault-benchmark repeat in the current process.
+
+    Runs the concurrent streams twice on identically seeded environments:
+    once healthy to learn the fault-free makespan (the fault strikes at
+    ``at_fraction`` of it), then with the schedule injected and flow
+    instrumentation on.  Every final result is checked against the
+    workload's reference value — a replanned stream must still produce the
+    exact answer.
+    """
+    config = task.env_config.with_seed(task.seed)
+    queries = fault_queries(task)
+    with registered(queries):
+        healthy_env = Environment(config, template=shared_template(config))
+        healthy = run_faulted_session(
+            healthy_env, queries, FaultSchedule(), settings=task.settings
+        )
+        fault_time = task.at_fraction * healthy.makespan
+        schedule = FaultSchedule.single(
+            task.scenario, fault_time, seed=task.seed,
+            target=task.target, factor=task.factor,
+        )
+        faulted_env = Environment(
+            config,
+            obs=Instrumentation(tracer=NULL_TRACER),
+            template=shared_template(config),
+        )
+        faulted = run_faulted_session(
+            faulted_env, queries, schedule, settings=task.settings
+        )
+    results_ok = all(
+        faulted.reports[f"s{query.stream_id}"].result == [query.expected_result]
+        for query in queries
+    )
+    per_stream_mbps = {
+        f"s{query.stream_id}": (
+            query.payload_bytes * 8.0
+            / faulted.completions[f"s{query.stream_id}"] / MEGA
+        )
+        for query in queries
+    }
+    return FaultOutcome(
+        scenario=task.scenario,
+        seed=task.seed,
+        streams=task.streams,
+        fault_time=fault_time,
+        healthy_makespan=healthy.makespan,
+        faulted_makespan=faulted.makespan,
+        recovery_s=faulted.recovery_s,
+        bandwidth_retained=(
+            healthy.makespan / faulted.makespan if faulted.makespan > 0.0 else 1.0
+        ),
+        per_stream_mbps=per_stream_mbps,
+        failed_nodes=faulted.failed_nodes,
+        degraded=faulted.degraded,
+        replacements=faulted.replacements,
+        results_ok=results_ok,
+        flow_records=faulted.flow_records,
+    )

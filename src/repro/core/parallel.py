@@ -33,7 +33,7 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Type
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type
 
 from repro.coordinator.allocation import (
     KnowledgeBasedSelector,
@@ -206,19 +206,32 @@ class SweepExecutor:
         The merge is deterministic regardless of worker completion order:
         outcome ``i`` is always the result of ``tasks[i]``.
         """
+        return self.map(run_sweep_task, tasks)
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        """Run a module-level picklable ``fn`` over ``tasks``, in task order.
+
+        The generic fan-out behind :meth:`run`, reused by other
+        embarrassingly parallel harnesses (the fault-injection benchmark's
+        :func:`repro.bench.faults.run_fault_task` repeats).  The contract
+        is the same: both the ``jobs=1`` and the ``jobs=N`` path call the
+        *same* function on the *same* payloads and merge results in task
+        order, so a deterministic ``fn`` yields bit-identical results
+        either way.
+        """
         tasks = list(tasks)
         if self.jobs == 1 or len(tasks) <= 1:
-            return [run_sweep_task(task) for task in tasks]
+            return [fn(task) for task in tasks]
         # ``spawn`` workers re-import the package from a clean interpreter
         # (inheriting sys.path), so tasks never depend on forked state.
         context = multiprocessing.get_context("spawn")
         workers = min(self.jobs, len(tasks))
-        outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+        outcomes: List[Optional[Any]] = [None] * len(tasks)
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures = [pool.submit(run_sweep_task, task) for task in tasks]
+            futures = [pool.submit(fn, task) for task in tasks]
             for index, future in enumerate(futures):
                 outcomes[index] = future.result()
-        return outcomes  # type: ignore[return-value]
+        return outcomes
 
     def __repr__(self) -> str:
         return f"<SweepExecutor jobs={self.jobs}>"

@@ -58,6 +58,9 @@ class SenderDriver:
         self._tokens = Store(ctx.sim, capacity=2, name=f"{stream_id}.send-tokens")
         self._outbox = Store(ctx.sim, name=f"{stream_id}.outbox")
         self._pending_since: Optional[float] = None
+        # The transmit sub-process, exposed so RP termination can reach it
+        # (it is detached from the driver's own process).
+        self.transmit_process = None
         for _ in range(ctx.settings.driver_slots):
             self._tokens.put(None)
 
@@ -67,6 +70,7 @@ class SenderDriver:
         transmitter = self.ctx.sim.process(
             self._transmit(), name=f"send[{self.stream_id}]"
         )
+        self.transmit_process = transmitter
         marshaller = StreamMarshaller(
             self.stream_id, self.ctx.node.node_id, self.buffer_bytes
         )

@@ -50,6 +50,7 @@ class Inbox:
         for _ in range(slots):
             self._tokens.put(None)
         self._items = Store(sim, name=f"{name}.items")
+        self._closed = False
 
     def put(self, buffer: WireBuffer) -> "Event":
         """Deposit a buffer; the event triggers once a slot was free.
@@ -60,8 +61,27 @@ class Inbox:
         return self.sim.process(self._put(buffer), name=f"{self.name}.put")
 
     def _put(self, buffer: WireBuffer):
+        if self._closed:
+            return
         yield self._tokens.get()
+        if self._closed:
+            return  # the slot is moot: the receiver died while we waited
         yield self._items.put(buffer)
+
+    def close(self) -> None:
+        """Discard deposits after the receiving driver has been terminated.
+
+        A network model delivering into a dead query would otherwise block
+        forever on a slot no driver will ever release — and some models
+        (torus/tree receive processing) hold the destination co-processor
+        across the deposit, wedging the *node* for every later deployment.
+        Closing wakes every blocked deposit and drops all future ones.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        while self._tokens.pending_gets:
+            self._tokens.put(None)
 
     def get(self) -> "Event":
         """Take the oldest deposited buffer (the slot stays owned)."""

@@ -302,13 +302,25 @@ class RunningProcess:
         Mirrors the control message that "terminates execution upon a stop
         condition": operator and driver processes receive an Interrupt at
         the current simulated time; resources held through ``with`` blocks
-        are released on unwind.
+        are released on unwind.  Detached network activity is cut loose
+        too: inboxes close so in-flight deliveries drop instead of wedging
+        the destination co-processor, and outgoing carriers abort so their
+        ingress coordination state stops taxing later deployments.
         """
-        for process in self._processes:
+        transmitters = [
+            sender.transmit_process
+            for sender in self.senders
+            if sender.transmit_process is not None
+        ]
+        for process in self._processes + transmitters:
             if process.is_alive:
                 process.interrupt("query stopped")
                 # The interruption is intentional; nobody will re-raise it.
                 process._add_callback(lambda event: setattr(event, "_defused", True))
+        for port in self.input_ports:
+            port.inbox.close()
+        for sender in self.senders:
+            sender.channel.abort()
 
     def join(self):
         """Generator: wait for every process of this RP to finish.

@@ -104,8 +104,10 @@ class EnvironmentTemplate:
             cndb._rr_cursor = 0
             for node in cndb._nodes:
                 node.running_processes = 0
+                node.failed = False
         for node in self.bluegene.io_nodes:
             node.running_processes = 0
+            node.failed = False
 
 
 #: Per-process template cache used by the sweep executor's workers, keyed on

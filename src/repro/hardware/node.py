@@ -101,6 +101,7 @@ class Node:
     torus_coord: Optional[Tuple[int, int, int]] = None
     pset_id: Optional[int] = None
     running_processes: int = field(default=0, repr=False)
+    failed: bool = field(default=False, repr=False)
 
     def __post_init__(self):
         if self.kind is NodeKind.BG_COMPUTE and self.torus_coord is None:
@@ -109,10 +110,26 @@ class Node:
     @property
     def is_available(self) -> bool:
         """True if another running process may be placed on this node."""
-        if not self.capabilities.can_compute:
+        if self.failed or not self.capabilities.can_compute:
             return False
         limit = self.capabilities.max_processes
         return limit is None or self.running_processes < limit
+
+    def fail(self) -> None:
+        """Mark this node as failed: no further process may be placed here.
+
+        Processes already placed keep their accounting (``release`` still
+        works), so a deployment torn down after the failure leaves the
+        bookkeeping consistent; only *new* placements are refused, by
+        every consumer of :attr:`is_available` — the CNDB's
+        ``first_available`` scan, the node selectors, and the static plan
+        verifier's placement replay.
+        """
+        self.failed = True
+
+    def restore(self) -> None:
+        """Bring a failed node back (the environment template reset path)."""
+        self.failed = False
 
     def acquire(self) -> None:
         """Record the placement of one running process on this node."""

@@ -57,6 +57,15 @@ class Channel:
         return
         yield  # pragma: no cover - makes this a generator
 
+    def abort(self) -> None:
+        """Release connection state immediately, without draining.
+
+        The teardown path for killed queries: ``close`` is a generator that
+        may block on in-flight traffic, but a terminated deployment has no
+        process left to run it — so the carrier must drop its registry
+        state (coordination penalties, stream bookkeeping) synchronously.
+        """
+
     @property
     def preferred_buffer_bytes(self) -> Optional[int]:
         """Carrier-imposed send-buffer size, or None when configurable.
@@ -110,6 +119,11 @@ class MpiChannel(Channel):
         return
         yield  # pragma: no cover - makes this a generator
 
+    def abort(self) -> None:
+        if self._open:
+            self.torus.unregister_stream(self.destination.index, self._stream_id)
+            self._open = False
+
 
 class TcpChannel(Channel):
     """Inbound TCP stream from a Linux host into a BlueGene compute node."""
@@ -142,6 +156,9 @@ class TcpChannel(Channel):
 
     def close(self):
         yield from self._connection.close()
+
+    def abort(self) -> None:
+        self._connection.abort()
 
     @property
     def preferred_buffer_bytes(self) -> Optional[int]:

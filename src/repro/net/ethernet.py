@@ -58,6 +58,7 @@ class EthernetFabric:
         self.jitter = jitter or Jitter()
         self._nics: Dict[str, Resource] = {}
         self._uplink = Resource(sim, capacity=1, name="switch-uplink[be->bg]")
+        self._uplink_slowdown = 1.0
         self._io_proxies: Dict[int, Resource] = {}
         self._tree_links: Dict[int, Resource] = {}
         # Connection registry driving the coordination penalties.
@@ -91,6 +92,22 @@ class EthernetFabric:
                 self.sim, capacity=1, name=f"io-proxy[{io_index}]"
             )
         return self._io_proxies[io_index]
+
+    def degrade_uplink(self, factor: float) -> None:
+        """Degrade the shared be->bg switch uplink by ``factor``.
+
+        The fault-injection model of a flapping ingress switch port: the
+        uplink's effective rate is divided by ``factor`` (>= 1) for every
+        buffer forwarded from now on.
+        """
+        if factor < 1.0:
+            raise NetworkError(f"uplink slowdown factor must be >= 1, got {factor}")
+        self._uplink_slowdown = float(factor)
+
+    @property
+    def uplink_slowdown(self) -> float:
+        """Current uplink degradation factor (1.0 = healthy)."""
+        return self._uplink_slowdown
 
     def tree_link(self, pset_id: int) -> Resource:
         """The tree-network link from I/O node into pset ``pset_id``."""
@@ -235,6 +252,20 @@ class TcpStreamConnection:
         self.fabric.torus.unregister_stream(self.dst_compute_index, self.stream_id)
         self._open = False
 
+    def abort(self) -> None:
+        """Drop the connection's coordination state without draining.
+
+        For terminated queries: the paired sender process is gone, so the
+        window will never refill — but the connection must stop counting
+        against the ingress host/proxy coordination penalties, or every
+        later deployment pays for a stream that no longer exists.
+        """
+        if not self._open:
+            return
+        self.fabric.unregister_connection(self.source_host, self.io_index, self.stream_id)
+        self.fabric.torus.unregister_stream(self.dst_compute_index, self.stream_id)
+        self._open = False
+
     # ------------------------------------------------------------------
     def send(self, buffer: WireBuffer):
         """Send one buffer (generator; returns at sender local completion)."""
@@ -282,7 +313,11 @@ class TcpStreamConnection:
         # with the number of distinct external hosts on the ingress.
         with fabric._uplink.request() as uplink_req:
             yield uplink_req
-            rate = params.ethernet.uplink_rate * fabric._uplink_efficiency()
+            rate = (
+                params.ethernet.uplink_rate
+                * fabric._uplink_efficiency()
+                / fabric._uplink_slowdown
+            )
             cost = fabric.jitter.apply(params.ethernet.switch_latency + wire_bytes / rate)
             yield fabric.sim.timeout(cost)
         if flows.enabled:

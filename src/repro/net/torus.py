@@ -113,6 +113,7 @@ class TorusNetwork:
         self.jitter = jitter or Jitter()
         self.routes = routes if routes is not None else RouteTable(bluegene)
         self._links: Dict[Tuple[int, int], Resource] = {}
+        self._link_slowdown: Dict[Tuple[int, int], float] = {}
         self._coprocessors: Dict[int, Resource] = {}
         self._last_source: Dict[int, Optional[str]] = {}
         self._stream_windows: Dict[str, Store] = {}
@@ -152,6 +153,25 @@ class TorusNetwork:
         if key not in self._links:
             self._links[key] = Resource(self.sim, capacity=1, name=f"link[{a}->{b}]")
         return self._links[key]
+
+    def degrade_link(self, a: int, b: int, factor: float) -> None:
+        """Slow every transfer over the ``a``/``b`` link by ``factor``.
+
+        The fault-injection model of a flaky torus cable: the per-buffer
+        occupancy of both directions of the link is multiplied by
+        ``factor`` (>= 1) from now on.  The healthy path stays free: the
+        hot loops only consult the slowdown table when it is non-empty.
+        """
+        if factor < 1.0:
+            raise NetworkError(f"link slowdown factor must be >= 1, got {factor}")
+        self.bluegene.node(a)  # validate indexes
+        self.bluegene.node(b)
+        self._link_slowdown[(a, b)] = float(factor)
+        self._link_slowdown[(b, a)] = float(factor)
+
+    def link_slowdown(self, a: int, b: int) -> float:
+        """Current degradation factor of the ``a -> b`` link (1.0 = healthy)."""
+        return self._link_slowdown.get((a, b), 1.0)
 
     # ------------------------------------------------------------------
     # Stream registry (drives the receive switching cost)
@@ -220,7 +240,10 @@ class TorusNetwork:
             yield coproc_req
             with self.link(path[0], path[1]).request() as link_req:
                 yield link_req
-                cost = self.jitter.apply(self.params.injection_overhead + wire)
+                occupancy = self.params.injection_overhead + wire
+                if self._link_slowdown:
+                    occupancy *= self._link_slowdown.get((path[0], path[1]), 1.0)
+                cost = self.jitter.apply(occupancy)
                 yield self.sim.timeout(cost)
         if flows.enabled:
             # Wait for the source co-processor + first link is queue_wait;
@@ -262,7 +285,12 @@ class TorusNetwork:
                 yield coproc_req
                 with self.link(path[position], path[position + 1]).request() as link_req:
                     yield link_req
-                    cost = self.jitter.apply(self.params.forward_overhead + wire)
+                    occupancy = self.params.forward_overhead + wire
+                    if self._link_slowdown:
+                        occupancy *= self._link_slowdown.get(
+                            (path[position], path[position + 1]), 1.0
+                        )
+                    cost = self.jitter.apply(occupancy)
                     yield self.sim.timeout(cost)
             if flows.enabled:
                 # One hop per intermediate node: the wait for its (possibly

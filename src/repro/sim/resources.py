@@ -174,6 +174,11 @@ class Store:
         """Number of items currently buffered."""
         return len(self._items)
 
+    @property
+    def pending_gets(self) -> int:
+        """Get requests currently waiting for an item."""
+        return len(self._getters)
+
     def put(self, item: Any) -> Event:
         """Add ``item``; the returned event triggers once there is room."""
         sim = self.sim

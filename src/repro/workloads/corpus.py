@@ -42,6 +42,8 @@ def read_file(name: str, lines: int = _DEFAULT_LINES) -> List[str]:
     """
     if not name.startswith("stream-log-") or not name.endswith(".txt"):
         raise QueryExecutionError(f"unknown corpus file {name!r}")
+    if lines < 0:
+        raise QueryExecutionError(f"line count must be >= 0, got {lines}")
     rng = random.Random(name)
     result = []
     for line_no in range(lines):

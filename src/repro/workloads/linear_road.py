@@ -47,23 +47,35 @@ def position_reports(
     ticks: int,
     seed: int = 0,
     accident: Optional[Accident] = None,
+    max_reports: Optional[int] = None,
 ) -> List[PositionReport]:
     """Generate the full report stream, ordered by tick then vehicle.
 
     Vehicles cycle through the segments at one segment per ~4 ticks and
     report every tick; speeds are free-flow with seeded noise, or accident
     speed inside an accident's span.
+
+    ``max_reports`` rate-limits the stream: generation stops after that
+    many reports (``0`` yields an empty stream).  The generated prefix is
+    identical to the unlimited stream's — the cap truncates, it does not
+    re-seed — so a rate-limited run is a prefix of the full run.
     """
     if n_vehicles < 1 or n_segments < 1 or ticks < 1:
         raise QueryExecutionError(
             f"need at least one vehicle/segment/tick, got "
             f"{n_vehicles}/{n_segments}/{ticks}"
         )
+    if max_reports is not None and max_reports < 0:
+        raise QueryExecutionError(
+            f"max_reports must be >= 0, got {max_reports}"
+        )
     rng = random.Random(seed)
     offsets = [rng.randrange(n_segments * 4) for _ in range(n_vehicles)]
     reports: List[PositionReport] = []
     for tick in range(ticks):
         for vid in range(n_vehicles):
+            if max_reports is not None and len(reports) >= max_reports:
+                return reports
             segment = ((tick + offsets[vid]) // 4) % n_segments
             if accident is not None and accident.covers(segment, tick):
                 speed = ACCIDENT_SPEED + rng.uniform(-3.0, 3.0)

@@ -41,7 +41,13 @@ def sinusoid_mixture(
 def signal_stream(
     count: int, n_points: int = 1024, noise: float = 0.05, seed: int = 0
 ) -> List[np.ndarray]:
-    """A finite stream of ``count`` signal arrays with varying tone content."""
+    """A finite stream of ``count`` signal arrays with varying tone content.
+
+    ``count=0`` is a valid (empty) stream — a query over it must still
+    terminate cleanly on the end-of-stream marker alone.
+    """
+    if count < 0:
+        raise QueryExecutionError(f"signal count must be >= 0, got {count}")
     arrays = []
     for k in range(count):
         tones = [(1 + (k % (n_points // 4)), 1.0), (n_points // 8, 0.5)]

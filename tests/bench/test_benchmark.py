@@ -1,0 +1,121 @@
+"""Power/throughput benchmark modes and their BENCH v2 gate integration."""
+
+import pytest
+
+from repro.bench import (
+    SMOKE_SCALE,
+    run_fault_benchmark,
+    run_power_mode,
+    run_throughput_mode,
+)
+from repro.bench.query_stream import QUERY_KINDS
+from repro.core.bench import (
+    compare_bench,
+    higher_is_better,
+    load_bench,
+    write_bench,
+)
+from repro.util.errors import MeasurementError
+
+
+class TestPowerMode:
+    def test_reports_latency_per_deck_query(self):
+        report = run_power_mode(scale=SMOKE_SCALE)
+        assert report.mode == "power"
+        for kind in QUERY_KINDS:
+            assert report.metrics[f"power[{kind}]/latency_ms"] > 0.0
+            assert report.metrics[f"power[{kind}]/mbps"] > 0.0
+        assert report.metrics["power/geomean_ms"] > 0.0
+        assert "geometric mean" in report.describe()
+
+    def test_metric_directions_follow_bench_convention(self):
+        report = run_power_mode(scale=SMOKE_SCALE)
+        for name in report.metrics:
+            if name.endswith("/mbps"):
+                assert higher_is_better(name)
+            else:
+                assert name.endswith("_ms") and not higher_is_better(name)
+
+    def test_same_seed_reproduces_identical_numbers(self):
+        first = run_power_mode(scale=SMOKE_SCALE, seed=7)
+        second = run_power_mode(scale=SMOKE_SCALE, seed=7)
+        assert first.metrics == second.metrics
+
+
+class TestThroughputMode:
+    def test_reports_per_stream_bandwidth_and_interference(self):
+        report = run_throughput_mode(2, scale=SMOKE_SCALE, rounds=1)
+        tag = "throughput[n=2]"
+        for k in range(2):
+            assert report.metrics[f"{tag}[s{k}]/mbps"] > 0.0
+            # Contending streams cannot beat their solo baseline by more
+            # than jitter-level noise.
+            assert 0.0 < report.metrics[f"{tag}[s{k}]/interference"] < 1.1
+        assert report.metrics[f"{tag}/aggregate_mbps"] == pytest.approx(
+            sum(report.metrics[f"{tag}[s{k}]/mbps"] for k in range(2))
+        )
+
+    def test_streams_must_be_positive(self):
+        with pytest.raises(MeasurementError, match="stream"):
+            run_throughput_mode(0, scale=SMOKE_SCALE)
+
+    def test_same_seed_reproduces_identical_numbers(self):
+        first = run_throughput_mode(2, scale=SMOKE_SCALE, rounds=1, seed=3)
+        second = run_throughput_mode(2, scale=SMOKE_SCALE, rounds=1, seed=3)
+        assert first.metrics == second.metrics
+
+    def test_solo_baselines_can_be_skipped(self):
+        report = run_throughput_mode(
+            2, scale=SMOKE_SCALE, rounds=1, with_solo=False
+        )
+        assert not any("interference" in name for name in report.metrics)
+
+
+class TestBenchGateIntegration:
+    """Recovery metrics ride the existing 5%-tolerance BENCH v2 gate."""
+
+    @pytest.fixture(scope="class")
+    def fault_metrics(self):
+        return run_fault_benchmark(
+            "kill-node", 2, scale=SMOKE_SCALE, seed=0
+        ).metrics
+
+    def test_round_trips_through_bench_json(self, fault_metrics, tmp_path):
+        path = tmp_path / "BENCH_faults.json"
+        write_bench(str(path), fault_metrics, repeats=1)
+        assert load_bench(str(path)) == fault_metrics
+
+    def test_identical_run_passes_the_gate(self, fault_metrics):
+        deltas, new_metrics = compare_bench(fault_metrics, dict(fault_metrics))
+        assert not any(delta.regressed for delta in deltas)
+        assert not new_metrics
+
+    def test_recovery_time_regression_trips_the_gate(self, fault_metrics):
+        tag = "fault[kill-node,n=2]"
+        # Recovery time is lower-is-better (…_s suffix): a current run 10%
+        # slower than baseline must regress at the default 5% tolerance.
+        slower = dict(fault_metrics)
+        slower[f"{tag}/recovery_s"] *= 1.10
+        deltas, _ = compare_bench(fault_metrics, slower)
+        regressed = {d.name for d in deltas if d.regressed}
+        assert regressed == {f"{tag}/recovery_s"}
+
+    def test_bandwidth_dip_regression_trips_the_gate(self, fault_metrics):
+        tag = "fault[kill-node,n=2]"
+        # Retained ratio is higher-is-better: a deeper dip must regress.
+        deeper = dict(fault_metrics)
+        deeper[f"{tag}/retained_ratio"] *= 0.90
+        deltas, _ = compare_bench(fault_metrics, deeper)
+        regressed = {d.name for d in deltas if d.regressed}
+        assert regressed == {f"{tag}/retained_ratio"}
+
+    def test_missing_recovery_metric_counts_as_regression(self, fault_metrics):
+        current = {
+            name: value
+            for name, value in fault_metrics.items()
+            if not name.endswith("/recovery_s")
+        }
+        deltas, _ = compare_bench(fault_metrics, current)
+        assert any(
+            delta.regressed and delta.current is None for delta in deltas
+        )

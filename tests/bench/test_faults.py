@@ -1,0 +1,198 @@
+"""Fault injection: schedules, scenarios, recovery metrics, and the gate.
+
+The tentpole behaviours under test: a seed-driven schedule kills or
+degrades hardware mid-run; the victim streams are torn down, replanned
+around the damage, and still produce exact results; recovery time and the
+bandwidth dip are measured deterministically; and a regressed recovery
+fails the ``repro bench`` gate's exit code.
+"""
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench.faults import (
+    FaultEvent,
+    FaultSchedule,
+    FaultTask,
+    run_fault_task,
+    run_faulted_session,
+)
+from repro.bench.query_stream import SMOKE_SCALE, BenchQuery, build_query
+from repro.core.bench import write_bench
+from repro.core.experiments.fig15 import inbound_query
+from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.obs import Instrumentation, profile_flows
+from repro.obs.tracer import NULL_TRACER
+from repro.util.errors import QueryExecutionError
+
+
+class TestScheduleValidation:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(QueryExecutionError, match="scenario"):
+            FaultEvent(0.1, "unplug-everything")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(QueryExecutionError, match="fault time"):
+            FaultEvent(-0.1, "kill-node")
+
+    def test_speedup_factor_rejected(self):
+        with pytest.raises(QueryExecutionError, match="factor"):
+            FaultEvent(0.1, "degrade-link", factor=0.5)
+
+    def test_events_must_be_time_ordered(self):
+        with pytest.raises(QueryExecutionError, match="time-ordered"):
+            FaultSchedule(
+                events=(FaultEvent(0.2, "kill-node"), FaultEvent(0.1, "kill-node"))
+            )
+
+    def test_with_seed_replaces_only_the_seed(self):
+        schedule = FaultSchedule.single("kill-node", 0.5, seed=1)
+        reseeded = schedule.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.events == schedule.events
+
+    def test_task_validates_coordinates(self):
+        with pytest.raises(QueryExecutionError, match="stream"):
+            FaultTask(seed=0, streams=0, scenario="kill-node")
+        with pytest.raises(QueryExecutionError, match="at_fraction"):
+            FaultTask(seed=0, streams=1, scenario="kill-node", at_fraction=1.5)
+        with pytest.raises(QueryExecutionError, match="scenario"):
+            FaultTask(seed=0, streams=1, scenario="meteor")
+
+
+class TestScenarios:
+    def test_kill_node_recovers_with_exact_results(self):
+        outcome = run_fault_task(
+            FaultTask(seed=0, streams=2, scenario="kill-node", scale=SMOKE_SCALE)
+        )
+        assert outcome.results_ok
+        assert len(outcome.failed_nodes) == 1
+        assert outcome.failed_nodes[0].startswith("bg:")
+        assert outcome.replacements
+        assert outcome.recovery_s > 0.0
+        # The restart costs bandwidth: the faulted run takes longer than
+        # the healthy one, never less.
+        assert outcome.faulted_makespan > outcome.healthy_makespan
+        assert 0.0 < outcome.bandwidth_retained < 1.0
+        assert outcome.bandwidth_dip == pytest.approx(
+            1.0 - outcome.bandwidth_retained
+        )
+        assert all(mbps > 0.0 for mbps in outcome.per_stream_mbps.values())
+
+    def test_kill_io_node_fails_the_whole_pset(self):
+        outcome = run_fault_task(
+            FaultTask(seed=1, streams=2, scenario="kill-io-node", scale=SMOKE_SCALE)
+        )
+        assert outcome.results_ok
+        # A pset of 8 compute nodes plus its I/O node.
+        assert len(outcome.failed_nodes) == 9
+        assert sum(1 for n in outcome.failed_nodes if n.startswith("bg-io:")) == 1
+
+    def test_degrade_link_slows_a_route(self):
+        outcome = run_fault_task(
+            FaultTask(seed=1, streams=2, scenario="degrade-link", scale=SMOKE_SCALE)
+        )
+        assert outcome.results_ok
+        assert not outcome.failed_nodes
+        assert outcome.degraded
+        assert all(d.startswith("torus ") for d in outcome.degraded)
+
+    def test_degrade_uplink_slows_the_ingress(self):
+        outcome = run_fault_task(
+            FaultTask(seed=1, streams=2, scenario="degrade-uplink", scale=SMOKE_SCALE)
+        )
+        assert outcome.results_ok
+        assert outcome.degraded == ["eth uplink x8"]
+
+    def test_same_seed_reproduces_identical_numbers(self):
+        task = FaultTask(seed=4, streams=3, scenario="kill-node", scale=SMOKE_SCALE)
+        first = run_fault_task(task)
+        second = run_fault_task(task)
+        assert first.recovery_s == second.recovery_s
+        assert first.bandwidth_retained == second.bandwidth_retained
+        assert first.per_stream_mbps == second.per_stream_mbps
+        assert first.failed_nodes == second.failed_nodes
+        assert first.replacements == second.replacements
+
+    def test_empty_schedule_is_a_healthy_run(self):
+        queries = [build_query("grep", 0, SMOKE_SCALE)]
+        env = Environment(EnvironmentConfig())
+        result = run_faulted_session(env, queries, FaultSchedule())
+        assert result.fault_time is None
+        assert result.recovery_s == 0.0
+        assert result.outage_rate_ratio == 1.0
+        assert not result.failed_nodes and not result.replacements
+        assert result.reports["s0"].result == [queries[0].expected_result]
+
+
+class TestPostFailureBottleneck:
+    def test_replacement_proxy_tops_the_ranking_after_pset_kill(self):
+        """Fig 15 Q5 n=5: the shared pset-0 I/O proxy is the bottleneck;
+        after pset 0 dies mid-run, the replanned receivers funnel through
+        a *different* proxy, and the profiler must name it."""
+        query = BenchQuery(
+            kind="fig15",
+            stream_id=0,
+            query=inbound_query(5, 5, 50_000, 2),
+            payload_bytes=5 * 50_000 * 2,
+            sources={},
+        )
+
+        def flows_env():
+            return Environment(
+                EnvironmentConfig(), obs=Instrumentation(tracer=NULL_TRACER)
+            )
+
+        healthy = run_faulted_session(flows_env(), [query], FaultSchedule())
+        pre_report = profile_flows(
+            [r for r in healthy.flow_records if not r.eos]
+        )
+        pre_proxy = pre_report.bottleneck.resource
+        assert pre_proxy.startswith("io-proxy[")
+        doomed_pset = int(pre_proxy[len("io-proxy[") : -1])
+
+        schedule = FaultSchedule.single(
+            "kill-io-node", 0.5 * healthy.makespan, seed=0, target=doomed_pset
+        )
+        faulted = run_faulted_session(flows_env(), [query], schedule)
+        assert faulted.replacements == ["s0+r1/"]
+        assert f"bg-io:{doomed_pset}" in faulted.failed_nodes
+        post_report = profile_flows(
+            [
+                r
+                for r in faulted.flow_records
+                if not r.eos and "+r" in r.stream_id
+            ]
+        )
+        assert post_report.bottleneck.resource.startswith("io-proxy[")
+        assert post_report.bottleneck.resource != pre_proxy
+        assert faulted.reports["s0"].result == healthy.reports["s0"].result
+
+
+class TestGateExitCode:
+    def test_cli_fails_when_recovery_regresses(self, tmp_path):
+        current = run_fault_task(
+            FaultTask(seed=0, streams=2, scenario="kill-node", scale=SMOKE_SCALE)
+        )
+        tag = "fault[kill-node,n=2]"
+        good = {
+            f"{tag}/recovery_s": current.recovery_s,
+            f"{tag}/retained_ratio": current.bandwidth_retained,
+        }
+        argv = [
+            "bench", "--mode", "throughput", "--streams", "2",
+            "--fault", "kill-node", "--smoke", "--seed", "0",
+        ]
+        baseline = tmp_path / "BENCH_faults_baseline.json"
+        write_bench(str(baseline), good, repeats=1)
+        assert main(argv + ["--baseline", str(baseline)]) == 0
+
+        # A baseline whose recovery was half the current value means this
+        # run regressed recovery by 100% — far past the 5% tolerance.
+        doctored = dict(good)
+        doctored[f"{tag}/recovery_s"] = current.recovery_s * 0.5
+        write_bench(str(baseline), doctored, repeats=1)
+        assert main(argv + ["--baseline", str(baseline)]) == 1
+        assert (
+            main(argv + ["--baseline", str(baseline), "--warn-only"]) == 0
+        )

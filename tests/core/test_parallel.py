@@ -172,3 +172,37 @@ class TestParallelDeterminism:
                 assert left.metrics.counter("sim.events_processed") == (
                     right.metrics.counter("sim.events_processed")
                 )
+
+
+class TestFaultedParallelDeterminism:
+    """The jobs=1 == jobs=N proof extended to fault-injected runs.
+
+    A faulted repeat adds seeded victim selection, mid-run teardown, and a
+    replacement deployment to the pipeline; all of it must still be a pure
+    function of the task payload, so fanning repeats over processes cannot
+    change a single float of the recovery metrics.
+    """
+
+    def test_faulted_repeats_match_serial_exactly(self):
+        from repro.bench.faults import FaultTask, run_fault_task
+        from repro.bench.query_stream import SMOKE_SCALE
+
+        tasks = [
+            FaultTask(seed=seed, streams=2, scenario="kill-node", scale=SMOKE_SCALE)
+            for seed in (0, 1)
+        ]
+        serial = SweepExecutor(jobs=1).map(run_fault_task, tasks)
+        fanned = SweepExecutor(jobs=2).map(run_fault_task, tasks)
+        assert len(serial) == len(fanned) == len(tasks)
+        for left, right in zip(serial, fanned):
+            assert left.results_ok and right.results_ok
+            # Float-exact agreement on every recovery metric.
+            assert left.fault_time == right.fault_time
+            assert left.recovery_s == right.recovery_s
+            assert left.bandwidth_retained == right.bandwidth_retained
+            assert left.per_stream_mbps == right.per_stream_mbps
+            assert left.healthy_makespan == right.healthy_makespan
+            assert left.faulted_makespan == right.faulted_makespan
+            # And on the injected failure itself.
+            assert left.failed_nodes == right.failed_nodes
+            assert left.replacements == right.replacements

@@ -1,0 +1,118 @@
+"""Edge cases of the three workload generators.
+
+Malformed parameters, empty and single-tuple streams, and the rate-limit
+boundaries the benchmark harness depends on — a truncated stream must be a
+bit-identical prefix of the unlimited one, or same-seed fault repeats
+diverge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import QueryExecutionError
+from repro.workloads import corpus
+from repro.workloads.linear_road import Accident, position_reports
+from repro.workloads.signals import make_signal_source, signal_stream, sinusoid_mixture
+
+
+class TestLinearRoadEdges:
+    def test_zero_vehicles_rejected(self):
+        with pytest.raises(QueryExecutionError, match="at least one"):
+            position_reports(0, 4, 10)
+
+    def test_zero_segments_rejected(self):
+        with pytest.raises(QueryExecutionError, match="at least one"):
+            position_reports(4, 0, 10)
+
+    def test_zero_ticks_rejected(self):
+        with pytest.raises(QueryExecutionError, match="at least one"):
+            position_reports(4, 4, 0)
+
+    def test_negative_rate_limit_rejected(self):
+        with pytest.raises(QueryExecutionError, match="max_reports"):
+            position_reports(4, 4, 10, max_reports=-1)
+
+    def test_zero_rate_limit_is_an_empty_stream(self):
+        assert position_reports(4, 4, 10, max_reports=0) == []
+
+    def test_single_tuple_stream(self):
+        reports = position_reports(4, 4, 10, max_reports=1)
+        assert len(reports) == 1
+        tick, vid, segment, speed = reports[0]
+        assert (tick, vid) == (0, 0)
+        assert 0 <= segment < 4
+        assert speed > 0.0
+
+    @pytest.mark.parametrize("cap", [1, 7, 39, 40, 41, 1000])
+    def test_rate_limit_truncates_to_an_identical_prefix(self, cap):
+        full = position_reports(4, 4, 10, seed=3)
+        limited = position_reports(4, 4, 10, seed=3, max_reports=cap)
+        assert limited == full[:cap]
+
+    def test_rate_limit_interacts_with_accidents(self):
+        accident = Accident(segment=1, start_tick=2, end_tick=8)
+        full = position_reports(6, 4, 12, seed=1, accident=accident)
+        limited = position_reports(
+            6, 4, 12, seed=1, accident=accident, max_reports=len(full) - 5
+        )
+        assert limited == full[:-5]
+
+
+class TestSignalsEdges:
+    def test_negative_count_rejected(self):
+        with pytest.raises(QueryExecutionError, match="count"):
+            signal_stream(-1)
+
+    def test_zero_count_is_a_valid_empty_stream(self):
+        assert signal_stream(0) == []
+
+    def test_single_array_stream(self):
+        (array,) = signal_stream(1, n_points=256)
+        assert array.shape == (256,)
+
+    @pytest.mark.parametrize("n_points", [0, 1, 3, 100, 1023])
+    def test_non_power_of_two_length_rejected(self, n_points):
+        with pytest.raises(QueryExecutionError, match="power of two"):
+            sinusoid_mixture(n_points, [(1, 1.0)])
+
+    def test_minimum_length_accepted(self):
+        assert sinusoid_mixture(2, [(1, 1.0)]).shape == (2,)
+
+    def test_factory_is_re_iterable(self):
+        # The engine re-pulls a source factory on redeploy; each call must
+        # restart the stream from the beginning with identical content.
+        factory = make_signal_source(3, n_points=128, seed=9)
+        first = list(factory())
+        second = list(factory())
+        assert len(first) == len(second) == 3
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestCorpusEdges:
+    def test_unknown_filename_rejected(self):
+        with pytest.raises(QueryExecutionError, match="unknown corpus file"):
+            corpus.read_file("not-a-corpus-file.log")
+
+    def test_negative_line_count_rejected(self):
+        with pytest.raises(QueryExecutionError, match="line count"):
+            corpus.read_file(corpus.filename(1), lines=-1)
+
+    def test_zero_lines_is_an_empty_file(self):
+        assert corpus.read_file(corpus.filename(1), lines=0) == []
+        assert corpus.expected_marker_count(0) == 0
+
+    def test_single_line_file_carries_the_marker(self):
+        (line,) = corpus.read_file(corpus.filename(1), lines=1)
+        assert corpus.MARKER in line
+        assert corpus.expected_marker_count(1) == 1
+
+    @pytest.mark.parametrize("lines", [1, 16, 17, 18, 200])
+    def test_marker_count_matches_generated_lines(self, lines):
+        generated = corpus.read_file(corpus.filename(7), lines=lines)
+        counted = sum(1 for line in generated if corpus.MARKER in line)
+        assert counted == corpus.expected_marker_count(lines)
+
+    def test_truncation_is_a_prefix(self):
+        full = corpus.read_file(corpus.filename(2), lines=200)
+        assert corpus.read_file(corpus.filename(2), lines=50) == full[:50]
