@@ -93,3 +93,34 @@ def test_query_flows_enabled(benchmark):
     benchmark(lambda: _measured_query(
         lambda _k: Instrumentation(tracer=NULL_TRACER)
     ))
+
+
+# ----------------------------------------------------------------------
+# Live-telemetry overhead (PR 7): the sampler piggybacks on on_step, so
+# even *enabled* it schedules zero simulation events; disabled it is one
+# `live.enabled` attribute check on the shared NULL_LIVE singleton,
+# inside the hooks the earlier rows already measure.  The functional
+# zero-extra-events guarantee is pinned in tests/obs/test_live.py;
+# these rows quantify the wall-time side: metrics-only (live disabled)
+# must sit within noise of the PR-1 metrics row, and the enabled
+# sampler's cost scales with windows closed, not events processed.
+# ----------------------------------------------------------------------
+def _live_sampler():
+    from repro.obs.live import LiveSampler
+
+    return LiveSampler(window=0.002)
+
+
+def test_kernel_throughput_live_disabled(benchmark):
+    """Metrics hub with the null live sampler (the default): the new
+    `live.enabled` check must not move the metrics-only row."""
+    benchmark(lambda: _pingpong(
+        Simulator(obs=Instrumentation(tracer=NULL_TRACER, flows=NULL_FLOWS))
+    ))
+
+
+def test_query_live_sampler_enabled(benchmark):
+    """Windowed sampling + P2 sketches on every completed flow (opt-in)."""
+    benchmark(lambda: _measured_query(
+        lambda _k: Instrumentation(tracer=NULL_TRACER, live=_live_sampler())
+    ))

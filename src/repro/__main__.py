@@ -12,8 +12,12 @@ Usage::
     python -m repro analyze 'select ...;' [--file F] [--example E.py]
                             [--sweeps] [--strict] [--json]
     python -m repro multiquery [--streams N] [--array-bytes B] [--count N]
+                               [--live-out PATH] [--live-window SECS]
     python -m repro bench [--out B.json] [--baseline B.json]
                           [--tolerance PCT] [--warn-only] [--jobs N]
+                          [--live-out PATH] [--live-window SECS]
+    python -m repro top [--point NAME] [--window SECS] [--once]
+                        [--live-out PATH] [--prom PATH]
 
 ``--quick`` runs a reduced sweep (seconds instead of minutes).  ``--jobs N``
 fans the independent (sweep-point, repeat) simulations over N worker
@@ -39,6 +43,16 @@ bandwidths and flow-latency percentiles to a BENCH JSON file and/or
 compares them against a committed baseline, exiting non-zero on a
 regression (``--warn-only`` reports without failing).  See
 ``docs/observability.md``.
+
+``top`` is the live-telemetry viewer: it runs one bench sample point with
+a :class:`~repro.obs.live.LiveSampler` attached and renders a per-window
+utilization/latency table as the simulation produces it (``--once``
+prints the finished table a single time, for CI).  ``--live-out`` writes
+the windowed time-series as JSON-lines; ``--prom`` writes a
+Prometheus-style text exposition snapshot.  The same ``--live-out`` /
+``--live-window`` pair on ``bench`` (power/throughput modes) and
+``multiquery`` embeds the final windowed p50/p95/p99 series in the BENCH
+v2 JSON — the regression gate keeps reading only the scalar metrics.
 """
 
 from __future__ import annotations
@@ -315,6 +329,16 @@ def _explain(args) -> None:
     print(SCSQSession().explain(args.text))
 
 
+def _live_window_arg(args) -> Optional[float]:
+    """The effective live window: --live-out implies the default window."""
+    window = getattr(args, "live_window", None)
+    if window is None and getattr(args, "live_out", None):
+        from repro.obs.live import DEFAULT_WINDOW
+
+        window = DEFAULT_WINDOW
+    return window
+
+
 def _multiquery(args) -> None:
     from repro.core.experiments.contention import SHARED_PSET, run_contention_demo
 
@@ -323,6 +347,7 @@ def _multiquery(args) -> None:
         array_bytes=args.array_bytes,
         count=args.count,
         seed=args.seed,
+        live_window=_live_window_arg(args),
     )
     print(result.format_table())
     worst = min(o.interference for o in result.outcomes)
@@ -330,6 +355,16 @@ def _multiquery(args) -> None:
         f"-> two concurrent CQs through pset {SHARED_PSET}'s I/O node: "
         f"worst query keeps {worst:.0%} of its solo bandwidth"
     )
+    if result.live is not None:
+        from repro.obs.export import live_table, write_timeseries_jsonl
+
+        print()
+        print(live_table(result.live))
+        if args.live_out:
+            lines = write_timeseries_jsonl(
+                args.live_out, result.live, label="multiquery"
+            )
+            print(f"live: {lines} time-series records -> {args.live_out}")
 
 
 def _bench(args) -> int:
@@ -341,13 +376,19 @@ def _bench(args) -> int:
         write_bench,
     )
 
+    live_window = _live_window_arg(args)
     if args.mode == "gate" and args.fault:
         print("bench: --fault needs --mode throughput", file=sys.stderr)
+        return 2
+    if args.mode == "gate" and live_window is not None:
+        print("bench: --live-out/--live-window need --mode power or "
+              "throughput", file=sys.stderr)
         return 2
     if not args.out and not args.baseline and args.mode == "gate":
         print("bench: nothing to do (pass --out and/or --baseline)",
               file=sys.stderr)
         return 2
+    series = None
     if args.mode == "gate":
         metrics = run_bench(repeats=args.repeats, progress=print, jobs=args.jobs)
     else:
@@ -364,8 +405,14 @@ def _bench(args) -> int:
             if args.fault:
                 print("bench: --fault needs --mode throughput", file=sys.stderr)
                 return 2
-            report = run_power_mode(scale=scale, seed=args.seed)
+            report = run_power_mode(
+                scale=scale, seed=args.seed, live_window=live_window
+            )
         elif args.fault:
+            if live_window is not None:
+                print("bench: --live-out/--live-window are not wired "
+                      "through --fault runs", file=sys.stderr)
+                return 2
             report = run_fault_benchmark(
                 args.fault,
                 args.streams,
@@ -380,12 +427,22 @@ def _bench(args) -> int:
                 scale=scale,
                 seed=args.seed,
                 rounds=1 if args.smoke else None,
+                live_window=live_window,
             )
         print(report.describe())
         metrics = report.metrics
+        series = report.series
+        if series and args.live_out:
+            import json
+
+            with open(args.live_out, "w", encoding="utf-8") as fh:
+                for segment in sorted(series):
+                    fh.write(json.dumps({"label": segment, **series[segment]}) + "\n")
+            print(f"live: {len(series)} windowed series -> {args.live_out}")
     if args.out:
-        write_bench(args.out, metrics, repeats=args.repeats)
-        print(f"bench: {len(metrics)} metrics -> {args.out}")
+        write_bench(args.out, metrics, repeats=args.repeats, series=series)
+        print(f"bench: {len(metrics)} metrics -> {args.out}"
+              + (f" (+{len(series)} windowed series)" if series else ""))
     if args.baseline:
         baseline = load_bench(args.baseline)
         deltas, new_metrics = compare_bench(
@@ -398,6 +455,98 @@ def _bench(args) -> int:
                 return 0
             return 1
     return 0
+
+
+#: Short aliases for the ``top`` sample points (full bench names work too).
+_TOP_ALIASES = {
+    "fig6": "fig6[B=100000,double]",
+    "fig8": "fig8[B=100000,seq,double]",
+    "fig15": "fig15[Q5,n=5]",
+}
+
+
+def _top(args) -> int:
+    from repro.core.bench import bench_points
+    from repro.coordinator.deployer import Deployer
+    from repro.hardware.environment import (
+        Environment,
+        EnvironmentConfig,
+        shared_template,
+    )
+    from repro.obs.export import (
+        LIVE_HEADER,
+        live_footer,
+        live_row,
+        live_table,
+        prometheus_exposition,
+        write_timeseries_jsonl,
+    )
+    from repro.obs.live import DEFAULT_WINDOW, LiveSampler
+    from repro.scsql.plan import compile_plan
+    from repro.util.units import MEGA
+
+    points = {point.name: point for point in bench_points()}
+    name = _TOP_ALIASES.get(args.point, args.point)
+    point = points.get(name)
+    if point is None:
+        known = ", ".join(sorted(_TOP_ALIASES) + sorted(points))
+        print(f"top: unknown sample point {args.point!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+
+    window = args.window if args.window is not None else DEFAULT_WINDOW
+    streaming = not args.once
+    if streaming:
+        print(f"top: {point.name}, window {window * 1e3:g} ms "
+              f"(simulated), seed {args.seed}")
+        print(LIVE_HEADER)
+        print("-" * len(LIVE_HEADER))
+    sampler = LiveSampler(
+        window=window,
+        on_window=(lambda window: print(live_row(window))) if streaming else None,
+    )
+    config = EnvironmentConfig().with_seed(args.seed)
+    obs = Instrumentation(tracer=NULL_TRACER, live=sampler)
+    env = Environment(config, obs=obs, template=shared_template(config))
+    plan = compile_plan(point.query, settings=point.settings)
+    report = Deployer(env).run(plan, settings=point.settings)
+    sampler.finalize(env.sim.now)
+    if streaming:
+        footer = live_footer(sampler)
+        if footer:
+            print(footer)
+    else:
+        print(f"top: {point.name}, window {window * 1e3:g} ms "
+              f"(simulated), seed {args.seed}")
+        print(live_table(sampler))
+    mbps = point.payload_bytes * 8.0 / report.duration / MEGA
+    print(f"run: {report.duration * 1e3:.3f} ms simulated, {mbps:.2f} Mbps, "
+          f"{len(sampler.windows)} window(s)")
+    if args.live_out:
+        lines = write_timeseries_jsonl(args.live_out, sampler, label=point.name)
+        print(f"live: {lines} time-series records -> {args.live_out}")
+    if args.prom:
+        exposition = prometheus_exposition(obs)
+        if args.prom == "-":
+            print(exposition, end="")
+        else:
+            with open(args.prom, "w", encoding="utf-8") as fh:
+                fh.write(exposition)
+            print(f"prom: exposition snapshot -> {args.prom}")
+    return 0
+
+
+def _add_live_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--live-out", metavar="PATH", default=None,
+        help="watch the run with the live telemetry sampler and write the "
+             "windowed time-series as JSON-lines",
+    )
+    parser.add_argument(
+        "--live-window", type=float, default=None, metavar="SECS",
+        help="live sampling window in simulated seconds (implies the live "
+             "sampler; --live-out alone uses the default window)",
+    )
 
 
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
@@ -499,7 +648,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="CI smoke scale: small deck workloads, one throughput round",
     )
+    _add_live_flags(b)
     b.set_defaults(func=_bench)
+    t = sub.add_parser(
+        "top",
+        help="live telemetry viewer: stream per-window utilization and "
+             "latency percentiles from one bench sample point",
+    )
+    t.add_argument(
+        "--point", default="fig8", metavar="NAME",
+        help="bench sample point to watch: fig6/fig8/fig15 aliases or a "
+             "full bench point name (default fig8)",
+    )
+    t.add_argument(
+        "--window", type=float, default=None, metavar="SECS",
+        help="sampling window in simulated seconds (default 0.002)",
+    )
+    t.add_argument("--seed", type=int, default=0, help="environment seed")
+    t.add_argument(
+        "--once", action="store_true",
+        help="print the finished table once instead of streaming rows "
+             "(for CI)",
+    )
+    t.add_argument(
+        "--live-out", metavar="PATH", default=None,
+        help="also write the windowed time-series as JSON-lines",
+    )
+    t.add_argument(
+        "--prom", metavar="PATH", default=None,
+        help="write a Prometheus-style text exposition snapshot "
+             "('-' prints to stdout)",
+    )
+    t.set_defaults(func=_top)
     q = sub.add_parser("query", help="execute one SCSQL statement")
     q.add_argument("text", help="the SCSQL statement")
     q.add_argument(
@@ -528,6 +708,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="arrays per stream (default 5)",
     )
     m.add_argument("--seed", type=int, default=0, help="environment seed")
+    _add_live_flags(m)
     m.set_defaults(func=_multiquery)
     from repro.analysis.cli import add_analyze_parser
 

@@ -46,6 +46,9 @@ from repro.core.parallel import SweepExecutor
 from repro.core.multiquery import MultiQuerySession
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import Environment, EnvironmentConfig, shared_template
+from repro.obs.instrument import Instrumentation
+from repro.obs.live import LiveSampler
+from repro.obs.tracer import NULL_TRACER
 from repro.scsql.plan import compile_plan
 from repro.util.errors import MeasurementError
 from repro.util.units import MEGA
@@ -59,6 +62,12 @@ class BenchReport:
     metrics: Dict[str, float]
     lines: List[str] = field(default_factory=list)
 
+    series: Optional[Dict[str, dict]] = None
+    """Windowed live-telemetry series per run segment (query / round),
+    present when the mode ran with ``live_window`` set.  Embedded under
+    the BENCH JSON's ``series`` key; the regression gate reads only the
+    scalar ``metrics``."""
+
     def describe(self) -> str:
         return "\n".join(self.lines)
 
@@ -71,9 +80,19 @@ def _check_result(query: BenchQuery, result: List[object], context: str) -> None
         )
 
 
-def _fresh_env(config: EnvironmentConfig, seed: int) -> Environment:
+def _fresh_env(
+    config: EnvironmentConfig,
+    seed: int,
+    live_window: Optional[float] = None,
+) -> "tuple[Environment, Optional[LiveSampler]]":
     seeded = config.with_seed(seed)
-    return Environment(seeded, template=shared_template(seeded))
+    sampler: Optional[LiveSampler] = None
+    obs = None
+    if live_window is not None:
+        sampler = LiveSampler(window=live_window)
+        obs = Instrumentation(tracer=NULL_TRACER, live=sampler)
+    env = Environment(seeded, obs=obs, template=shared_template(seeded))
+    return env, sampler
 
 
 # ----------------------------------------------------------------------
@@ -84,18 +103,29 @@ def run_power_mode(
     seed: int = 0,
     env_config: EnvironmentConfig = EnvironmentConfig(),
     settings: Optional[ExecutionSettings] = None,
+    live_window: Optional[float] = None,
 ) -> BenchReport:
-    """Stream 0 runs the deck serially; per-query latency is the metric."""
+    """Stream 0 runs the deck serially; per-query latency is the metric.
+
+    ``live_window`` (simulated seconds) watches each deck query with a
+    fresh :class:`~repro.obs.live.LiveSampler` and collects the windowed
+    p50/p95/p99 series into ``report.series`` keyed by the query tag; the
+    gated scalar metrics are unchanged by the instrumentation.
+    """
     metrics: Dict[str, float] = {}
+    series: Dict[str, dict] = {}
     lines = [f"power mode: deck scale {scale.name!r}, seed {seed}"]
     latencies_ms: List[float] = []
     for kind in query_order(0, seed):
         query = build_query(kind, 0, scale, seed)
         plan = compile_plan(query.query, settings=settings)
         with registered([query]):
-            env = _fresh_env(env_config, seed)
+            env, sampler = _fresh_env(env_config, seed, live_window)
             report = Deployer(env).run(plan, settings=settings)
         _check_result(query, report.result, "power mode")
+        if sampler is not None:
+            sampler.finalize(env.sim.now)
+            series[f"power[{kind}]"] = sampler.series_document()
         latency_ms = report.duration * 1e3
         mbps = query.payload_bytes * 8.0 / report.duration / MEGA
         metrics[f"power[{kind}]/latency_ms"] = latency_ms
@@ -106,7 +136,8 @@ def run_power_mode(
         sum(math.log(value) for value in latencies_ms) / len(latencies_ms)
     )
     lines.append(f"  geometric mean latency: {metrics['power/geomean_ms']:.3f} ms")
-    return BenchReport(mode="power", metrics=metrics, lines=lines)
+    return BenchReport(mode="power", metrics=metrics, lines=lines,
+                       series=series or None)
 
 
 # ----------------------------------------------------------------------
@@ -120,6 +151,7 @@ def run_throughput_mode(
     settings: Optional[ExecutionSettings] = None,
     rounds: Optional[int] = None,
     with_solo: bool = True,
+    live_window: Optional[float] = None,
 ) -> BenchReport:
     """N interleaved streams; per-stream bandwidth and interference ratios.
 
@@ -127,7 +159,9 @@ def run_throughput_mode(
     environment (all rounds reuse the same seed, so placement is
     reproducible).  ``rounds`` truncates the deck (the ``--smoke`` path);
     ``with_solo=False`` skips the solo baselines and the interference
-    ratios they feed.
+    ratios they feed.  ``live_window`` watches each concurrent round with
+    a fresh :class:`~repro.obs.live.LiveSampler` (solo baselines stay
+    uninstrumented) and collects windowed series into ``report.series``.
     """
     if streams < 1:
         raise MeasurementError(f"need at least one stream, got {streams}")
@@ -141,6 +175,7 @@ def run_throughput_mode(
     payload_bits: Dict[int, float] = {k: 0.0 for k in range(streams)}
     concurrent_s: Dict[int, float] = {k: 0.0 for k in range(streams)}
     ratios: Dict[int, List[float]] = {k: [] for k in range(streams)}
+    series: Dict[str, dict] = {}
     for round_no in range(deck_len):
         queries = [
             build_query(orders[k][round_no], k, scale, seed)
@@ -148,15 +183,18 @@ def run_throughput_mode(
         ]
         plans = [compile_plan(q.query, settings=settings) for q in queries]
         with registered(queries):
-            env = _fresh_env(env_config, seed)
+            env, sampler = _fresh_env(env_config, seed, live_window)
             session = MultiQuerySession(env, settings, verify="warn")
             for query, plan in zip(queries, plans):
                 session.submit(plan, query.payload_bytes, label=f"s{query.stream_id}")
             result = session.run()
+            if sampler is not None:
+                sampler.finalize(env.sim.now)
+                series[f"{tag}/round{round_no}"] = sampler.series_document()
             solo_mbps: Dict[int, float] = {}
             if with_solo:
                 for query, plan in zip(queries, plans):
-                    solo_env = _fresh_env(env_config, seed)
+                    solo_env, _ = _fresh_env(env_config, seed)
                     solo_report = Deployer(solo_env).run(plan, settings=settings)
                     _check_result(query, solo_report.result, "throughput solo")
                     solo_mbps[query.stream_id] = (
@@ -193,7 +231,8 @@ def run_throughput_mode(
             + (f"  interference {ratio:.2f}" if ratio is not None else "")
         )
     lines.append(f"  aggregate: {metrics[f'{tag}/aggregate_mbps']:.2f} Mbps")
-    return BenchReport(mode="throughput", metrics=metrics, lines=lines)
+    return BenchReport(mode="throughput", metrics=metrics, lines=lines,
+                       series=series or None)
 
 
 # ----------------------------------------------------------------------

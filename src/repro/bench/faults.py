@@ -344,6 +344,14 @@ def run_faulted_session(
     )
 
 
+def _notify_failure(env: Environment, subject: str, scope: str,
+                    detail: str = "") -> None:
+    """Forward a hardware failure to the live health detector, if any."""
+    live = env.obs.live
+    if live.enabled:
+        live.on_failure(subject, scope, detail)
+
+
 def _apply_event(
     env: Environment,
     event: FaultEvent,
@@ -365,6 +373,7 @@ def _apply_event(
         node = env.bluegene.node(index)
         node.fail()
         failed_nodes.append(node.node_id)
+        _notify_failure(env, node.node_id, "node", "killed by fault injection")
         return list(occupied.get(index, []))
 
     if event.scenario == "kill-io-node":
@@ -379,12 +388,16 @@ def _apply_event(
         for node in env.bluegene.nodes_in_pset(pset_id):
             node.fail()
             failed_nodes.append(node.node_id)
+            _notify_failure(env, node.node_id, "node",
+                            f"pset {pset_id} killed by fault injection")
             for state in occupied.get(node.index, []):
                 if state not in victims:
                     victims.append(state)
         io_node = env.bluegene.io_nodes[pset_id]
         io_node.fail()
         failed_nodes.append(io_node.node_id)
+        _notify_failure(env, io_node.node_id, "pset",
+                        f"I/O node of pset {pset_id} killed by fault injection")
         return victims
 
     if event.scenario == "degrade-link":
@@ -396,11 +409,14 @@ def _apply_event(
         for a, b in zip(path, path[1:]):
             env.torus.degrade_link(a, b, event.factor)
             degraded.append(f"torus {a}<->{b} x{event.factor:g}")
+            _notify_failure(env, f"torus[{a}<->{b}]", "link",
+                            f"degraded x{event.factor:g}")
         return list(occupied.get(dst, []))
 
     assert event.scenario == "degrade-uplink"
     env.fabric.degrade_uplink(event.factor)
     degraded.append(f"eth uplink x{event.factor:g}")
+    _notify_failure(env, "eth-uplink", "link", f"degraded x{event.factor:g}")
     running = [state for state in states if _is_running(state.final)]
     if not running:
         return []

@@ -171,17 +171,25 @@ def run_bench(
 # ----------------------------------------------------------------------
 # BENCH JSON round trip
 # ----------------------------------------------------------------------
-def bench_document(metrics: Dict[str, float], repeats: int) -> dict:
-    return {
+def bench_document(metrics: Dict[str, float], repeats: int,
+                   series: Optional[Dict[str, dict]] = None) -> dict:
+    document = {
         "version": BENCH_FORMAT_VERSION,
         "repeats": repeats,
         "metrics": metrics,
     }
+    if series:
+        # Windowed live-telemetry series (per query/round p50/p95/p99,
+        # throughput, health events).  Informational: load_bench reads
+        # only "metrics", so the regression gate stays on the scalars.
+        document["series"] = series
+    return document
 
 
-def write_bench(path: str, metrics: Dict[str, float], repeats: int) -> None:
+def write_bench(path: str, metrics: Dict[str, float], repeats: int,
+                series: Optional[Dict[str, dict]] = None) -> None:
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(bench_document(metrics, repeats), handle,
+        json.dump(bench_document(metrics, repeats, series), handle,
                   indent=2, sort_keys=True)
         handle.write("\n")
 

@@ -64,6 +64,7 @@ def run_contention_demo(
     env_config: Optional[EnvironmentConfig] = None,
     seed: int = 0,
     senders: Optional[Dict[str, int]] = None,
+    live_window: Optional[float] = None,
 ) -> MultiQueryResult:
     """Measure two CQs solo, then concurrently, on same-seed environments.
 
@@ -75,6 +76,9 @@ def run_contention_demo(
     Returns the concurrent :class:`~repro.core.multiquery.MultiQueryResult`
     with each outcome's ``solo_mbps`` baseline attached, so
     ``outcome.interference`` is the concurrent/solo bandwidth ratio.
+    ``live_window`` (simulated seconds) additionally watches the
+    concurrent run with a :class:`~repro.obs.live.LiveSampler`, attached
+    finalized as ``result.live``; the solo baselines stay uninstrumented.
     """
     config = (env_config or EnvironmentConfig()).with_seed(seed)
     payload = n * array_bytes * count
@@ -87,11 +91,24 @@ def run_contention_demo(
         env = Environment(config, template=shared_template(config))
         report = Deployer(env).run(plan)
         solo[label] = payload * 8.0 / report.duration / MEGA
-    session = MultiQuerySession(Environment(config, template=shared_template(config)))
+    sampler = None
+    obs = None
+    if live_window is not None:
+        from repro.obs.instrument import Instrumentation
+        from repro.obs.live import LiveSampler
+        from repro.obs.tracer import NULL_TRACER
+
+        sampler = LiveSampler(window=live_window)
+        obs = Instrumentation(tracer=NULL_TRACER, live=sampler)
+    shared_env = Environment(config, obs=obs, template=shared_template(config))
+    session = MultiQuerySession(shared_env)
     for label, plan in plans.items():
         session.submit(plan, payload_bytes=payload, label=label)
     result = session.run()
     session.teardown()
+    if sampler is not None:
+        sampler.finalize(shared_env.sim.now)
+        result.live = sampler
     for outcome in result.outcomes:
         outcome.solo_mbps = solo[outcome.label]
     return result

@@ -70,6 +70,11 @@ class MultiQueryResult:
 
     outcomes: List[QueryOutcome] = field(default_factory=list)
 
+    live: Optional[object] = None
+    """The :class:`~repro.obs.live.LiveSampler` that watched the
+    concurrent run, when the caller attached one (windowed utilization /
+    latency series plus health events); None otherwise."""
+
     def __getitem__(self, label: str) -> QueryOutcome:
         for outcome in self.outcomes:
             if outcome.label == label:

@@ -25,8 +25,11 @@ carries the shared :data:`~repro.obs.instrument.NULL_OBS` hub, whose
 from repro.obs.export import (
     chrome_trace,
     flow_trace_events,
+    live_table,
+    prometheus_exposition,
     utilization_summary,
     write_chrome_trace,
+    write_timeseries_jsonl,
     write_trace_jsonl,
 )
 from repro.obs.flow import (
@@ -36,7 +39,20 @@ from repro.obs.flow import (
     Hop,
     NullFlowRecorder,
 )
+from repro.obs.health import (
+    ContinuousBottleneckDetector,
+    HealthEvent,
+    base_stream,
+    resource_scope,
+)
 from repro.obs.instrument import NULL_OBS, Instrumentation, NullInstrumentation
+from repro.obs.live import (
+    DEFAULT_WINDOW,
+    NULL_LIVE,
+    LiveSampler,
+    NullLiveSampler,
+    WindowSample,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -52,9 +68,25 @@ from repro.obs.profile import (
     profile,
     profile_flows,
 )
+from repro.obs.sketch import DEFAULT_QUANTILES, LatencySketch, P2Quantile
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, TraceRecord
 
 __all__ = [
+    "LiveSampler",
+    "NullLiveSampler",
+    "NULL_LIVE",
+    "WindowSample",
+    "DEFAULT_WINDOW",
+    "LatencySketch",
+    "P2Quantile",
+    "DEFAULT_QUANTILES",
+    "ContinuousBottleneckDetector",
+    "HealthEvent",
+    "resource_scope",
+    "base_stream",
+    "live_table",
+    "prometheus_exposition",
+    "write_timeseries_jsonl",
     "Instrumentation",
     "NullInstrumentation",
     "NULL_OBS",

@@ -11,9 +11,14 @@ Three consumers are served:
   arrows keyed by the flow id, so the causal chain sender -> torus ->
   ingress -> receiver is a clickable arrow path in the viewer;
 * log processing — :func:`write_trace_jsonl` dumps raw records one JSON
-  object per line;
+  object per line, and :func:`write_timeseries_jsonl` streams the live
+  sampler's closed windows plus health events the same way;
+* scrapers — :func:`prometheus_exposition` renders a point-in-time text
+  exposition (``# TYPE`` + ``name{label="value"} sample`` lines) of the
+  metric registry and live latency quantiles;
 * humans — :func:`utilization_summary` prints the busiest resources, store
-  levels, and counters of one instrumented run as plain text.
+  levels, and counters of one instrumented run as plain text, and
+  :func:`live_table` renders the per-window view ``repro top`` shows.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import IO, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.flow import NullFlowRecorder
 from repro.obs.instrument import Instrumentation
+from repro.obs.live import NullLiveSampler, WindowSample
 from repro.obs.tracer import NullTracer, TraceRecord
 
 #: Simulated seconds -> trace microseconds (the unit Chrome traces use).
@@ -282,4 +288,203 @@ def utilization_summary(obs: Instrumentation, top: int = 20) -> str:
         lines.append("counters:")
         for name, value in counters:
             lines.append(f"  {name:<40} {value:g}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Live telemetry exporters
+# ----------------------------------------------------------------------
+
+def write_timeseries_jsonl(target: Union[str, IO[str]],
+                           sampler: NullLiveSampler,
+                           label: str = "") -> int:
+    """Stream a live sampler's windows + health events as JSON-lines.
+
+    One ``meta`` line (window length, counts, culprit), one ``window``
+    line per closed :class:`~repro.obs.live.WindowSample`, one ``health``
+    line per emitted event.  Call ``sampler.finalize()`` first if the
+    trailing partial window should be included.  Returns the line count.
+    """
+    def _dump(fh: IO[str]) -> int:
+        count = 1
+        meta = {
+            "kind": "meta",
+            "label": label,
+            "window_s": sampler.window,
+            "windows": len(sampler.windows),
+            "health_events": len(sampler.health_events),
+        }
+        culprit = getattr(sampler, "culprit", None)
+        if culprit is not None:
+            meta["culprit"] = culprit
+        fh.write(json.dumps(meta) + "\n")
+        for window in sampler.windows:
+            fh.write(json.dumps({"kind": "window", **window.to_dict()}) + "\n")
+            count += 1
+        for event in sampler.health_events:
+            payload = event.to_dict()
+            # the record kind is "health"; the event's own kind
+            # (saturated/degraded/recovered) moves to "event"
+            payload["event"] = payload.pop("kind")
+            fh.write(json.dumps({"kind": "health", **payload}) + "\n")
+            count += 1
+        return count
+
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as fh:
+            return _dump(fh)
+    return _dump(target)
+
+
+def _prom_ident(text: str) -> str:
+    """Sanitize a metric family name into a Prometheus identifier."""
+    ident = "".join(ch if ch.isalnum() else "_" for ch in text)
+    while "__" in ident:
+        ident = ident.replace("__", "_")
+    return ident.strip("_")
+
+
+def _prom_label(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _prom_split(name: str) -> Tuple[str, Optional[str]]:
+    """Split the registry's ``family[key]`` convention into (family, key)."""
+    if name.endswith("]") and "[" in name:
+        family, _, key = name.partition("[")
+        return family, key[:-1]
+    return name, None
+
+
+def prometheus_exposition(obs: Instrumentation,
+                          prefix: str = "repro") -> str:
+    """A Prometheus text-format snapshot of one instrumented run.
+
+    Counters become ``<prefix>_<family>_total``, gauges and time-weighted
+    means/maxima become gauges; the registry's ``family[key]`` names map
+    to an ``entity="key"`` label.  When a live sampler is attached, its
+    cumulative flow-latency sketch is exposed as a summary
+    (``<prefix>_flow_latency_seconds{quantile="..."}``) along with window
+    and health-event totals.  Families and entities are emitted in sorted
+    order so the exposition is deterministic for a fixed seed.
+    """
+    snapshot = obs.snapshot()
+    lines: List[str] = [
+        f"# repro metrics exposition @ t={snapshot.now:.9f} simulated seconds"
+    ]
+
+    def _emit(kind: str, samples: Dict[str, float], suffix: str = "") -> None:
+        families: Dict[str, Dict[Optional[str], float]] = {}
+        for name in sorted(samples):
+            family, key = _prom_split(name)
+            families.setdefault(family, {})[key] = samples[name]
+        for family in sorted(families):
+            metric = f"{prefix}_{_prom_ident(family)}{suffix}"
+            lines.append(f"# TYPE {metric} {kind}")
+            for key in sorted(families[family], key=lambda k: (k is None, k)):
+                value = families[family][key]
+                label = (
+                    f'{{entity="{_prom_label(key)}"}}' if key is not None else ""
+                )
+                lines.append(f"{metric}{label} {value:.9g}")
+
+    _emit("counter", snapshot.counters, suffix="_total")
+    _emit("gauge", snapshot.gauges)
+    _emit("gauge", {
+        f"{name}.mean": stats["mean"]
+        for name, stats in snapshot.time_weighted.items()
+    })
+
+    live = obs.live
+    if live.enabled:
+        sketch = getattr(live, "latency", None)
+        if sketch is not None and sketch.count > 0:
+            metric = f"{prefix}_flow_latency_seconds"
+            lines.append(f"# TYPE {metric} summary")
+            for q in sketch.quantiles:
+                lines.append(f'{metric}{{quantile="{q:g}"}} {sketch.quantile(q):.9g}')
+            lines.append(f"{metric}_sum {sketch.total:.9g}")
+            lines.append(f"{metric}_count {sketch.count}")
+        lines.append(f"# TYPE {prefix}_live_windows_total counter")
+        lines.append(f"{prefix}_live_windows_total {len(live.windows)}")
+        lines.append(f"# TYPE {prefix}_health_events_total counter")
+        kinds: Dict[str, int] = {}
+        for event in live.health_events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        for kind in sorted(kinds):
+            lines.append(
+                f'{prefix}_health_events_total{{kind="{kind}"}} {kinds[kind]}'
+            )
+    return "\n".join(lines) + "\n"
+
+
+#: Column header of the ``repro top`` window table.
+LIVE_HEADER = (
+    f"{'win':>4} {'t[ms)':>12} {'events':>7} {'flows':>6} {'Mbps':>9} "
+    f"{'p50ms':>8} {'p95ms':>8} {'p99ms':>8}  busiest resource"
+)
+
+
+def live_row(window: WindowSample) -> str:
+    """One formatted window row (shared by :func:`live_table` and the
+    streaming ``repro top`` output)."""
+    top_name, top_util = window.top_resource()
+    busiest = (
+        f"{top_name} {100.0 * top_util:5.1f}%" if top_name is not None else "-"
+    )
+    latency = window.latency
+    return (
+        f"{window.index:>4} {window.end * 1e3:>12.3f} {window.events:>7} "
+        f"{window.flows_completed:>6} {window.throughput_mbps:>9.2f} "
+        f"{latency.get('p50', 0.0) * 1e3:>8.3f} "
+        f"{latency.get('p95', 0.0) * 1e3:>8.3f} "
+        f"{latency.get('p99', 0.0) * 1e3:>8.3f}  {busiest}"
+    )
+
+
+def live_footer(sampler: NullLiveSampler) -> str:
+    """The cumulative-sketch / culprit / health-event summary lines."""
+    lines: List[str] = []
+    sketch = getattr(sampler, "latency", None)
+    if sketch is not None and sketch.count > 0:
+        lines.append(
+            f"cumulative: {sketch.count} flows, latency p50 "
+            f"{sketch.p50 * 1e3:.3f} ms / p95 {sketch.p95 * 1e3:.3f} ms / "
+            f"p99 {sketch.p99 * 1e3:.3f} ms"
+        )
+    culprit = getattr(sampler, "culprit", None)
+    if culprit is not None:
+        lines.append(f"bottleneck: {culprit}")
+    events = sampler.health_events
+    if events:
+        lines.append(f"health events ({len(events)}):")
+        for event in events:
+            lines.append(f"  {event}")
+    return "\n".join(lines)
+
+
+def live_table(sampler: NullLiveSampler, limit: Optional[int] = None) -> str:
+    """The per-window table ``python -m repro top`` renders.
+
+    One row per closed window: event and flow counts, delivered
+    throughput, window latency percentiles (ms), and the busiest resource
+    with its windowed utilization.  ``limit`` keeps only the most recent
+    rows.  A footer reports the cumulative latency sketch and the
+    detector's current culprit + health-event tally.
+    """
+    windows = sampler.windows
+    shown: Sequence[WindowSample] = (
+        windows if limit is None or limit >= len(windows) else windows[-limit:]
+    )
+    lines = [LIVE_HEADER, "-" * len(LIVE_HEADER)]
+    if limit is not None and len(windows) > len(shown):
+        lines.append(f"  ... {len(windows) - len(shown)} earlier window(s)")
+    for window in shown:
+        lines.append(live_row(window))
+    if not windows:
+        lines.append("  (no closed windows)")
+    footer = live_footer(sampler)
+    if footer:
+        lines.append(footer)
     return "\n".join(lines)

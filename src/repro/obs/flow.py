@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, NamedTuple, Optional
 
 from repro.util.stats import percentile
 
@@ -138,6 +138,15 @@ class NullFlowRecorder:
     def in_flight_count(self) -> int:
         return 0
 
+    def in_flight_streams(self) -> Dict[str, int]:
+        return {}
+
+    def add_listener(self, listener: Callable[[FlowRecord], None]) -> None:
+        raise RuntimeError(
+            "the disabled flow recorder never completes a flow; enable "
+            "flows on the Instrumentation to subscribe"
+        )
+
     def publish(self, metrics: "MetricsRegistry") -> None:
         pass
 
@@ -162,7 +171,17 @@ class FlowRecorder(NullFlowRecorder):
         self._flow_ids = itertools.count()
         self._in_flight: Dict[int, FlowRecord] = {}
         self._completed: List[FlowRecord] = []
+        self._listeners: List[Callable[[FlowRecord], None]] = []
         self.dropped = 0
+
+    def add_listener(self, listener: Callable[[FlowRecord], None]) -> None:
+        """Subscribe to flow completions (called with each sealed record).
+
+        This is the push feed the live sampler rides: latency sketches
+        update at completion time instead of scanning ``completed`` at
+        every window boundary.
+        """
+        self._listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Hooks (called by drivers and network models, behind `enabled`)
@@ -229,6 +248,8 @@ class FlowRecorder(NullFlowRecorder):
             record._last_ts = now
         record.delivered = now
         self._completed.append(record)
+        for listener in self._listeners:
+            listener(record)
 
     def drop_stream(self, stream_id: str) -> int:
         """Discard in-flight records of a closed channel's stream.
@@ -259,6 +280,13 @@ class FlowRecorder(NullFlowRecorder):
     @property
     def in_flight_count(self) -> int:
         return len(self._in_flight)
+
+    def in_flight_streams(self) -> Dict[str, int]:
+        """In-flight record counts keyed by stream edge, discovery order."""
+        counts: Dict[str, int] = {}
+        for record in self._in_flight.values():
+            counts[record.stream_id] = counts.get(record.stream_id, 0) + 1
+        return counts
 
     def in_flight_of(self, stream_id: str) -> List[FlowRecord]:
         """In-flight records of one stream edge (diagnostics/tests)."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Optional, Tuple
 
 from repro.obs.flow import NULL_FLOWS, FlowRecorder, NullFlowRecorder
+from repro.obs.live import NULL_LIVE, NullLiveSampler
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
@@ -38,6 +39,7 @@ class NullInstrumentation:
     tracer: NullTracer = NULL_TRACER
     metrics: Optional[MetricsRegistry] = None
     flows: NullFlowRecorder = NULL_FLOWS
+    live: NullLiveSampler = NULL_LIVE
 
     def bind(self, sim: "Simulator") -> None:  # pragma: no cover - never bound
         pass
@@ -60,17 +62,25 @@ class Instrumentation(NullInstrumentation):
             :data:`~repro.obs.flow.NULL_FLOWS` to skip per-buffer hop
             logging (lighter for long bandwidth sweeps where only the
             aggregate counters matter).
+        live: Windowed live telemetry sampler; defaults to
+            :data:`~repro.obs.live.NULL_LIVE` (disabled).  Pass a
+            :class:`~repro.obs.live.LiveSampler` to stream per-window
+            utilization/latency while the simulation runs.
     """
 
     enabled = True
 
     def __init__(self, tracer: Optional[NullTracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 flows: Optional[NullFlowRecorder] = None):
+                 flows: Optional[NullFlowRecorder] = None,
+                 live: Optional[NullLiveSampler] = None):
         self.tracer: NullTracer = Tracer() if tracer is None else tracer
         self.metrics: MetricsRegistry = metrics if metrics is not None else MetricsRegistry()
         self.flows: NullFlowRecorder = FlowRecorder() if flows is None else flows
+        self.live: NullLiveSampler = NULL_LIVE if live is None else live
         self.sim: Optional["Simulator"] = None
+        if self.live.enabled:
+            self.live.bind(self)
 
     def bind(self, sim: "Simulator") -> None:
         """Attach to the simulator whose hooks will feed this hub."""
@@ -80,6 +90,10 @@ class Instrumentation(NullInstrumentation):
     # Kernel hooks (sim.core / sim.events)
     # ------------------------------------------------------------------
     def on_step(self, event: "Event", now: float) -> None:
+        # Close live windows before the event executes or is counted, so
+        # a window holds exactly the activity before its end boundary.
+        if self.live.enabled:
+            self.live.on_step(now)
         self.metrics.add("sim.events_processed")
 
     def on_timeout(self, timeout: "Timeout") -> None:
@@ -127,6 +141,8 @@ class Instrumentation(NullInstrumentation):
     def on_resource_acquire(self, resource: "Resource", request: "Request") -> None:
         key = self._resource_key(resource)
         now = resource.sim.now
+        if self.live.enabled:
+            self.live.note_capacity(key, resource.capacity)
         self.metrics.add(f"resource.acquires[{key}]")
         self.metrics.update_series(f"resource.busy[{key}]", now, resource.count)
         self.metrics.update_series(f"resource.queue[{key}]", now, resource.queue_length)

@@ -1,0 +1,419 @@
+"""The live telemetry plane: rolling windowed time-series over a running sim.
+
+Everything in :mod:`repro.obs` up to here is post-hoc — the
+:class:`~repro.obs.flow.FlowRecorder` and
+:class:`~repro.obs.profile.BottleneckReport` only speak once the run is
+over.  The :class:`LiveSampler` closes that gap: it partitions simulated
+time into fixed windows of ``window`` seconds and, at each boundary,
+publishes a :class:`WindowSample` carrying
+
+* per-resource **windowed utilization** (busy-slot integral over the
+  window divided by window length and capacity),
+* per-store **mean queue depth** over the window,
+* flow **throughput** (completions, delivered bytes, Mbit/s) and a
+  window-local latency sketch (p50/p95/p99 via :mod:`repro.obs.sketch`),
+* sim-event counts and the in-flight flow census,
+
+and feeds the :class:`~repro.obs.health.ContinuousBottleneckDetector`,
+which turns the window stream into typed ``HealthEvent``s.
+
+Zero cost, even when enabled
+----------------------------
+The sampler is deliberately **not** a simulated process.  A periodic
+timeout process would keep the event queue non-empty (changing ``run()``
+termination) and add one event per window even to an otherwise idle sim.
+Instead the sampler piggybacks on the instrumentation hub's per-event
+``on_step`` hook: when the next event's timestamp reaches a window
+boundary, every whole window up to it is closed *before* that event
+executes.  Window contents are computed from the metric registry's
+time-weighted integrals evaluated exactly at the boundary
+(:meth:`~repro.obs.metrics.TimeWeightedStat.integral_at`), so boundaries
+need no events of their own and the sampler adds **zero events** to the
+simulation — the overhead benchmark pins this.
+
+Windows are half-open ``[start, end)``: an event scheduled exactly at a
+boundary belongs to the following window, because its ``on_step`` closes
+the preceding window before any of its callbacks run.  The trailing
+partial window is closed by :meth:`LiveSampler.finalize` (exporters and
+the CLI call it; it is idempotent).
+
+Like the tracer and flow recorder, the disabled twin
+(:data:`NULL_LIVE`, a shared :class:`NullLiveSampler`) is installed on
+every hub by default and short-circuits every hook behind one attribute
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.health import ContinuousBottleneckDetector, HealthEvent, base_stream
+from repro.obs.sketch import LatencySketch
+from repro.util.units import MEGA
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.flow import FlowRecord
+    from repro.obs.instrument import Instrumentation
+
+__all__ = [
+    "WindowSample",
+    "NullLiveSampler",
+    "NULL_LIVE",
+    "LiveSampler",
+    "DEFAULT_WINDOW",
+]
+
+#: Default window length in simulated seconds.  The reproduced runs span
+#: milliseconds to tens of milliseconds, so 2 ms yields a handful to a
+#: few dozen windows on every stock figure point.
+DEFAULT_WINDOW = 0.002
+
+#: Hop components mirrored from :meth:`repro.obs.flow.FlowRecord.component_totals`.
+HOP_COMPONENTS: Tuple[str, ...] = ("serialize", "queue_wait", "wire", "processing")
+
+_BUSY_PREFIX = "resource.busy["
+_LEVEL_PREFIX = "store.level["
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """One closed telemetry window (plain data, JSON-ready)."""
+
+    index: int
+    start: float
+    end: float
+    events: int
+    """Kernel events executed inside the window."""
+    flows_completed: int
+    bytes_delivered: int
+    in_flight: int
+    """Flows still travelling at the window boundary."""
+    throughput_mbps: float
+    latency: Dict[str, float] = field(default_factory=dict)
+    """Window-local latency sketch summary (``n``/``mean``/``p50``/...)."""
+    utilization: Dict[str, float] = field(default_factory=dict)
+    """Resource -> busy fraction of capacity over the window."""
+    queues: Dict[str, float] = field(default_factory=dict)
+    """Store -> time-weighted mean level over the window."""
+    stream_bytes: Dict[str, float] = field(default_factory=dict)
+    """Base stream label -> bytes delivered inside the window."""
+
+    @property
+    def span(self) -> float:
+        return self.end - self.start
+
+    def top_resource(self) -> Tuple[Optional[str], float]:
+        """(name, utilization) of the window's busiest resource."""
+        best: Tuple[Optional[str], float] = (None, 0.0)
+        for name in sorted(self.utilization):
+            value = self.utilization[name]
+            if value > best[1]:
+                best = (name, value)
+        return best
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "window": self.index,
+            "start": self.start,
+            "end": self.end,
+            "events": self.events,
+            "flows": self.flows_completed,
+            "bytes": self.bytes_delivered,
+            "in_flight": self.in_flight,
+            "mbps": self.throughput_mbps,
+            "latency": dict(self.latency),
+            "utilization": dict(self.utilization),
+            "queues": dict(self.queues),
+            "streams": dict(self.stream_bytes),
+        }
+
+
+class NullLiveSampler:
+    """The disabled sampler: every hook no-ops behind ``enabled``."""
+
+    enabled = False
+    window = 0.0
+
+    @property
+    def windows(self) -> List[WindowSample]:
+        return []
+
+    @property
+    def health_events(self) -> List[HealthEvent]:
+        return []
+
+    def bind(self, obs: "Instrumentation") -> None:
+        pass
+
+    def on_step(self, now: float) -> None:
+        pass
+
+    def on_failure(self, subject: str, scope: str, detail: str = "") -> None:
+        pass
+
+    def note_capacity(self, key: str, capacity: float) -> None:
+        pass
+
+    def finalize(self, now: Optional[float] = None) -> None:
+        pass
+
+
+#: Shared disabled sampler (one instance serves every hub).
+NULL_LIVE = NullLiveSampler()
+
+
+class _WindowAccumulator:
+    """Mutable counters for the window currently being filled."""
+
+    __slots__ = ("flows", "nbytes", "sketch", "stream_bytes")
+
+    def __init__(self) -> None:
+        self.flows = 0
+        self.nbytes = 0
+        self.sketch = LatencySketch()
+        self.stream_bytes: Dict[str, float] = {}
+
+
+class LiveSampler(NullLiveSampler):
+    """Streaming windowed telemetry over one instrumented simulation.
+
+    Args:
+        window: Window length in simulated seconds (> 0).
+        detector: The health detector fed at each boundary; defaults to a
+            fresh :class:`~repro.obs.health.ContinuousBottleneckDetector`
+            with stock hysteresis.
+        on_window: Optional callback invoked with each closed
+            :class:`WindowSample` the moment it closes — this is how the
+            ``repro top`` CLI streams rows while the sim runs, and how a
+            future adaptive runtime would subscribe.
+
+    A sampler binds to exactly one :class:`Instrumentation` hub (and
+    therefore one simulator); rebinding raises, mirroring how a
+    FlowRecorder must not be shared between concurrent environments.
+    """
+
+    enabled = True
+
+    def __init__(self, window: float = DEFAULT_WINDOW,
+                 detector: Optional[ContinuousBottleneckDetector] = None,
+                 on_window: Optional[Callable[[WindowSample], None]] = None):
+        if window <= 0.0:
+            raise ValueError(f"window must be > 0 simulated seconds, got {window!r}")
+        self.window = window
+        self.detector = detector if detector is not None else ContinuousBottleneckDetector()
+        self.latency = LatencySketch()           # cumulative end-to-end
+        self.hop_latency: Dict[str, LatencySketch] = {
+            component: LatencySketch() for component in HOP_COMPONENTS
+        }
+        self.flows_completed = 0
+        self.bytes_delivered = 0
+        self._windows: List[WindowSample] = []
+        self._on_window = on_window
+        self._obs: Optional["Instrumentation"] = None
+        self._boundary = window
+        self._index = 0
+        self._acc = _WindowAccumulator()
+        self._prev_busy: Dict[str, float] = {}
+        self._prev_level: Dict[str, float] = {}
+        self._prev_events = 0.0
+        self._capacity: Dict[str, float] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, obs: "Instrumentation") -> None:
+        """Attach to the hub whose metrics/flows feed this sampler."""
+        if self._obs is not None and self._obs is not obs:
+            raise RuntimeError(
+                "a LiveSampler is bound to exactly one Instrumentation; "
+                "create a fresh sampler per environment"
+            )
+        self._obs = obs
+        if obs.flows.enabled:
+            obs.flows.add_listener(self._observe_flow)
+
+    @property
+    def windows(self) -> List[WindowSample]:
+        """Closed windows, oldest first (call :meth:`finalize` to include
+        the trailing partial window)."""
+        return self._windows
+
+    @property
+    def health_events(self) -> List[HealthEvent]:
+        return self.detector.events
+
+    @property
+    def culprit(self) -> Optional[str]:
+        """The detector's current ranked bottleneck (None before data)."""
+        return self.detector.culprit
+
+    def series(self, key: str) -> List[float]:
+        """One windowed latency/throughput series by key for export.
+
+        Keys: ``p50``/``p95``/``p99``/``mean`` (window latency, seconds),
+        ``mbps``, ``flows``, ``events``, ``in_flight``, ``end`` (boundary
+        timestamps).
+        """
+        if key in ("p50", "p95", "p99", "mean"):
+            return [w.latency.get(key, 0.0) for w in self._windows]
+        if key == "mbps":
+            return [w.throughput_mbps for w in self._windows]
+        if key == "flows":
+            return [float(w.flows_completed) for w in self._windows]
+        if key == "events":
+            return [float(w.events) for w in self._windows]
+        if key == "in_flight":
+            return [float(w.in_flight) for w in self._windows]
+        if key == "end":
+            return [w.end for w in self._windows]
+        raise KeyError(f"unknown live series {key!r}")
+
+    # ------------------------------------------------------------------
+    # Hooks (hub-driven, behind `live.enabled`)
+    # ------------------------------------------------------------------
+    def on_step(self, now: float) -> None:
+        """Close every whole window whose boundary the clock has reached.
+
+        Called by ``Instrumentation.on_step`` *before* the current event
+        is counted or executed, so a window's contents are exactly the
+        activity strictly before its end boundary.
+        """
+        while not self._finalized and now >= self._boundary:
+            self._close(self._boundary, self.window)
+            self._boundary += self.window
+            self._index += 1
+
+    def note_capacity(self, key: str, capacity: float) -> None:
+        """Learn a resource's slot capacity (first report wins)."""
+        if key not in self._capacity:
+            self._capacity[key] = float(capacity)
+
+    def on_failure(self, subject: str, scope: str, detail: str = "") -> None:
+        """Report a hardware failure (fault harness hook) as ``degraded``."""
+        now = self._obs.now if self._obs is not None else 0.0
+        self.detector.on_failure(
+            now, subject=subject, scope=scope, window=self._index, detail=detail
+        )
+
+    def _observe_flow(self, record: "FlowRecord") -> None:
+        """FlowRecorder completion listener: feed sketches + throughput."""
+        if record.eos:
+            return
+        latency = record.latency
+        self.latency.add(latency)
+        self.flows_completed += 1
+        self.bytes_delivered += record.nbytes
+        for component, value in record.component_totals().items():
+            self.hop_latency[component].add(value)
+        acc = self._acc
+        acc.sketch.add(latency)
+        acc.flows += 1
+        acc.nbytes += record.nbytes
+        base = base_stream(record.stream_id)
+        acc.stream_bytes[base] = acc.stream_bytes.get(base, 0.0) + record.nbytes
+        delivered = record.delivered if record.delivered is not None else 0.0
+        self.detector.on_delivery(delivered, record.stream_id, window=self._index)
+
+    # ------------------------------------------------------------------
+    # Window assembly
+    # ------------------------------------------------------------------
+    def _close(self, end: float, span: float) -> None:
+        obs = self._obs
+        if obs is None:
+            raise RuntimeError("LiveSampler.on_step before bind()")
+        metrics = obs.metrics
+        start = end - span
+
+        counter = metrics.counters.get("sim.events_processed")
+        events_total = counter.value if counter is not None else 0.0
+        events = int(events_total - self._prev_events)
+        self._prev_events = events_total
+
+        utilization: Dict[str, float] = {}
+        queues: Dict[str, float] = {}
+        for name, series in metrics.series.items():
+            if name.startswith(_BUSY_PREFIX):
+                key = name[len(_BUSY_PREFIX):-1]
+                integral = series.integral_at(end)
+                busy = integral - self._prev_busy.get(name, 0.0)
+                self._prev_busy[name] = integral
+                capacity = self._capacity.get(key, 1.0)
+                denominator = span * capacity if capacity > 0.0 else span
+                utilization[key] = busy / denominator if denominator > 0.0 else 0.0
+            elif name.startswith(_LEVEL_PREFIX):
+                key = name[len(_LEVEL_PREFIX):-1]
+                integral = series.integral_at(end)
+                level = integral - self._prev_level.get(name, 0.0)
+                self._prev_level[name] = integral
+                queues[key] = level / span if span > 0.0 else 0.0
+
+        acc = self._acc
+        in_flight_by_base: Dict[str, int] = {}
+        for stream_id, count in obs.flows.in_flight_streams().items():
+            base = base_stream(stream_id)
+            in_flight_by_base[base] = in_flight_by_base.get(base, 0) + count
+        in_flight = obs.flows.in_flight_count
+
+        sample = WindowSample(
+            index=self._index,
+            start=start,
+            end=end,
+            events=events,
+            flows_completed=acc.flows,
+            bytes_delivered=acc.nbytes,
+            in_flight=in_flight,
+            throughput_mbps=(
+                acc.nbytes * 8.0 / MEGA / span if span > 0.0 else 0.0
+            ),
+            latency=acc.sketch.summary(),
+            utilization={k: utilization[k] for k in sorted(utilization)},
+            queues={k: queues[k] for k in sorted(queues)},
+            stream_bytes={k: acc.stream_bytes[k] for k in sorted(acc.stream_bytes)},
+        )
+        self._windows.append(sample)
+        self._acc = _WindowAccumulator()
+        self.detector.observe_window(
+            sample.index, sample.start, sample.end,
+            sample.utilization, sample.stream_bytes, in_flight_by_base,
+        )
+        if self._on_window is not None:
+            self._on_window(sample)
+
+    def finalize(self, now: Optional[float] = None) -> None:
+        """Close the trailing partial window at ``now`` (idempotent).
+
+        Args:
+            now: The simulation end time; defaults to the bound
+                simulator's clock.  Nothing is emitted when the clock sits
+                exactly on the last closed boundary.
+        """
+        if self._finalized:
+            return
+        end = self._obs.now if now is None and self._obs is not None else (now or 0.0)
+        self.on_step(end)  # close any whole windows first
+        start = self._boundary - self.window
+        span = end - start
+        if span > 0.0:
+            self._close(end, span)
+            self._index += 1
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # Export helpers
+    # ------------------------------------------------------------------
+    def series_document(self) -> Dict[str, object]:
+        """The windowed series as one JSON-ready document (BENCH embed)."""
+        return {
+            "window_s": self.window,
+            "windows": len(self._windows),
+            "end": self.series("end"),
+            "p50": self.series("p50"),
+            "p95": self.series("p95"),
+            "p99": self.series("p99"),
+            "mbps": self.series("mbps"),
+            "flows": self.series("flows"),
+            "culprit": self.culprit,
+            "health": [event.to_dict() for event in self.health_events],
+        }

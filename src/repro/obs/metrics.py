@@ -78,6 +78,20 @@ class TimeWeightedStat:
         """Close the open interval at ``now`` (idempotent for a fixed now)."""
         self.update(now, self.current)
 
+    def integral_at(self, now: float) -> float:
+        """The level integral evaluated at ``now`` without mutating state.
+
+        Extends the closed integral by the current level held since the
+        last update, so window boundaries that carry no event of their
+        own can still be evaluated exactly (the live sampler's windows
+        depend on this).  ``now`` before the last update returns the
+        closed integral unchanged.
+        """
+        integral = self.integral
+        if now > self._last_ts:
+            integral += self.current * (now - self._last_ts)
+        return integral
+
     def elapsed(self, now: Optional[float] = None) -> float:
         """Observed virtual time span of this series."""
         end = self._last_ts if now is None else max(now, self._last_ts)

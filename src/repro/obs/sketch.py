@@ -1,0 +1,264 @@
+"""Online percentile sketches: the P² estimator over streaming samples.
+
+The live telemetry plane (:mod:`repro.obs.live`) publishes p50/p95/p99
+flow latencies *while* a simulation runs.  Retaining every
+:class:`~repro.obs.flow.FlowRecord` just to sort its latencies at each
+window boundary would make the sampler's memory grow with the run; the
+P² algorithm (Jain & Chlamtac, CACM 1985) instead maintains five markers
+per tracked quantile and updates them in O(1) per observation, so a
+sketch of a million-flow run costs the same few floats as a sketch of a
+hundred-flow run.
+
+Accuracy contract (pinned by ``tests/obs/test_sketch.py`` against the
+exact :func:`repro.util.stats.percentile`):
+
+* **exact below the retention limit** — a sketch keeps the raw samples
+  until :attr:`LatencySketch.exact_limit` observations and answers from
+  them, so small windows (the common case: tens of flows per window)
+  are not approximated at all;
+* **approximate beyond it** — once the raw buffer is dropped, quantile
+  queries come from the P² markers, whose error on smooth distributions
+  is well under a percent and remains bounded on adversarial (bimodal,
+  heavy-tailed, sorted) inputs.
+
+Everything here is pure arithmetic over the observed values: no wall
+clock, no randomness, no iteration over unordered containers — the
+sketch state after n observations is a deterministic function of the
+observation sequence, which the determinism suite relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.util.stats import percentile
+
+__all__ = ["P2Quantile", "LatencySketch", "DEFAULT_QUANTILES"]
+
+#: The quantiles a :class:`LatencySketch` tracks by default.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+class P2Quantile:
+    """One quantile tracked with the piecewise-parabolic (P²) estimator.
+
+    Maintains five markers: the minimum, the maximum, the target
+    quantile ``q``, and the midpoints ``q/2`` and ``(1+q)/2``.  Marker
+    heights move by parabolic (falling back to linear) interpolation as
+    observations arrive, so :attr:`value` tracks the running quantile
+    without storing the samples.
+
+    For fewer than five observations the estimate is the exact
+    percentile of the values seen so far.
+    """
+
+    __slots__ = ("q", "_count", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q!r}")
+        self.q = q
+        self._count = 0
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._rates: Tuple[float, ...] = ()
+
+    @property
+    def count(self) -> int:
+        """Number of observations absorbed."""
+        return self._count
+
+    def add(self, value: float) -> None:
+        """Absorb one observation."""
+        value = float(value)
+        self._count += 1
+        if self._count <= 5:
+            self._heights.append(value)
+            self._heights.sort()
+            if self._count == 5:
+                q = self.q
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0,
+                ]
+                self._rates = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+            return
+        heights = self._heights
+        positions = self._positions
+        # Locate the cell the new value falls into, stretching the
+        # extreme markers when it lands outside the observed range.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        desired = self._desired
+        for index, rate in enumerate(self._rates):
+            desired[index] += rate
+        # Nudge the three interior markers toward their desired ranks.
+        for index in (1, 2, 3):
+            drift = desired[index] - positions[index]
+            above = positions[index + 1] - positions[index]
+            below = positions[index - 1] - positions[index]
+            if (drift >= 1.0 and above > 1.0) or (drift <= -1.0 and below < -1.0):
+                step = 1.0 if drift > 0.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, step)
+                positions[index] += step
+            # Parabolic prediction of the marker's height at its new rank.
+
+    def _parabolic(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        p_prev, p_here, p_next = (
+            positions[index - 1], positions[index], positions[index + 1]
+        )
+        h_prev, h_here, h_next = (
+            heights[index - 1], heights[index], heights[index + 1]
+        )
+        return h_here + step / (p_next - p_prev) * (
+            (p_here - p_prev + step) * (h_next - h_here) / (p_next - p_here)
+            + (p_next - p_here - step) * (h_here - h_prev) / (p_here - p_prev)
+        )
+
+    def _linear(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        neighbour = index + int(step)
+        return self._heights[index] + step * (
+            (heights[neighbour] - heights[index])
+            / (positions[neighbour] - positions[index])
+        )
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate.
+
+        Raises:
+            ValueError: If no observation has been absorbed yet.
+        """
+        if self._count == 0:
+            raise ValueError("quantile of an empty sketch is undefined")
+        if self._count < 5:
+            return percentile(self._heights, self.q * 100.0)
+        return self._heights[2]
+
+
+class LatencySketch:
+    """Count/sum/extremes plus a bank of P² quantile estimators.
+
+    Answers are **exact** while at most :attr:`exact_limit` samples have
+    been absorbed (the raw values are retained and fed through
+    :func:`repro.util.stats.percentile`); past the limit the raw buffer
+    is discarded and the P² markers answer, so memory stays O(1) no
+    matter how many flows a window or a run carries.
+    """
+
+    __slots__ = ("quantiles", "exact_limit", "count", "total",
+                 "minimum", "maximum", "_exact", "_estimators")
+
+    def __init__(self, quantiles: Sequence[float] = DEFAULT_QUANTILES,
+                 exact_limit: int = 64):
+        if exact_limit < 0:
+            raise ValueError(f"exact_limit must be >= 0, got {exact_limit}")
+        self.quantiles: Tuple[float, ...] = tuple(quantiles)
+        self.exact_limit = exact_limit
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._exact: Optional[List[float]] = []
+        self._estimators: Dict[float, P2Quantile] = {
+            q: P2Quantile(q) for q in self.quantiles
+        }
+
+    def add(self, value: float) -> None:
+        """Absorb one observation into every tracked quantile."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        for estimator in self._estimators.values():
+            estimator.add(value)
+        if self._exact is not None:
+            self._exact.append(value)
+            if self.count > self.exact_limit:
+                self._exact = None  # hand over to the P2 markers
+
+    @property
+    def exact(self) -> bool:
+        """Whether quantile queries still answer from retained samples."""
+        return self._exact is not None and self.count > 0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The running ``q``-quantile (``q`` in (0, 1)).
+
+        Raises:
+            ValueError: If the sketch is empty, or ``q`` is not tracked
+                and the exact buffer has already been dropped.
+        """
+        if self.count == 0:
+            raise ValueError("quantile of an empty sketch is undefined")
+        if self._exact is not None:
+            return percentile(self._exact, q * 100.0)
+        try:
+            return self._estimators[q].value
+        except KeyError:
+            raise ValueError(
+                f"quantile {q!r} is not tracked by this sketch "
+                f"(tracked: {self.quantiles})"
+            ) from None
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def summary(self) -> Dict[str, float]:
+        """Plain-data summary (empty sketches report zeros)."""
+        if self.count == 0:
+            return {"n": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    **{self._tag(q): 0.0 for q in self.quantiles}}
+        out = {
+            "n": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+        for q in self.quantiles:
+            out[self._tag(q)] = self.quantile(q)
+        return out
+
+    @staticmethod
+    def _tag(q: float) -> str:
+        text = f"{q * 100.0:g}".replace(".", "_")
+        return f"p{text}"
+
+    def __repr__(self) -> str:
+        mode = "exact" if self.exact or self.count == 0 else "p2"
+        return f"<LatencySketch n={self.count} {mode}>"

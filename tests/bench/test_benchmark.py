@@ -119,3 +119,40 @@ class TestBenchGateIntegration:
         assert any(
             delta.regressed and delta.current is None for delta in deltas
         )
+
+
+class TestLiveSeries:
+    """--live-window through power/throughput: series ride along, the
+    gated scalars stay untouched."""
+
+    def test_power_mode_series_with_unchanged_metrics(self):
+        plain = run_power_mode(scale=SMOKE_SCALE)
+        live = run_power_mode(scale=SMOKE_SCALE, live_window=0.0005)
+        assert plain.series is None
+        assert live.metrics == plain.metrics  # sampling must not move the gate
+        assert set(live.series) == {f"power[{kind}]" for kind in QUERY_KINDS}
+        for document in live.series.values():
+            assert document["windows"] >= 1
+            assert len(document["p95"]) == document["windows"]
+            assert document["window_s"] == 0.0005
+
+    def test_throughput_mode_series_with_unchanged_metrics(self):
+        plain = run_throughput_mode(2, scale=SMOKE_SCALE, rounds=1)
+        live = run_throughput_mode(
+            2, scale=SMOKE_SCALE, rounds=1, live_window=0.0005
+        )
+        assert plain.series is None
+        assert live.metrics == plain.metrics
+        assert set(live.series) == {"throughput[n=2]/round0"}
+
+    def test_series_ride_bench_json_without_touching_the_gate(self, tmp_path):
+        import json
+
+        live = run_power_mode(scale=SMOKE_SCALE, live_window=0.0005)
+        path = tmp_path / "bench.json"
+        write_bench(str(path), live.metrics, repeats=1, series=live.series)
+        # the gate loader reads only the scalar metrics...
+        assert load_bench(str(path)) == live.metrics
+        # ...but the series are in the document for dashboards to pick up
+        document = json.loads(path.read_text())
+        assert set(document["series"]) == set(live.series)

@@ -1,0 +1,111 @@
+"""The live-telemetry CLI surface: ``repro top`` and the --live flags."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def read_jsonl(path):
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestTop:
+    def test_once_renders_table_and_verdict(self, capsys):
+        assert main(["top", "--point", "fig15", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15[Q5,n=5]" in out
+        assert "p95" in out  # the table header
+        assert "bottleneck: io-proxy[1]" in out
+        assert "saturated pset:io-proxy[1]" in out
+
+    def test_streaming_mode_prints_rows_as_windows_close(self, capsys):
+        assert main(["top", "--point", "fig15"]) == 0
+        out = capsys.readouterr().out
+        # one row per window, announced before the cumulative footer
+        assert out.index("io-proxy[1]") < out.index("cumulative:")
+
+    def test_live_out_and_prom_exports(self, tmp_path, capsys):
+        series = tmp_path / "top.jsonl"
+        prom = tmp_path / "top.prom"
+        assert main([
+            "top", "--point", "fig15", "--once",
+            "--live-out", str(series), "--prom", str(prom),
+        ]) == 0
+        records = read_jsonl(series)
+        kinds = [record["kind"] for record in records]
+        assert kinds[0] == "meta"
+        assert "window" in kinds and "health" in kinds
+        meta = records[0]
+        assert meta["label"] == "fig15[Q5,n=5]"
+        assert meta["culprit"] == "io-proxy[1]"
+        exposition = prom.read_text()
+        assert "repro_flow_latency_seconds" in exposition
+        assert 'quantile="0.99"' in exposition
+        assert "repro_health_events_total" in exposition
+
+    def test_unknown_point_rejected(self, capsys):
+        assert main(["top", "--point", "nonsense", "--once"]) == 2
+        assert "unknown sample point" in capsys.readouterr().err
+
+    def test_deterministic_for_fixed_seed(self, tmp_path):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            assert main([
+                "top", "--point", "fig8", "--once",
+                "--seed", "5", "--live-out", str(path),
+            ]) == 0
+        assert read_jsonl(paths[0]) == read_jsonl(paths[1])
+
+
+class TestBenchLiveFlags:
+    def test_gate_mode_rejects_live_flags(self, tmp_path, capsys):
+        assert main([
+            "bench", "--out", str(tmp_path / "b.json"),
+            "--live-out", str(tmp_path / "live.jsonl"),
+        ]) == 2
+        assert "--mode power or" in capsys.readouterr().err
+
+    def test_fault_mode_rejects_live_flags(self, tmp_path, capsys):
+        assert main([
+            "bench", "--mode", "throughput", "--fault", "kill-node", "--smoke",
+            "--live-window", "0.001",
+        ]) == 2
+        assert "not wired" in capsys.readouterr().err
+
+    def test_power_mode_embeds_series(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        live = tmp_path / "live.jsonl"
+        assert main([
+            "bench", "--mode", "power", "--smoke", "--out", str(out),
+            "--live-out", str(live), "--live-window", "0.0005",
+        ]) == 0
+        document = json.loads(out.read_text())
+        assert document["version"] == 2
+        assert any(key.startswith("power[") for key in document["series"])
+        labels = [record["label"] for record in read_jsonl(live)]
+        assert labels == sorted(document["series"])
+        assert "windowed series" in capsys.readouterr().out
+
+
+class TestMultiqueryLiveFlags:
+    def test_live_table_and_jsonl(self, tmp_path, capsys):
+        live = tmp_path / "mq.jsonl"
+        assert main([
+            "multiquery", "--streams", "1", "--count", "2",
+            "--array-bytes", "500000", "--live-out", str(live),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative:" in out  # the live table rendered
+        records = read_jsonl(live)
+        assert records[0]["kind"] == "meta"
+        assert records[0]["label"] == "multiquery"
+
+    def test_without_live_flags_nothing_changes(self, capsys):
+        assert main([
+            "multiquery", "--streams", "1", "--count", "2",
+            "--array-bytes", "500000",
+        ]) == 0
+        assert "cumulative:" not in capsys.readouterr().out
