@@ -1,18 +1,26 @@
 """Micro-benchmarks of the library's hot components.
 
 Not paper figures — these track the performance of the substrate itself:
-the DES kernel's event throughput, marshaling, SCSQL parsing/compilation,
-and a small end-to-end query.  Useful for catching performance regressions
-when extending the engine.
+the DES kernel's event throughput (on *both* scheduler backends, side by
+side), marshaling, SCSQL parsing/compilation, and a small end-to-end
+query.  Useful for catching performance regressions when extending the
+engine, and for seeing exactly what the calendar queue buys on each
+workload shape.
 """
 
+
+import pytest
 
 from repro.engine.marshal import StreamDemarshaller, StreamMarshaller
 from repro.engine.objects import SyntheticArray
 from repro.scsql.compiler import QueryCompiler
 from repro.scsql.parser import parse_query
 from repro.scsql.session import SCSQSession
-from repro.sim import Resource, Simulator, Store
+from repro.sim import SCHEDULERS, Resource, Simulator, Store, Timeout
+
+#: Both kernel backends, benchmarked side by side on every kernel-shaped
+#: workload below (``pytest-benchmark`` groups the variants by test name).
+BACKENDS = sorted(SCHEDULERS)
 
 QUERY3 = """
 select extract(c) from
@@ -31,11 +39,12 @@ and n=4;
 """
 
 
-def test_kernel_event_throughput(benchmark):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_kernel_event_throughput(benchmark, backend):
     """Producer/consumer ping-pong: ~4 events per item."""
 
     def run():
-        sim = Simulator()
+        sim = Simulator(scheduler=backend)
         store = Store(sim, capacity=8)
 
         def producer():
@@ -54,7 +63,8 @@ def test_kernel_event_throughput(benchmark):
     benchmark(run)
 
 
-def test_kernel_resource_contention(benchmark):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_kernel_resource_contention(benchmark, backend):
     """Many processes contending for one channel-like resource.
 
     This is the shape of the torus fast path: every hop is a request /
@@ -64,7 +74,7 @@ def test_kernel_resource_contention(benchmark):
     """
 
     def run():
-        sim = Simulator()
+        sim = Simulator(scheduler=backend)
         channel = Resource(sim, capacity=1)
 
         def hopper():
@@ -77,6 +87,45 @@ def test_kernel_resource_contention(benchmark):
         for _ in range(16):
             sim.process(hopper())
         sim.run()
+        return sim
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_kernel_synchronized_bursts(benchmark, backend):
+    """Thousands of timers firing at shared instants: the calendar's case.
+
+    Every period boundary is one bucket of ``streams`` simultaneous
+    timeouts — the dominant access pattern of large stream deployments
+    (and of the BENCH ``scale`` figure, which runs this shape at 4096
+    streams).  The heap pays ``O(log n)`` per event here; the calendar
+    queue pays ``O(1)`` and touches its time heap once per instant.
+    """
+
+    streams, ticks = 512, 20
+
+    class Tick:
+        __slots__ = ("sim", "remaining", "_cb")
+
+        def __init__(self, sim, ticks):
+            self.sim = sim
+            self.remaining = ticks
+            self._cb = self._fire
+            Timeout(sim, 1.0).callbacks.append(self._cb)
+
+        def _fire(self, event):
+            remaining = self.remaining - 1
+            if remaining:
+                self.remaining = remaining
+                Timeout(self.sim, 1.0).callbacks.append(self._cb)
+
+    def run():
+        sim = Simulator(scheduler=backend)
+        for _ in range(streams):
+            Tick(sim, ticks)
+        sim.run()
+        assert sim.events_dispatched == streams * ticks
         return sim
 
     benchmark(run)

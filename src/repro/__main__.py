@@ -15,6 +15,8 @@ Usage::
                                [--live-out PATH] [--live-window SECS]
     python -m repro bench [--out B.json] [--baseline B.json]
                           [--tolerance PCT] [--warn-only] [--jobs N]
+                          [--only FIGURE] [--scale-shape XxYxZ]
+                          [--scale-floor EVENTS_PER_SEC]
                           [--live-out PATH] [--live-window SECS]
     python -m repro top [--point NAME] [--window SECS] [--once]
                         [--live-out PATH] [--prom PATH]
@@ -39,9 +41,12 @@ critical-path profiler over the collected flows and writes the ranked
 report (``.json`` for machine-readable, ``-`` for stdout).
 
 ``bench`` is the perf-regression gate: it records the fast figure-sweep
-bandwidths and flow-latency percentiles to a BENCH JSON file and/or
-compares them against a committed baseline, exiting non-zero on a
-regression (``--warn-only`` reports without failing).  See
+bandwidths and flow-latency percentiles (plus the 4096-node ``scale``
+figure's kernel throughput) to a BENCH JSON file and/or compares them
+against a committed baseline, exiting non-zero on a regression
+(``--warn-only`` reports without failing).  ``--only`` restricts the run
+to named figures, ``--scale-shape`` shrinks the scale torus, and
+``--scale-floor`` enforces an absolute events/sec floor.  See
 ``docs/observability.md``.
 
 ``top`` is the live-telemetry viewer: it runs one bench sample point with
@@ -367,9 +372,21 @@ def _multiquery(args) -> None:
             print(f"live: {lines} time-series records -> {args.live_out}")
 
 
+def _parse_torus_shape(text: str) -> "tuple[int, int, int]":
+    parts = text.lower().split("x")
+    if len(parts) != 3 or not all(p.isdigit() and int(p) > 0 for p in parts):
+        raise ValueError(
+            f"torus shape must look like 16x16x16, got {text!r}"
+        )
+    x, y, z = (int(p) for p in parts)
+    return (x, y, z)
+
+
 def _bench(args) -> int:
     from repro.core.bench import (
+        BENCH_FIGURES,
         compare_bench,
+        figure_of_metric,
         format_comparison,
         load_bench,
         run_bench,
@@ -384,13 +401,38 @@ def _bench(args) -> int:
         print("bench: --live-out/--live-window need --mode power or "
               "throughput", file=sys.stderr)
         return 2
-    if not args.out and not args.baseline and args.mode == "gate":
-        print("bench: nothing to do (pass --out and/or --baseline)",
+    if args.mode != "gate" and (args.only or args.scale_shape or
+                                args.scale_floor is not None):
+        print("bench: --only/--scale-shape/--scale-floor need --mode gate",
               file=sys.stderr)
         return 2
+    if not args.out and not args.baseline and args.mode == "gate" \
+            and args.scale_floor is None:
+        print("bench: nothing to do (pass --out, --baseline, and/or "
+              "--scale-floor)", file=sys.stderr)
+        return 2
+    figures = None
+    if args.only:
+        figures = set(args.only)
+        unknown = figures - set(BENCH_FIGURES)
+        if unknown:
+            print(f"bench: unknown --only figure(s) {sorted(unknown)}; "
+                  f"expected a subset of {list(BENCH_FIGURES)}",
+                  file=sys.stderr)
+            return 2
+    scale_shape = None
+    if args.scale_shape:
+        try:
+            scale_shape = _parse_torus_shape(args.scale_shape)
+        except ValueError as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
     series = None
     if args.mode == "gate":
-        metrics = run_bench(repeats=args.repeats, progress=print, jobs=args.jobs)
+        metrics = run_bench(
+            repeats=args.repeats, progress=print, jobs=args.jobs,
+            figures=figures, scale_shape=scale_shape,
+        )
     else:
         from repro.bench import (
             DEFAULT_SCALE,
@@ -443,8 +485,15 @@ def _bench(args) -> int:
         write_bench(args.out, metrics, repeats=args.repeats, series=series)
         print(f"bench: {len(metrics)} metrics -> {args.out}"
               + (f" (+{len(series)} windowed series)" if series else ""))
+    failed = False
     if args.baseline:
         baseline = load_bench(args.baseline)
+        if figures is not None:
+            # A partial run must not read figures it skipped as "missing".
+            baseline = {
+                name: value for name, value in baseline.items()
+                if figure_of_metric(name) in figures
+            }
         deltas, new_metrics = compare_bench(
             baseline, metrics, tolerance_pct=args.tolerance
         )
@@ -452,9 +501,26 @@ def _bench(args) -> int:
         if any(delta.regressed for delta in deltas):
             if args.warn_only:
                 print("bench: regression detected (warn-only, not failing)")
-                return 0
-            return 1
-    return 0
+            else:
+                failed = True
+    if args.scale_floor is not None:
+        rates = [
+            value for name, value in metrics.items()
+            if figure_of_metric(name) == "scale"
+            and name.endswith("/events_per_sec")
+        ]
+        if not rates:
+            print("bench: --scale-floor set but no scale events_per_sec "
+                  "metric was produced", file=sys.stderr)
+            return 2
+        if min(rates) < args.scale_floor:
+            print(f"bench: scale throughput {min(rates):,.0f} events/sec "
+                  f"below the floor of {args.scale_floor:,.0f}")
+            failed = True
+        else:
+            print(f"bench: scale throughput {min(rates):,.0f} events/sec "
+                  f"clears the floor of {args.scale_floor:,.0f}")
+    return 1 if failed else 0
 
 
 #: Short aliases for the ``top`` sample points (full bench names work too).
@@ -647,6 +713,23 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument(
         "--smoke", action="store_true",
         help="CI smoke scale: small deck workloads, one throughput round",
+    )
+    b.add_argument(
+        "--only", action="append", metavar="FIGURE", default=None,
+        help="restrict a gate run to one figure subset (repeatable: "
+             "fig6, fig8, fig15, scale); a --baseline comparison is then "
+             "subset to the same figures",
+    )
+    b.add_argument(
+        "--scale-shape", metavar="XxYxZ", default=None,
+        help="torus shape of the scale figure (default 16x16x16); CI "
+             "smoke runs a reduced 8x8x8",
+    )
+    b.add_argument(
+        "--scale-floor", type=float, default=None, metavar="EVENTS_PER_SEC",
+        help="fail (exit 1) unless the scale figure's kernel throughput "
+             "reaches this many events/sec — an absolute floor for runs "
+             "whose reduced shape has no committed baseline metric",
     )
     _add_live_flags(b)
     b.set_defaults(func=_bench)

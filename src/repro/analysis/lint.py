@@ -16,8 +16,11 @@ Rules (``DET00x``):
   ``random.randint``, ...); use a seeded ``random.Random(seed)`` instance.
 * **DET003** — no iteration over set displays or ``set()`` results; set
   iteration order is undefined across runs and Python builds.
-* **DET004** — event classes in the simulation kernel must declare
-  ``__slots__`` (keeps per-event allocation flat on the hot path).
+* **DET004** — kernel classes must stay flat: *every* class in
+  ``repro.sim`` (events, schedulers, resources, the simulator itself)
+  and the snapshot/template classes of ``repro.hardware.environment``
+  must declare ``__slots__`` (or ``@dataclass(slots=True)``); they are
+  allocated per event / per fork and must not carry instance dicts.
 * **DET005** — observability hook calls (``*.obs.on_*``, ``*.flows.*``)
   must be guarded by an ``if ....enabled`` test, so the disabled
   singleton costs nothing.
@@ -44,8 +47,9 @@ from repro.analysis.diagnostics import Diagnostic, Severity
 __all__ = ["LintRule", "RULES", "lint_file", "lint_paths", "main"]
 
 #: Directories (relative to ``src/repro``) whose code is simulation-kernel
-#: hot path and must stay deterministic.
-HOT_PACKAGES = ("sim", "net", "engine")
+#: hot path and must stay deterministic.  ``hardware`` joined when the
+#: snapshot/fork lifecycle made topology state part of the kernel proper.
+HOT_PACKAGES = ("sim", "net", "engine", "hardware")
 
 #: Wall-clock attribute calls banned in hot packages (DET001).
 WALL_CLOCK_CALLS = {
@@ -196,54 +200,76 @@ class SetIterationRule(LintRule):
 
 class SlotsRule(LintRule):
     code = "DET004"
-    title = "kernel event class without __slots__"
+    title = "kernel class without __slots__"
 
-    #: Only the event hierarchy of the kernel proper is hot enough to
-    #: require flat instances.
+    #: Every class in the kernel package is hot enough to require flat
+    #: instances — events, schedulers, resources, the simulator.  In the
+    #: hardware package only the fork-lifecycle classes qualify: snapshot
+    #: and template instances are allocated per fork/snapshot.
     hot_path_only = True
+
+    #: Hardware class-name suffixes covered by the rule.
+    HARDWARE_SUFFIXES = ("Snapshot", "Template")
 
     def applies_to(self, path: Path) -> bool:
         parts = path.parts
         if "repro" not in parts:
             return False
         rest = parts[parts.index("repro") + 1:]
-        return bool(rest) and rest[0] == "sim"
+        return bool(rest) and rest[0] in ("sim", "hardware")
+
+    @staticmethod
+    def _declares_slots(cls: ast.ClassDef) -> bool:
+        for stmt in cls.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets
+            ):
+                return True
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            ):
+                return True
+        # @dataclass(slots=True) synthesizes __slots__ at class creation.
+        for deco in cls.decorator_list:
+            if isinstance(deco, ast.Call) and any(
+                kw.arg == "slots"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in deco.keywords
+            ):
+                return True
+        return False
+
+    def _covers(self, cls: ast.ClassDef, package: str) -> bool:
+        if package == "sim":
+            # Exception subclasses carry a base-class __dict__ regardless;
+            # __slots__ there is convention, not a memory win, so they are
+            # exempt.
+            return not any(
+                isinstance(b, ast.Name) and b.id in ("Exception", "BaseException")
+                for b in cls.bases
+            )
+        return cls.name.endswith(self.HARDWARE_SUFFIXES)
 
     def check(self, tree: ast.Module, path: Path) -> Iterable[Tuple[int, str]]:
-        # Lexical closure over base-class names: a class is an event class
-        # if it is named Event or (transitively) subclasses one defined in
-        # this module.
-        classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
-        base_names = {
-            cls.name: [b.id for b in cls.bases if isinstance(b, ast.Name)]
-            for cls in classes
-        }
-        event_like: Set[str] = set()
-        changed = True
-        while changed:
-            changed = False
-            for name, bases in base_names.items():
-                if name in event_like:
-                    continue
-                if name == "Event" or any(b in event_like or b == "Event" for b in bases):
-                    event_like.add(name)
-                    changed = True
-        for cls in classes:
-            if cls.name not in event_like:
+        parts = path.parts
+        package = parts[parts.index("repro") + 1]
+        for cls in (n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)):
+            if not self._covers(cls, package):
                 continue
-            has_slots = any(
-                isinstance(stmt, ast.Assign)
-                and any(
-                    isinstance(t, ast.Name) and t.id == "__slots__"
-                    for t in stmt.targets
+            if not self._declares_slots(cls):
+                noun = (
+                    "kernel class" if package == "sim"
+                    else "fork-lifecycle class"
                 )
-                for stmt in cls.body
-            )
-            if not has_slots:
                 yield (
                     cls.lineno,
-                    f"event class {cls.name} has no __slots__; kernel events "
-                    "are allocated per scheduled occurrence and must stay flat",
+                    f"{noun} {cls.name} has no __slots__ (or "
+                    "dataclass slots=True); instances are allocated on the "
+                    "hot path and must stay flat",
                 )
 
 

@@ -91,7 +91,7 @@ def _fresh_env(
     if live_window is not None:
         sampler = LiveSampler(window=live_window)
         obs = Instrumentation(tracer=NULL_TRACER, live=sampler)
-    env = Environment(seeded, obs=obs, template=shared_template(seeded))
+    env = shared_template(seeded).fork(seed=seeded.seed, obs=obs)
     return env, sampler
 
 

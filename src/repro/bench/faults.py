@@ -515,7 +515,7 @@ def run_fault_task(task: FaultTask) -> FaultOutcome:
     config = task.env_config.with_seed(task.seed)
     queries = fault_queries(task)
     with registered(queries):
-        healthy_env = Environment(config, template=shared_template(config))
+        healthy_env = shared_template(config).fork(seed=config.seed)
         healthy = run_faulted_session(
             healthy_env, queries, FaultSchedule(), settings=task.settings
         )
@@ -524,10 +524,8 @@ def run_fault_task(task: FaultTask) -> FaultOutcome:
             task.scenario, fault_time, seed=task.seed,
             target=task.target, factor=task.factor,
         )
-        faulted_env = Environment(
-            config,
-            obs=Instrumentation(tracer=NULL_TRACER),
-            template=shared_template(config),
+        faulted_env = shared_template(config).fork(
+            seed=config.seed, obs=Instrumentation(tracer=NULL_TRACER),
         )
         faulted = run_faulted_session(
             faulted_env, queries, schedule, settings=task.settings

@@ -38,7 +38,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.experiments.fig6 import point_to_point_query, scaled_workload
 from repro.core.experiments.fig8 import BALANCED, SEQUENTIAL, merge_query
@@ -114,10 +114,17 @@ def bench_points() -> List[BenchPoint]:
     return points
 
 
+#: Figure names run_bench() can produce (the sweep subsets plus the
+#: kernel-scale figure); the bench CLI's ``--only`` validates against this.
+BENCH_FIGURES = ("fig6", "fig8", "fig15", "scale")
+
+
 def run_bench(
     repeats: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 1,
+    figures: Optional[Iterable[str]] = None,
+    scale_shape: Optional[Tuple[int, int, int]] = None,
 ) -> Dict[str, float]:
     """Measure every bench point; returns the flat metric mapping.
 
@@ -126,11 +133,25 @@ def run_bench(
     bit-identical either way.  The wall-clock family then measures the
     *parallel* harness, so baselines should be recorded at the same
     ``jobs`` they are gated at.
+
+    ``figures`` restricts the run to a subset of :data:`BENCH_FIGURES`
+    (``None`` runs everything); ``scale_shape`` overrides the scale
+    figure's torus (CI smoke runs a reduced 8x8x8).
     """
+    if figures is not None:
+        figures = set(figures)
+        unknown = figures - set(BENCH_FIGURES)
+        if unknown:
+            raise ValueError(
+                f"unknown bench figure(s) {sorted(unknown)}; "
+                f"expected a subset of {list(BENCH_FIGURES)}"
+            )
     metrics: Dict[str, float] = {}
     wall_by_figure: Dict[str, float] = {}
     events_by_figure: Dict[str, float] = {}
     for point in bench_points():
+        if figures is not None and point.figure not in figures:
+            continue
         started = time.perf_counter()
         result = measure_query_bandwidth(
             point.query,
@@ -165,6 +186,16 @@ def run_bench(
         metrics[f"{figure}/wall_s"] = wall
         if wall > 0.0:
             metrics[f"{figure}/events_per_sec"] = events_by_figure[figure] / wall
+    if figures is None or "scale" in figures:
+        # Imported here: the scale experiment pulls in the multiquery
+        # session machinery, which the figure-sweep subsets don't need.
+        from repro.core.experiments.scale import DEFAULT_SHAPE, run_scale
+
+        scale_result = run_scale(
+            shape=scale_shape if scale_shape is not None else DEFAULT_SHAPE,
+            progress=progress,
+        )
+        metrics.update(scale_result.metrics())
     return metrics
 
 
@@ -209,6 +240,16 @@ def load_bench(path: str) -> Dict[str, float]:
 # ----------------------------------------------------------------------
 # Comparison
 # ----------------------------------------------------------------------
+def figure_of_metric(metric_name: str) -> str:
+    """The figure a metric belongs to.
+
+    ``"fig6[B=200,double]/mbps"`` and ``"fig6/wall_s"`` both map to
+    ``"fig6"``; the bench CLI uses this to subset a committed baseline
+    when gating a ``--only`` run.
+    """
+    return metric_name.split("[", 1)[0].split("/", 1)[0]
+
+
 def higher_is_better(metric_name: str) -> bool:
     """Metric direction by name suffix: bandwidth and throughput up,
     latency and wall time down.

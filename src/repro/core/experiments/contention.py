@@ -21,7 +21,7 @@ from typing import Dict, Optional
 
 from repro.coordinator.deployer import Deployer
 from repro.core.multiquery import MultiQueryResult, MultiQuerySession
-from repro.hardware.environment import Environment, EnvironmentConfig, shared_template
+from repro.hardware.environment import EnvironmentConfig, shared_template
 from repro.scsql.plan import DeploymentPlan, compile_plan
 from repro.util.units import MEGA
 
@@ -88,7 +88,7 @@ def run_contention_demo(
     }
     solo: Dict[str, float] = {}
     for label, plan in plans.items():
-        env = Environment(config, template=shared_template(config))
+        env = shared_template(config).fork(seed=config.seed)
         report = Deployer(env).run(plan)
         solo[label] = payload * 8.0 / report.duration / MEGA
     sampler = None
@@ -100,7 +100,7 @@ def run_contention_demo(
 
         sampler = LiveSampler(window=live_window)
         obs = Instrumentation(tracer=NULL_TRACER, live=sampler)
-    shared_env = Environment(config, obs=obs, template=shared_template(config))
+    shared_env = shared_template(config).fork(seed=config.seed, obs=obs)
     session = MultiQuerySession(shared_env)
     for label, plan in plans.items():
         session.submit(plan, payload_bytes=payload, label=label)

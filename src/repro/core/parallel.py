@@ -43,7 +43,7 @@ from repro.coordinator.allocation import (
 from repro.coordinator.client_manager import ExecutionReport
 from repro.coordinator.deployer import Deployer, SelectorPlacement
 from repro.engine.settings import ExecutionSettings
-from repro.hardware.environment import Environment, EnvironmentConfig, shared_template
+from repro.hardware.environment import EnvironmentConfig, shared_template
 from repro.obs.flow import FlowRecord, FlowRecorder
 from repro.obs.instrument import Instrumentation
 from repro.obs.tracer import NULL_TRACER
@@ -157,7 +157,7 @@ def run_sweep_task(
     config = task.env_config.with_seed(task.seed)
     if obs is None:
         obs = _make_obs(task.observe)
-    env = Environment(config, obs=obs, template=shared_template(config))
+    env = shared_template(config).fork(seed=config.seed, obs=obs)
     if prepare is not None:
         session = SCSQSession(env, task.settings)
         prepare(session)

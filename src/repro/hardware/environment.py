@@ -12,7 +12,7 @@ measurement run so runs are independent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from repro.hardware.bluegene import BlueGene, BlueGeneConfig
 from repro.hardware.cndb import ComputeNodeDatabase
@@ -63,6 +63,32 @@ def _topology_key(config: EnvironmentConfig):
     return (config.bluegene, config.backend_nodes, config.frontend_nodes, config.params)
 
 
+#: Per-node mutable status captured by a snapshot: (running_processes, failed).
+_NodeStatus = Tuple[int, bool]
+
+
+@dataclass(frozen=True, slots=True)
+class TopologySnapshot:
+    """Frozen copy of a template's per-run mutable occupancy state.
+
+    A template's expensive pieces (psets, CNDB node lists, the route memo)
+    are immutable; what varies between runs is only the *occupancy*: the
+    CNDB round-robin cursors and each node's ``running_processes`` /
+    ``failed`` status.  A snapshot copies exactly that, so it stays valid
+    no matter what later runs do to the template, and restoring it is a
+    handful of integer writes — far cheaper than rebuilding a topology.
+
+    Snapshots are bound to the topology they were taken from
+    (:attr:`topology`); restoring one into a template of a different shape
+    is rejected.
+    """
+
+    topology: tuple
+    cursors: Tuple[Tuple[str, int], ...]
+    node_status: Tuple[Tuple[str, Tuple[_NodeStatus, ...]], ...]
+    io_status: Tuple[_NodeStatus, ...]
+
+
 class EnvironmentTemplate:
     """Reusable, seed-independent topology of an :class:`Environment`.
 
@@ -82,6 +108,11 @@ class EnvironmentTemplate:
     the measurement harness uses environments strictly one at a time.
     """
 
+    __slots__ = (
+        "config", "bluegene", "backend", "frontend", "routes", "cndbs",
+        "_pristine",
+    )
+
     def __init__(self, config: EnvironmentConfig = EnvironmentConfig()):
         self.config = config
         self.bluegene = BlueGene(config.bluegene)
@@ -93,21 +124,96 @@ class EnvironmentTemplate:
             BACKEND: ComputeNodeDatabase(BACKEND, self.backend.nodes),
             FRONTEND: ComputeNodeDatabase(FRONTEND, self.frontend.nodes),
         }
+        # The freshly-built occupancy; reset() restores it, making reuse
+        # bit-identical to building from scratch.
+        self._pristine = self.snapshot()
 
     def matches(self, config: EnvironmentConfig) -> bool:
         """True if ``config`` describes the same topology as this template."""
         return _topology_key(config) == _topology_key(self.config)
 
+    # ------------------------------------------------------------------
+    # Occupancy snapshot / restore / fork
+    # ------------------------------------------------------------------
+    def snapshot(self) -> TopologySnapshot:
+        """Capture the current occupancy state as an immutable snapshot.
+
+        Taking a snapshot after deploying a long-lived workload freezes the
+        warmed topology (CNDB cursors, per-node process counts, fault
+        flags); any number of later :meth:`fork` calls can then start from
+        that state instead of from pristine.
+        """
+        return TopologySnapshot(
+            topology=_topology_key(self.config),
+            cursors=tuple(
+                (name, cndb._rr_cursor) for name, cndb in self.cndbs.items()
+            ),
+            node_status=tuple(
+                (
+                    name,
+                    tuple(
+                        (node.running_processes, node.failed)
+                        for node in cndb._nodes
+                    ),
+                )
+                for name, cndb in self.cndbs.items()
+            ),
+            io_status=tuple(
+                (node.running_processes, node.failed)
+                for node in self.bluegene.io_nodes
+            ),
+        )
+
+    def restore(self, snapshot: Optional[TopologySnapshot] = None) -> None:
+        """Write a snapshot's occupancy back into the shared topology.
+
+        ``None`` restores the freshly-built (pristine) state.  Restoring a
+        snapshot taken from a different topology raises
+        :class:`~repro.util.errors.HardwareError`.
+        """
+        if snapshot is None:
+            snapshot = self._pristine
+        elif snapshot.topology != _topology_key(self.config):
+            raise HardwareError(
+                "topology snapshot does not belong to this template "
+                f"(snapshot key {snapshot.topology!r})"
+            )
+        cursors = dict(snapshot.cursors)
+        status = dict(snapshot.node_status)
+        for name, cndb in self.cndbs.items():
+            cndb._rr_cursor = cursors[name]
+            for node, (running, failed) in zip(cndb._nodes, status[name]):
+                node.running_processes = running
+                node.failed = failed
+        for node, (running, failed) in zip(
+            self.bluegene.io_nodes, snapshot.io_status
+        ):
+            node.running_processes = running
+            node.failed = failed
+
     def reset(self) -> None:
         """Return the shared mutable status to the freshly-built state."""
-        for cndb in self.cndbs.values():
-            cndb._rr_cursor = 0
-            for node in cndb._nodes:
-                node.running_processes = 0
-                node.failed = False
-        for node in self.bluegene.io_nodes:
-            node.running_processes = 0
-            node.failed = False
+        self.restore(self._pristine)
+
+    def fork(
+        self,
+        seed: Optional[int] = None,
+        obs=None,
+        snapshot: Optional[TopologySnapshot] = None,
+    ) -> "Environment":
+        """A fresh :class:`Environment` on this already-built topology.
+
+        The fork reuses the template's psets, CNDBs, and warmed route memo;
+        only the simulator, jitter, and network instances are created anew.
+        ``seed`` overrides the per-run seed (default: the template config's
+        seed); ``obs`` attaches instrumentation to the fork's simulator;
+        ``snapshot`` starts the fork from a captured occupancy instead of
+        pristine.  Forks of one template must be used sequentially — each
+        fork restores the shared occupancy, so starting a new fork
+        invalidates its live siblings.
+        """
+        config = self.config if seed is None else self.config.with_seed(seed)
+        return Environment(config, obs=obs, template=self, restore=snapshot)
 
 
 #: Per-process template cache used by the sweep executor's workers, keyed on
@@ -134,7 +240,11 @@ class Environment:
     Pass an :class:`EnvironmentTemplate` as ``template`` to reuse an
     already-built topology (psets, CNDBs, route memo) across repeats; the
     template is reset to its freshly-built state, so results are identical
-    to building from scratch.
+    to building from scratch.  :meth:`EnvironmentTemplate.fork` is the
+    ergonomic spelling of that reuse.
+
+    Pass a :class:`TopologySnapshot` as ``restore`` to start from a
+    captured occupancy (a warmed deployment) instead of pristine.
     """
 
     def __init__(
@@ -142,16 +252,19 @@ class Environment:
         config: EnvironmentConfig = EnvironmentConfig(),
         obs=None,
         template: "EnvironmentTemplate | None" = None,
+        restore: Optional[TopologySnapshot] = None,
     ):
         if template is None:
             template = EnvironmentTemplate(config)
+            if restore is not None:
+                template.restore(restore)
         elif not template.matches(config):
             raise HardwareError(
                 f"environment template built for {template.config!r} "
                 f"does not match config {config!r}"
             )
         else:
-            template.reset()
+            template.restore(restore)
         self.config = config
         self.template = template
         self.sim = Simulator(obs=obs)

@@ -53,20 +53,41 @@ def _axis_steps(src: int, dst: int, size: int) -> List[int]:
     return [-1] * backward
 
 
+#: Default cap on memoized routes.  16384 entries hold every pair a large
+#: multi-query session touches while bounding a 16x16x16 torus (whose
+#: all-pairs table would be 4096^2 = 16.7M entries) to a few megabytes.
+DEFAULT_ROUTE_MEMO_ENTRIES = 16_384
+
+
 class RouteTable:
-    """Memo table of XYZ dimension-ordered routes over one torus topology.
+    """Bounded memo table of XYZ dimension-ordered routes over one torus.
 
     Routes are pure functions of the torus shape, so one table can be shared
     by every :class:`TorusNetwork` over the same :class:`BlueGene` topology —
     including across repeats of a measurement sweep, where the environment
     template cache hands the same table to each fresh network instance.
 
+    The memo is bounded at ``max_entries`` pairs: once full, the oldest
+    *inserted* entry is evicted (FIFO).  Insertion order is deterministic
+    given a deterministic access sequence, and the memo is a pure cache —
+    an evicted pair is simply recomputed on the next request — so eviction
+    can never change simulated results, only recomputation counts.
+    FIFO (rather than LRU) keeps the hit path to a single dict lookup with
+    no reordering bookkeeping; route working sets are dominated by a stable
+    set of active streams, where the two policies behave alike.
+
     The cached path lists are returned by reference and must be treated as
     read-only by callers.
     """
 
-    def __init__(self, bluegene: BlueGene):
+    def __init__(self, bluegene: BlueGene,
+                 max_entries: int = DEFAULT_ROUTE_MEMO_ENTRIES):
+        if max_entries < 1:
+            raise NetworkError(
+                f"route memo must hold at least one entry, got {max_entries}"
+            )
         self.bluegene = bluegene
+        self.max_entries = max_entries
         self._routes: Dict[Tuple[int, int], List[int]] = {}
 
     def route(self, src: int, dst: int) -> List[int]:
@@ -74,7 +95,12 @@ class RouteTable:
         key = (src, dst)
         path = self._routes.get(key)
         if path is None:
-            path = self._routes[key] = self.compute(src, dst)
+            routes = self._routes
+            if len(routes) >= self.max_entries:
+                # FIFO eviction: dicts iterate in insertion order, so the
+                # first key is the oldest entry.
+                del routes[next(iter(routes))]
+            path = routes[key] = self.compute(src, dst)
         return path
 
     def compute(self, src: int, dst: int) -> List[int]:
@@ -94,6 +120,20 @@ class RouteTable:
 
     def __len__(self) -> int:
         return len(self._routes)
+
+    def approx_bytes(self) -> int:
+        """Approximate resident size of the memo in bytes.
+
+        Shallow-sums the dict, its key tuples, and the path lists (node
+        indices are small shared ints).  The scale benchmark asserts this
+        stays bounded on a 16x16x16 torus.
+        """
+        from sys import getsizeof
+
+        total = getsizeof(self._routes)
+        for key, path in self._routes.items():
+            total += getsizeof(key) + getsizeof(path)
+        return total
 
 
 class TorusNetwork:

@@ -76,7 +76,7 @@ def base_stream(stream_id: str) -> str:
     return prefix.split("+r", 1)[0]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HealthEvent:
     """One typed state transition of a monitored subject.
 
@@ -144,6 +144,13 @@ class ContinuousBottleneckDetector:
             windows — so this must exceed the longest burst gap or quiet
             runs flood with degraded/recovered pairs.
     """
+
+    __slots__ = (
+        "high", "low", "up_windows", "down_windows", "stall_windows",
+        "events", "_state", "_above", "_below", "_lead", "_lead_streak",
+        "_lead_counts", "_stream_seen", "_stream_degraded", "_stall_streak",
+        "_recovered_prefixes",
+    )
 
     def __init__(self, high: float = 0.85, low: float = 0.60,
                  up_windows: int = 2, down_windows: int = 2,

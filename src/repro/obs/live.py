@@ -76,7 +76,7 @@ _BUSY_PREFIX = "resource.busy["
 _LEVEL_PREFIX = "store.level["
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WindowSample:
     """One closed telemetry window (plain data, JSON-ready)."""
 
@@ -131,6 +131,8 @@ class WindowSample:
 
 class NullLiveSampler:
     """The disabled sampler: every hook no-ops behind ``enabled``."""
+
+    __slots__ = ()
 
     enabled = False
     window = 0.0
@@ -192,6 +194,13 @@ class LiveSampler(NullLiveSampler):
     therefore one simulator); rebinding raises, mirroring how a
     FlowRecorder must not be shared between concurrent environments.
     """
+
+    __slots__ = (
+        "window", "detector", "latency", "hop_latency", "flows_completed",
+        "bytes_delivered", "_windows", "_on_window", "_obs", "_boundary",
+        "_index", "_acc", "_prev_busy", "_prev_level", "_prev_events",
+        "_capacity", "_finalized",
+    )
 
     enabled = True
 

@@ -14,6 +14,14 @@ SCSQ deployment runs deterministically inside one OS process.
 from repro.sim.core import Simulator
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
 from repro.sim.resources import Request, Resource, Store
+from repro.sim.scheduler import (
+    DEFAULT_SCHEDULER,
+    SCHEDULERS,
+    CalendarQueue,
+    EventScheduler,
+    HeapScheduler,
+    make_scheduler,
+)
 
 __all__ = [
     "Simulator",
@@ -26,4 +34,10 @@ __all__ = [
     "Resource",
     "Request",
     "Store",
+    "EventScheduler",
+    "HeapScheduler",
+    "CalendarQueue",
+    "SCHEDULERS",
+    "DEFAULT_SCHEDULER",
+    "make_scheduler",
 ]

@@ -4,6 +4,13 @@
 queue is stepped; all network transfers, buffer marshaling, and co-processor
 contention in the library are expressed as events on one simulator instance.
 
+The pending-event set lives in a pluggable :mod:`repro.sim.scheduler`
+backend.  The default :class:`~repro.sim.scheduler.CalendarQueue` exploits
+the kernel's same-timestamp burst pattern; the reference
+:class:`~repro.sim.scheduler.HeapScheduler` keeps the classic binary heap.
+Both dispatch in the identical ``(when, rank, seq)`` total order, so
+simulated results are bit-identical across backends.
+
 Typical use::
 
     sim = Simulator()
@@ -20,29 +27,54 @@ Typical use::
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
-from itertools import count
-from typing import Any, Generator, List, Optional, Tuple
+from heapq import heappop
+from typing import Any, Generator, Optional, Union
 
 from repro.obs.instrument import NULL_OBS, NullInstrumentation
 from repro.sim.events import _NORMAL, _URGENT, AllOf, AnyOf, Event, Process, Timeout
+from repro.sim.scheduler import EventScheduler, make_scheduler
 from repro.util.errors import SimulationError
 
-# Queue entries: (time, priority, sequence, event).  ``priority`` orders
-# same-time events (urgent events such as process initialization first) and
-# ``sequence`` keeps insertion order for determinism.  The rank constants
-# live in repro.sim.events so that Event.succeed/fail can inline the
-# zero-delay schedule without importing this module.
+_INF = float("inf")
 
 
 class Simulator:
-    """A deterministic discrete-event simulation scheduler."""
+    """A deterministic discrete-event simulation scheduler.
 
-    def __init__(self, obs: Optional[NullInstrumentation] = None):
+    Args:
+        obs: Instrumentation hub; defaults to the shared disabled hub.
+        scheduler: Event-queue backend — a name from
+            :data:`repro.sim.scheduler.SCHEDULERS` (``"calendar"``,
+            ``"heap"``), a ready :class:`~repro.sim.scheduler.EventScheduler`
+            instance, or ``None`` for the default calendar queue.
+    """
+
+    __slots__ = (
+        "_now",
+        "_scheduler",
+        "_push",
+        "_active_process",
+        "obs",
+        "events_dispatched",
+    )
+
+    def __init__(
+        self,
+        obs: Optional[NullInstrumentation] = None,
+        scheduler: Union[str, EventScheduler, None] = None,
+    ):
         self._now: float = 0.0
-        self._queue: List[Tuple[float, int, int, Event]] = []
-        self._sequence = count()
+        self._scheduler: EventScheduler = make_scheduler(scheduler)
+        # Bound once: the inline scheduling sites in sim.events/sim.resources
+        # (Event.succeed, Timeout.__init__, Resource grants, Store handoffs)
+        # call ``sim._push(when, rank, event)`` directly, so the backend is
+        # one attribute load away from the hot path.
+        self._push = self._scheduler.push
         self._active_process: Optional[Process] = None
+        #: Events dispatched over this simulator's lifetime.  Counted by the
+        #: drain loops themselves (no obs hook needed), so throughput
+        #: figures can report events/sec on uninstrumented runs.
+        self.events_dispatched: int = 0
         # Observability hub; NULL_OBS.enabled is False, so every hook site
         # reduces to one attribute check when no instrumentation was asked
         # for (the null hub is shared by all uninstrumented simulators).
@@ -59,6 +91,11 @@ class Simulator:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_process
+
+    @property
+    def scheduler(self) -> EventScheduler:
+        """The event-queue backend this simulator dispatches from."""
+        return self._scheduler
 
     # ------------------------------------------------------------------
     # Event factories
@@ -88,14 +125,11 @@ class Simulator:
     # ------------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: bool = False) -> None:
         """Put a triggered event on the queue for processing."""
-        rank = _URGENT if priority else _NORMAL
-        heappush(self._queue, (self._now + delay, rank, next(self._sequence), event))
+        self._push(self._now + delay, _URGENT if priority else _NORMAL, event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
-        if not self._queue:
-            return float("inf")
-        return self._queue[0][0]
+        return self._scheduler.next_time()
 
     def step(self) -> None:
         """Process exactly one event.
@@ -104,12 +138,14 @@ class Simulator:
             SimulationError: If the queue is empty, or an event failed and no
                 process handled (defused) its exception.
         """
-        if not self._queue:
+        entry = self._scheduler.pop()
+        if entry is None:
             raise SimulationError("cannot step an empty event queue")
-        when, _rank, _seq, event = heappop(self._queue)
+        when, event = entry
         if when < self._now:
             raise SimulationError("event scheduled in the past (scheduler bug)")
         self._now = when
+        self.events_dispatched += 1
         if self.obs.enabled:
             self.obs.on_step(event, when)
         callbacks = event.callbacks
@@ -134,18 +170,114 @@ class Simulator:
             The simulated time when the run stopped.
         """
         if until is None:
-            # Inlined step() loop: the drain-the-queue run is the measurement
-            # harness's main loop, and the per-event function-call overhead of
-            # delegating to step() is measurable at millions of events.  The
-            # body below must stay semantically identical to step().
-            queue = self._queue
-            obs = self.obs
-            now = self._now
-            while queue:
-                when, _rank, _seq, event = heappop(queue)
-                if when < now:
+            if self._scheduler.batched:
+                return self._run_batched()
+            return self._run_drain()
+        if until < self._now:
+            raise SimulationError(f"cannot run until {until!r}, already at {self._now!r}")
+        scheduler = self._scheduler
+        step = self.step
+        while True:
+            when = scheduler.next_time()
+            if when == _INF:
+                break
+            if when > until:
+                self._now = until
+                return until
+            step()
+        # The queue drained before reaching ``until``: the clock still
+        # advances to the requested horizon.
+        if until > self._now:
+            self._now = until
+        return self._now
+
+    def _run_batched(self) -> float:
+        """Drain a batched (calendar-queue) scheduler bucket-at-a-time.
+
+        One bucket holds every event of one distinct timestamp; the loop
+        sets ``self._now`` once per bucket and dispatches the whole run
+        without re-entering the scheduler.  The urgent list is re-checked
+        before every dispatch and the list lengths are re-read live, so
+        events scheduled *during* the drain — same-time handoffs, urgent
+        interrupts — are picked up in exactly the ``(when, rank, seq)``
+        order the heap backend would produce.  The body of the dispatch
+        must stay semantically identical to step().
+        """
+        scheduler = self._scheduler
+        obs = self.obs
+        times = scheduler._times
+        buckets = scheduler._buckets
+        dispatched = 0
+        try:
+            while times:
+                when = times[0]
+                if when < self._now:
                     raise SimulationError("event scheduled in the past (scheduler bug)")
-                now = self._now = when
+                self._now = when
+                bucket = buckets[when]
+                urgent = bucket[0]
+                normal = bucket[1]
+                # The cursors live in locals for the drain: callbacks only
+                # ever *append* to the bucket's lists (via push), never touch
+                # the cursors, so the write-back in the finally is the single
+                # point of truth if a dispatch raises mid-bucket.
+                ui = bucket[2]
+                ni = bucket[3]
+                try:
+                    while True:
+                        # Consumed slots are nulled out so event objects are
+                        # freed as they dispatch; a long same-time bucket
+                        # would otherwise pin every event of the burst live
+                        # and stall the cyclic GC on the growing list.
+                        if ui < len(urgent):
+                            event = urgent[ui]
+                            urgent[ui] = None
+                            ui += 1
+                        elif ni < len(normal):
+                            event = normal[ni]
+                            normal[ni] = None
+                            ni += 1
+                        else:
+                            break
+                        if obs.enabled:
+                            obs.on_step(event, when)
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for callback in callbacks:
+                                callback(event)
+                        if event._ok is False and not event._defused:
+                            exc = event._value
+                            raise SimulationError(
+                                f"unhandled failure in simulation: {exc!r}"
+                            ) from exc
+                finally:
+                    dispatched += ui - bucket[2] + ni - bucket[3]
+                    bucket[2] = ui
+                    bucket[3] = ni
+                del buckets[when]
+                heappop(times)
+        finally:
+            self.events_dispatched += dispatched
+        return self._now
+
+    def _run_drain(self) -> float:
+        """Drain a generic scheduler through its pop() interface."""
+        pop = self._scheduler.pop
+        obs = self.obs
+        dispatched = 0
+        try:
+            while True:
+                entry = pop()
+                if entry is None:
+                    break
+                when, event = entry
+                if when < self._now:
+                    raise SimulationError("event scheduled in the past (scheduler bug)")
+                self._now = when
+                dispatched += 1
                 if obs.enabled:
                     obs.on_step(event, when)
                 callbacks = event.callbacks
@@ -160,21 +292,8 @@ class Simulator:
                     raise SimulationError(
                         f"unhandled failure in simulation: {exc!r}"
                     ) from exc
-                now = self._now
-            return self._now
-        if until < self._now:
-            raise SimulationError(f"cannot run until {until!r}, already at {self._now!r}")
-        queue = self._queue
-        step = self.step
-        while queue:
-            if queue[0][0] > until:
-                self._now = until
-                return until
-            step()
-        # The queue drained before reaching ``until``: the clock still
-        # advances to the requested horizon.
-        if until > self._now:
-            self._now = until
+        finally:
+            self.events_dispatched += dispatched
         return self._now
 
     def run_process(self, generator: Generator, name: str = "") -> Any:

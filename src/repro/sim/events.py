@@ -16,7 +16,6 @@ around the ``yield``.
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional, Sequence
 
 from repro.util.errors import SimulationError
@@ -29,7 +28,8 @@ _PENDING = object()
 
 # Queue-entry ranks; the scheduler (repro.sim.core) imports these.  Urgent
 # events (process initialization, interrupts) run before normal events
-# scheduled for the same instant.
+# scheduled for the same instant.  The values double as bucket-list indices
+# in repro.sim.scheduler.CalendarQueue, so they must stay 0 and 1.
 _URGENT = 0
 _NORMAL = 1
 
@@ -91,7 +91,7 @@ class Event:
         # the kernel: every store handoff and resource grant goes through
         # here); equivalent to ``self.sim._schedule(self)``.
         sim = self.sim
-        heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), self))
+        sim._push(sim._now, _NORMAL, self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -106,7 +106,7 @@ class Event:
         self._ok = False
         self._value = exception
         sim = self.sim
-        heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), self))
+        sim._push(sim._now, _NORMAL, self)
         return self
 
     def _add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -138,7 +138,7 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
-        heappush(sim._queue, (sim._now + delay, _NORMAL, next(sim._sequence), self))
+        sim._push(sim._now + delay, _NORMAL, self)
         if sim.obs.enabled:
             sim.obs.on_timeout(self)
 
@@ -243,7 +243,7 @@ class Process(Event):
             sim._active_process = None
             self._ok = True
             self._value = stop.value
-            heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), self))
+            sim._push(sim._now, _NORMAL, self)
             if sim.obs.enabled:
                 sim.obs.on_process_finished(self, ok=True)
             return
@@ -251,7 +251,7 @@ class Process(Event):
             sim._active_process = None
             self._ok = False
             self._value = exc
-            heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), self))
+            sim._push(sim._now, _NORMAL, self)
             if sim.obs.enabled:
                 sim.obs.on_process_finished(self, ok=False)
             return

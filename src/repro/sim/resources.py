@@ -16,7 +16,6 @@ Two primitives cover everything the network and engine models need:
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Deque, List
 
 from repro.sim.events import _NORMAL, _PENDING, Event
@@ -78,6 +77,8 @@ class StorePut(Event):
 class Resource:
     """A device with ``capacity`` identical slots and a FIFO wait queue."""
 
+    __slots__ = ("sim", "capacity", "name", "_users", "_waiting")
+
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
@@ -106,7 +107,7 @@ class Resource:
             req._ok = True
             req._value = req
             sim = self.sim
-            heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), req))
+            sim._push(sim._now, _NORMAL, req)
             if sim.obs.enabled:
                 sim.obs.on_resource_acquire(self, req)
         else:
@@ -136,7 +137,7 @@ class Resource:
             # Inlined nxt.succeed(nxt): hand the slot to the longest waiter.
             nxt._ok = True
             nxt._value = nxt
-            heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), nxt))
+            sim._push(sim._now, _NORMAL, nxt)
             if sim.obs.enabled:
                 sim.obs.on_resource_acquire(self, nxt)
 
@@ -158,6 +159,8 @@ class Resource:
 
 class Store:
     """A bounded FIFO buffer of items shared between processes."""
+
+    __slots__ = ("sim", "capacity", "name", "_items", "_putters", "_getters")
 
     def __init__(self, sim: "Simulator", capacity: float = float("inf"), name: str = ""):
         if capacity < 1:
@@ -188,7 +191,7 @@ class Store:
             # Inlined event.succeed(): room is available right now.
             event._ok = True
             event._value = None
-            heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), event))
+            sim._push(sim._now, _NORMAL, event)
             if self._getters:
                 self._serve_getters()
             if sim.obs.enabled:
@@ -206,7 +209,7 @@ class Store:
             # Inlined event.succeed(item): an item is available right now.
             event._ok = True
             event._value = items.popleft()
-            heappush(sim._queue, (sim._now, _NORMAL, next(sim._sequence), event))
+            sim._push(sim._now, _NORMAL, event)
             if self._putters:
                 self._serve_putters()
             if sim.obs.enabled:

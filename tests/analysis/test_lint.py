@@ -96,9 +96,79 @@ class TestRulesFire:
         assert lint_file(write_hot_file(tmp_path, source)) == []
 
     def test_hot_path_rules_skip_cold_packages(self, tmp_path):
-        # The same violations outside sim/net/engine are not hot-path code.
+        # The same violations outside the hot packages are not hot-path code.
         path = write_hot_file(tmp_path, BAD_SIM_SOURCE, package="obs")
         assert lint_file(path) == []
+
+
+class TestSlotsRuleCoverage:
+    """DET004 covers every sim class and hardware snapshot/template classes."""
+
+    def test_any_sim_class_without_slots_is_flagged(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            class CustomScheduler:
+                def push(self, when, rank, event):
+                    pass
+            """
+        )
+        findings = lint_file(write_hot_file(tmp_path, source))
+        assert [d.code for d in findings] == ["DET004"]
+        assert "CustomScheduler" in findings[0].message
+
+    def test_exception_subclasses_are_exempt(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            class KernelPanic(Exception):
+                pass
+            """
+        )
+        assert lint_file(write_hot_file(tmp_path, source)) == []
+
+    def test_dataclass_slots_true_satisfies_the_rule(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True, slots=True)
+            class StateSnapshot:
+                cursor: int
+            """
+        )
+        path = write_hot_file(tmp_path, source, package="hardware")
+        assert lint_file(path) == []
+
+    def test_hardware_snapshot_and_template_need_slots(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            class TopoSnapshot:
+                pass
+
+            class GridTemplate:
+                pass
+
+            class HelperThing:
+                pass
+            """
+        )
+        path = write_hot_file(tmp_path, source, package="hardware")
+        findings = lint_file(path)
+        assert [d.code for d in findings] == ["DET004", "DET004"]
+        flagged = {d.message.split(" has no ")[0] for d in findings}
+        assert flagged == {
+            "fork-lifecycle class TopoSnapshot",
+            "fork-lifecycle class GridTemplate",
+        }
+
+    def test_obs_guard_rule_applies_in_hardware(self, tmp_path):
+        source = textwrap.dedent(
+            """
+            def restore(self, obs, snapshot):
+                obs.on_restore(snapshot)
+            """
+        )
+        path = write_hot_file(tmp_path, source, package="hardware")
+        assert [d.code for d in lint_file(path)] == ["DET005"]
 
 
 class TestSuppressions:

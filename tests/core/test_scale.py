@@ -1,0 +1,86 @@
+"""Smoke tests of the scale figure (tiny shapes; the real run is BENCH)."""
+
+import pytest
+
+from repro.core.experiments.scale import (
+    ScaleResult,
+    _scaled_defaults,
+    run_scale,
+    scale_stream_query,
+)
+from repro.scsql.plan import compile_plan
+
+
+class TestScaledDefaults:
+    def test_full_shape_gets_the_headline_workload(self):
+        assert _scaled_defaults((16, 16, 16)) == (4096, 1024)
+
+    def test_smoke_shape_scales_down_with_the_node_count(self):
+        streams, queries = _scaled_defaults((8, 8, 8))
+        assert streams == 512
+        assert queries == 128
+
+    def test_tiny_shape_keeps_a_concurrency_floor(self):
+        streams, queries = _scaled_defaults((4, 4, 2))
+        assert streams == 256
+        assert queries == 16
+
+
+class TestScaleQuery:
+    def test_query_compiles_and_is_index_free(self):
+        text = scale_stream_query(1000, 2)
+        assert "'bg'" in text
+        assert "0" not in text.split("gen_array")[0]  # no node indices
+        plan = compile_plan(text)
+        assert plan is not None
+
+
+class TestRunScale:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # One shared tiny run: 4x4x2 torus, a handful of streams/queries.
+        return run_scale(
+            shape=(4, 4, 2), streams=32, ticks=5, queries=4,
+            kernel_repeats=1,
+        )
+
+    def test_result_shape_and_counts(self, result):
+        assert isinstance(result, ScaleResult)
+        assert result.shape == (4, 4, 2)
+        assert result.kernel_streams == 32
+        assert result.kernel_events == 32 * 5
+        assert result.mqs_queries == 4
+        assert result.kernel_events_per_sec > 0
+        assert result.mqs_mbps > 0
+
+    def test_metrics_names_and_figure(self, result):
+        assert result.figure == "scale[torus=4x4x2]"
+        metrics = result.metrics()
+        assert set(metrics) == {
+            "scale[torus=4x4x2]/events_per_sec",
+            "scale[torus=4x4x2]/wall_s",
+            "scale[torus=4x4x2]/mqs_mbps",
+        }
+        assert metrics["scale[torus=4x4x2]/wall_s"] == pytest.approx(
+            result.kernel_wall_s + result.mqs_wall_s
+        )
+
+    def test_route_memo_stayed_bounded(self, result):
+        assert result.route_entries <= 16_384
+        assert result.route_memo_bytes < 32 * 1024 * 1024
+
+    def test_table_mentions_the_workload(self, result):
+        table = result.format_table()
+        assert "4x4x2 torus" in table
+        assert "32 compute nodes" in table
+        assert "route memo" in table
+
+    def test_simulated_portion_is_deterministic(self):
+        """Same seed, same shape: the MQS bandwidth is bit-identical."""
+        kwargs = dict(
+            shape=(4, 4, 2), streams=8, ticks=2, queries=3, kernel_repeats=1
+        )
+        first = run_scale(**kwargs)
+        second = run_scale(**kwargs)
+        assert first.mqs_mbps == second.mqs_mbps
+        assert first.mqs_events == second.mqs_events

@@ -98,6 +98,43 @@ class TestRouteTable:
         assert one.routes is two.routes is table
 
 
+class TestRouteTableBound:
+    def _table(self, max_entries):
+        machine = BlueGene(BlueGeneConfig(torus_shape=(4, 4, 2), pset_size=8))
+        return RouteTable(machine, max_entries=max_entries)
+
+    def test_memo_never_exceeds_its_bound(self):
+        table = self._table(max_entries=8)
+        for dst in range(20):
+            table.route(0, dst)
+            assert len(table) <= 8
+        assert len(table) == 8
+
+    def test_eviction_is_fifo(self):
+        table = self._table(max_entries=2)
+        table.route(0, 1)
+        table.route(0, 2)
+        table.route(0, 3)  # evicts (0, 1), the oldest insertion
+        assert set(table._routes) == {(0, 2), (0, 3)}
+
+    def test_evicted_route_recomputes_identically(self):
+        table = self._table(max_entries=1)
+        first = list(table.route(0, 5))
+        table.route(0, 6)  # evicts (0, 5)
+        assert table.route(0, 5) == first
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(NetworkError):
+            self._table(max_entries=0)
+
+    def test_approx_bytes_tracks_occupancy(self):
+        table = self._table(max_entries=64)
+        empty = table.approx_bytes()
+        for dst in range(16):
+            table.route(0, dst)
+        assert table.approx_bytes() > empty
+
+
 class TestTransfer:
     def _transfer(self, torus, sim, src, dst, buffers, nbytes=1000, slots=4):
         inbox = Store(sim, capacity=slots)

@@ -1,0 +1,290 @@
+"""Scheduler backends: the calendar queue pops in exact heap order.
+
+The kernel's contract is the total order ``(when, rank, seq)``.  The
+:class:`~repro.sim.scheduler.HeapScheduler` implements it literally (a
+binary heap over those tuples), so it serves as the executable spec: the
+property suite below drives both backends through adversarial schedules —
+same-timestamp bursts, urgent/normal mixes, ``0.0``/``-0.0`` aliasing,
+interleaved pushes and pops — and requires bit-identical pop sequences.
+A second layer proves the same at the simulator level: full workloads
+(timeout chains, interrupts, resource contention, store handoffs) must
+produce identical event traces on either backend.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    DEFAULT_SCHEDULER,
+    SCHEDULERS,
+    CalendarQueue,
+    EventScheduler,
+    HeapScheduler,
+    Interrupt,
+    Resource,
+    Simulator,
+    Store,
+    make_scheduler,
+)
+from repro.util.errors import SimulationError
+
+_INF = float("inf")
+
+#: A small pool of timestamps so bursts (many events at one instant) are
+#: the common case, exactly the collision-heavy shape the calendar queue
+#: optimizes for.  ``0.0``/``-0.0`` compare and hash equal but print
+#: differently — both backends must treat them as one instant.
+_TIME_POOL = [0.0, -0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 10.0, 1e-9, 1e9]
+
+_pushes = st.lists(
+    st.tuples(
+        st.one_of(
+            st.sampled_from(_TIME_POOL),
+            st.floats(min_value=-1e6, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        st.integers(0, 1),  # rank: _URGENT=0 / _NORMAL=1
+    ),
+    max_size=200,
+)
+
+
+def _drain(scheduler):
+    order = []
+    while True:
+        item = scheduler.pop()
+        if item is None:
+            return order
+        order.append(item)
+
+
+class TestPopOrderEquivalence:
+    @given(pushes=_pushes)
+    @settings(max_examples=200, deadline=None)
+    def test_full_drain_matches_heap(self, pushes):
+        heap, calendar = HeapScheduler(), CalendarQueue()
+        for token, (when, rank) in enumerate(pushes):
+            heap.push(when, rank, token)
+            calendar.push(when, rank, token)
+        assert _drain(calendar) == _drain(heap)
+
+    @given(
+        pushes=_pushes,
+        pop_gaps=st.lists(st.integers(0, 4), max_size=200),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_interleaved_push_pop_matches_heap(self, pushes, pop_gaps):
+        """Pops interleaved between pushes agree at every step.
+
+        ``pop_gaps[i]`` pops up to that many events right after push ``i``
+        — covering buckets that are consumed, deleted, and then repopulated
+        at the same timestamp.
+        """
+        heap, calendar = HeapScheduler(), CalendarQueue()
+        gaps = iter(pop_gaps)
+        for token, (when, rank) in enumerate(pushes):
+            heap.push(when, rank, token)
+            calendar.push(when, rank, token)
+            for _ in range(next(gaps, 0)):
+                assert calendar.pop() == heap.pop()
+                assert calendar.next_time() == heap.next_time()
+        assert _drain(calendar) == _drain(heap)
+
+    @given(pushes=_pushes)
+    @settings(max_examples=100, deadline=None)
+    def test_len_and_next_time_agree(self, pushes):
+        heap, calendar = HeapScheduler(), CalendarQueue()
+        for token, (when, rank) in enumerate(pushes):
+            heap.push(when, rank, token)
+            calendar.push(when, rank, token)
+            assert len(calendar) == len(heap)
+            assert calendar.next_time() == heap.next_time()
+            assert bool(calendar) == bool(heap)
+
+    def test_negative_zero_shares_the_zero_bucket(self):
+        """-0.0 and 0.0 are one instant: insertion order alone breaks ties."""
+        heap, calendar = HeapScheduler(), CalendarQueue()
+        for token, when in enumerate([0.0, -0.0, 0.0, -0.0]):
+            heap.push(when, 1, token)
+            calendar.push(when, 1, token)
+        assert [t for _, t in _drain(calendar)] == [0, 1, 2, 3]
+        assert [t for _, t in _drain(heap)] == [0, 1, 2, 3]
+
+    def test_urgent_overtakes_normal_within_an_instant(self):
+        calendar = CalendarQueue()
+        calendar.push(1.0, 1, "normal-a")
+        calendar.push(1.0, 0, "urgent")
+        calendar.push(1.0, 1, "normal-b")
+        assert [e for _, e in _drain(calendar)] == [
+            "urgent", "normal-a", "normal-b"
+        ]
+
+
+class TestSchedulerBasics:
+    @pytest.mark.parametrize("name", sorted(SCHEDULERS))
+    def test_empty_scheduler_contract(self, name):
+        scheduler = make_scheduler(name)
+        assert scheduler.pop() is None
+        assert scheduler.next_time() == _INF
+        assert len(scheduler) == 0
+        assert not scheduler
+
+    def test_make_scheduler_resolves_names_default_and_instances(self):
+        assert isinstance(make_scheduler("heap"), HeapScheduler)
+        assert isinstance(make_scheduler("calendar"), CalendarQueue)
+        assert isinstance(make_scheduler(None), SCHEDULERS[DEFAULT_SCHEDULER])
+        ready = CalendarQueue()
+        assert make_scheduler(ready) is ready
+
+    def test_make_scheduler_rejects_unknown_specs(self):
+        with pytest.raises(SimulationError, match="unknown scheduler"):
+            make_scheduler("fibonacci")
+        with pytest.raises(SimulationError, match="unknown scheduler"):
+            make_scheduler(42)
+
+    def test_only_the_calendar_is_batched(self):
+        assert CalendarQueue.batched
+        assert not HeapScheduler.batched
+        assert not EventScheduler.batched
+
+    def test_simulator_exposes_its_scheduler(self):
+        sim = Simulator(scheduler="heap")
+        assert isinstance(sim.scheduler, HeapScheduler)
+        assert isinstance(Simulator().scheduler, SCHEDULERS[DEFAULT_SCHEDULER])
+
+
+def _run_traced(scheduler_name, workload):
+    """Run ``workload(sim, trace)`` to completion; return the trace."""
+    sim = Simulator(scheduler=scheduler_name)
+    trace = []
+    workload(sim, trace)
+    sim.run()
+    return trace
+
+
+def _assert_backends_agree(workload):
+    traces = {
+        name: _run_traced(name, workload) for name in sorted(SCHEDULERS)
+    }
+    reference = traces.pop("calendar")
+    for name, trace in traces.items():
+        assert trace == reference, f"{name} diverged from calendar"
+    assert reference, "workload produced an empty trace"
+    return reference
+
+
+class TestSimulatorTraceEquivalence:
+    @given(
+        delays=st.lists(
+            st.sampled_from([0.0, 0.25, 0.5, 1.0, 1.0, 2.0]),
+            min_size=1, max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_timeout_bursts(self, delays):
+        def workload(sim, trace):
+            def waiter(index, delay):
+                yield sim.timeout(delay)
+                trace.append(("woke", index, sim.now))
+
+            for index, delay in enumerate(delays):
+                sim.process(waiter(index, delay))
+
+        _assert_backends_agree(workload)
+
+    @given(
+        holds=st.lists(
+            st.sampled_from([0.0, 0.5, 1.0]), min_size=2, max_size=20
+        ),
+        capacity=st.integers(1, 3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_resource_contention(self, holds, capacity):
+        def workload(sim, trace):
+            resource = Resource(sim, capacity=capacity)
+
+            def user(index, hold):
+                with resource.request() as req:
+                    yield req
+                    trace.append(("acquired", index, sim.now))
+                    yield sim.timeout(hold)
+                trace.append(("released", index, sim.now))
+
+            for index, hold in enumerate(holds):
+                sim.process(user(index, hold))
+
+        _assert_backends_agree(workload)
+
+    @given(items=st.lists(st.integers(), min_size=1, max_size=30),
+           capacity=st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_store_handoffs(self, items, capacity):
+        def workload(sim, trace):
+            store = Store(sim, capacity=capacity)
+
+            def producer():
+                for item in items:
+                    yield store.put(item)
+                    trace.append(("put", item, sim.now))
+
+            def consumer():
+                for _ in items:
+                    item = yield store.get()
+                    trace.append(("got", item, sim.now))
+
+            sim.process(producer())
+            sim.process(consumer())
+
+        _assert_backends_agree(workload)
+
+    def test_interrupt_mid_wait(self):
+        def workload(sim, trace):
+            def sleeper():
+                try:
+                    yield sim.timeout(10.0)
+                    trace.append(("slept", sim.now))
+                except Interrupt as interrupt:
+                    trace.append(("interrupted", interrupt.cause, sim.now))
+
+            def interrupter(victim):
+                yield sim.timeout(3.0)
+                victim.interrupt("wake up")
+
+            victim = sim.process(sleeper())
+            sim.process(interrupter(victim))
+
+        trace = _assert_backends_agree(workload)
+        assert trace == [("interrupted", "wake up", 3.0)]
+
+    def test_until_cutoff_agrees(self):
+        for name in sorted(SCHEDULERS):
+            sim = Simulator(scheduler=name)
+            fired = []
+
+            def waiter(delay):
+                yield sim.timeout(delay)
+                fired.append(sim.now)
+
+            for delay in (1.0, 2.0, 3.0, 4.0):
+                sim.process(waiter(delay))
+            sim.run(until=2.5)
+            assert sim.now == 2.5
+            assert fired == [1.0, 2.0], name
+
+    def test_events_dispatched_counts_agree(self):
+        counts = {}
+        for name in sorted(SCHEDULERS):
+            sim = Simulator(scheduler=name)
+
+            def chain(n):
+                for _ in range(n):
+                    yield sim.timeout(1.0)
+
+            sim.process(chain(10))
+            sim.process(chain(10))
+            sim.run()
+            counts[name] = sim.events_dispatched
+        assert len(set(counts.values())) == 1, counts
