@@ -443,12 +443,18 @@ def _bench(args) -> int:
         )
 
         scale = SMOKE_SCALE if args.smoke else DEFAULT_SCALE
+        detector_kwargs = _detector_kwargs(args)
+        if detector_kwargs and live_window is None:
+            print("bench: --detect-* flags need --live-out/--live-window",
+                  file=sys.stderr)
+            return 2
         if args.mode == "power":
             if args.fault:
                 print("bench: --fault needs --mode throughput", file=sys.stderr)
                 return 2
             report = run_power_mode(
-                scale=scale, seed=args.seed, live_window=live_window
+                scale=scale, seed=args.seed, live_window=live_window,
+                detector_kwargs=detector_kwargs,
             )
         elif args.fault:
             if live_window is not None:
@@ -470,6 +476,7 @@ def _bench(args) -> int:
                 seed=args.seed,
                 rounds=1 if args.smoke else None,
                 live_window=live_window,
+                detector_kwargs=detector_kwargs,
             )
         print(report.describe())
         metrics = report.metrics
@@ -523,6 +530,32 @@ def _bench(args) -> int:
     return 1 if failed else 0
 
 
+def _adaptive(args) -> int:
+    from repro.core.experiments.adaptive import (
+        ADAPTIVE_POINTS,
+        run_adaptive_point,
+        write_health_events,
+    )
+    from repro.obs.live import DEFAULT_WINDOW
+
+    if args.point not in ADAPTIVE_POINTS:
+        print(f"adaptive: unknown point {args.point!r} "
+              f"(known: {', '.join(ADAPTIVE_POINTS)})", file=sys.stderr)
+        return 2
+    comparison = run_adaptive_point(
+        args.point,
+        seed=args.seed,
+        smoke=args.smoke,
+        window=args.window if args.window is not None else DEFAULT_WINDOW,
+        detector_kwargs=_detector_kwargs(args),
+    )
+    print(comparison.format_table())
+    if args.events_out:
+        count = write_health_events(args.events_out, comparison.adaptive)
+        print(f"health: {count} events -> {args.events_out}")
+    return 0
+
+
 #: Short aliases for the ``top`` sample points (full bench names work too).
 _TOP_ALIASES = {
     "fig6": "fig6[B=100000,double]",
@@ -567,8 +600,15 @@ def _top(args) -> int:
               f"(simulated), seed {args.seed}")
         print(LIVE_HEADER)
         print("-" * len(LIVE_HEADER))
+    detector_kwargs = _detector_kwargs(args)
+    detector = None
+    if detector_kwargs:
+        from repro.obs.health import ContinuousBottleneckDetector
+
+        detector = ContinuousBottleneckDetector(**detector_kwargs)
     sampler = LiveSampler(
         window=window,
+        detector=detector,
         on_window=(lambda window: print(live_row(window))) if streaming else None,
     )
     config = EnvironmentConfig().with_seed(args.seed)
@@ -600,6 +640,46 @@ def _top(args) -> int:
                 fh.write(exposition)
             print(f"prom: exposition snapshot -> {args.prom}")
     return 0
+
+
+def _add_detector_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "detector hysteresis",
+        "thresholds of the continuous bottleneck detector watching the "
+        "live windows (defaults in repro.obs.health)",
+    )
+    group.add_argument(
+        "--detect-high", type=float, default=None, metavar="FRAC",
+        help="utilization fraction at or above which a resource counts "
+             "as saturated (default 0.85)",
+    )
+    group.add_argument(
+        "--detect-low", type=float, default=None, metavar="FRAC",
+        help="utilization fraction at or below which a saturated resource "
+             "counts as recovered (default 0.60)",
+    )
+    group.add_argument(
+        "--detect-up-windows", type=int, default=None, metavar="N",
+        help="consecutive hot windows before a saturation event fires "
+             "(default 2)",
+    )
+    group.add_argument(
+        "--detect-down-windows", type=int, default=None, metavar="N",
+        help="consecutive cool windows before a recovery event fires "
+             "(default 2)",
+    )
+
+
+def _detector_kwargs(args) -> Optional[dict]:
+    """The detector overrides actually passed, or None for stock."""
+    mapping = {
+        "high": args.detect_high,
+        "low": args.detect_low,
+        "up_windows": args.detect_up_windows,
+        "down_windows": args.detect_down_windows,
+    }
+    kwargs = {name: value for name, value in mapping.items() if value is not None}
+    return kwargs or None
 
 
 def _add_live_flags(parser: argparse.ArgumentParser) -> None:
@@ -700,10 +780,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b.add_argument(
         "--fault", metavar="SCENARIO", default=None,
-        choices=("kill-node", "kill-io-node", "degrade-link", "degrade-uplink"),
+        choices=("kill-node", "kill-io-node", "degrade-link", "degrade-uplink",
+                 "correlated", "flapping"),
         help="inject a mid-run failure into the throughput run and report "
              "recovery time and bandwidth dip (kill-node, kill-io-node, "
-             "degrade-link, degrade-uplink)",
+             "degrade-link, degrade-uplink, or the composites: correlated "
+             "= node death plus uplink degradation in one window, flapping "
+             "= transient uplink degrade/restore cycles)",
     )
     b.add_argument(
         "--seed", type=int, default=0,
@@ -717,8 +800,8 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument(
         "--only", action="append", metavar="FIGURE", default=None,
         help="restrict a gate run to one figure subset (repeatable: "
-             "fig6, fig8, fig15, scale); a --baseline comparison is then "
-             "subset to the same figures",
+             "fig6, fig8, fig15, scale, adaptive); a --baseline comparison "
+             "is then subset to the same figures",
     )
     b.add_argument(
         "--scale-shape", metavar="XxYxZ", default=None,
@@ -732,7 +815,34 @@ def build_parser() -> argparse.ArgumentParser:
              "whose reduced shape has no committed baseline metric",
     )
     _add_live_flags(b)
+    _add_detector_flags(b)
     b.set_defaults(func=_bench)
+    a = sub.add_parser(
+        "adaptive",
+        help="adaptive runtime: compare a static placement against "
+             "measurement-driven live migration on one regression point",
+    )
+    a.add_argument(
+        "--point", default="fig15", metavar="NAME",
+        help="regression point to run: fig15 (concurrent-CQ contention "
+             "funnel, default) or fig8 (merge through a busy intermediate)",
+    )
+    a.add_argument("--seed", type=int, default=0, help="environment seed")
+    a.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke scale: reduced payloads, same control loop",
+    )
+    a.add_argument(
+        "--window", type=float, default=None, metavar="SECS",
+        help="live sampling window in simulated seconds (default 0.002)",
+    )
+    a.add_argument(
+        "--events-out", metavar="PATH", default=None,
+        help="write the adaptive run's health events as JSON-lines "
+             "(the CI smoke job uploads this artifact)",
+    )
+    _add_detector_flags(a)
+    a.set_defaults(func=_adaptive)
     t = sub.add_parser(
         "top",
         help="live telemetry viewer: stream per-window utilization and "
@@ -762,6 +872,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Prometheus-style text exposition snapshot "
              "('-' prints to stdout)",
     )
+    _add_detector_flags(t)
     t.set_defaults(func=_top)
     q = sub.add_parser("query", help="execute one SCSQL statement")
     q.add_argument("text", help="the SCSQL statement")

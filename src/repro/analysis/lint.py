@@ -51,6 +51,12 @@ __all__ = ["LintRule", "RULES", "lint_file", "lint_paths", "main"]
 #: snapshot/fork lifecycle made topology state part of the kernel proper.
 HOT_PACKAGES = ("sim", "net", "engine", "hardware")
 
+#: Individual modules outside the hot packages that sit on the
+#: simulation's decision path and must obey the same determinism rules.
+#: The adaptive controller steps the simulator and picks migration
+#: victims — any nondeterminism there reorders every event after it.
+HOT_MODULES = (("core", "adaptive.py"),)
+
 #: Wall-clock attribute calls banned in hot packages (DET001).
 WALL_CLOCK_CALLS = {
     ("time", "time"),
@@ -121,7 +127,9 @@ class LintRule:
         if "repro" not in parts:
             return False
         rest = parts[parts.index("repro") + 1:]
-        return bool(rest) and rest[0] in HOT_PACKAGES
+        if not rest:
+            return False
+        return rest[0] in HOT_PACKAGES or tuple(rest) in HOT_MODULES
 
 
 class WallClockRule(LintRule):
@@ -373,7 +381,9 @@ def lint_file(path: Path, rules: Sequence[LintRule] = RULES) -> List[Diagnostic]
 def _default_paths() -> List[Path]:
     """The hot packages of the source tree this module belongs to."""
     src = Path(__file__).resolve().parent.parent
-    return [src / package for package in HOT_PACKAGES]
+    paths = [src / package for package in HOT_PACKAGES]
+    paths.extend(src.joinpath(*module) for module in HOT_MODULES)
+    return [path for path in paths if path.exists()]
 
 
 def lint_paths(paths: Sequence[Path]) -> List[Diagnostic]:

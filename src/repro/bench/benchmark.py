@@ -47,6 +47,7 @@ from repro.core.multiquery import MultiQuerySession
 from repro.engine.settings import ExecutionSettings
 from repro.hardware.environment import Environment, EnvironmentConfig, shared_template
 from repro.obs.instrument import Instrumentation
+from repro.obs.health import ContinuousBottleneckDetector
 from repro.obs.live import LiveSampler
 from repro.obs.tracer import NULL_TRACER
 from repro.scsql.plan import compile_plan
@@ -84,12 +85,17 @@ def _fresh_env(
     config: EnvironmentConfig,
     seed: int,
     live_window: Optional[float] = None,
+    detector_kwargs: Optional[Dict[str, object]] = None,
 ) -> "tuple[Environment, Optional[LiveSampler]]":
     seeded = config.with_seed(seed)
     sampler: Optional[LiveSampler] = None
     obs = None
     if live_window is not None:
-        sampler = LiveSampler(window=live_window)
+        detector = (
+            ContinuousBottleneckDetector(**detector_kwargs)
+            if detector_kwargs else None
+        )
+        sampler = LiveSampler(window=live_window, detector=detector)
         obs = Instrumentation(tracer=NULL_TRACER, live=sampler)
     env = shared_template(seeded).fork(seed=seeded.seed, obs=obs)
     return env, sampler
@@ -104,6 +110,7 @@ def run_power_mode(
     env_config: EnvironmentConfig = EnvironmentConfig(),
     settings: Optional[ExecutionSettings] = None,
     live_window: Optional[float] = None,
+    detector_kwargs: Optional[Dict[str, object]] = None,
 ) -> BenchReport:
     """Stream 0 runs the deck serially; per-query latency is the metric.
 
@@ -111,6 +118,9 @@ def run_power_mode(
     fresh :class:`~repro.obs.live.LiveSampler` and collects the windowed
     p50/p95/p99 series into ``report.series`` keyed by the query tag; the
     gated scalar metrics are unchanged by the instrumentation.
+    ``detector_kwargs`` forwards hysteresis thresholds (``high``/``low``/
+    ``up_windows``/``down_windows``/``stall_windows``) to each sampler's
+    bottleneck detector.
     """
     metrics: Dict[str, float] = {}
     series: Dict[str, dict] = {}
@@ -120,7 +130,8 @@ def run_power_mode(
         query = build_query(kind, 0, scale, seed)
         plan = compile_plan(query.query, settings=settings)
         with registered([query]):
-            env, sampler = _fresh_env(env_config, seed, live_window)
+            env, sampler = _fresh_env(env_config, seed, live_window,
+                                      detector_kwargs)
             report = Deployer(env).run(plan, settings=settings)
         _check_result(query, report.result, "power mode")
         if sampler is not None:
@@ -152,6 +163,7 @@ def run_throughput_mode(
     rounds: Optional[int] = None,
     with_solo: bool = True,
     live_window: Optional[float] = None,
+    detector_kwargs: Optional[Dict[str, object]] = None,
 ) -> BenchReport:
     """N interleaved streams; per-stream bandwidth and interference ratios.
 
@@ -183,7 +195,8 @@ def run_throughput_mode(
         ]
         plans = [compile_plan(q.query, settings=settings) for q in queries]
         with registered(queries):
-            env, sampler = _fresh_env(env_config, seed, live_window)
+            env, sampler = _fresh_env(env_config, seed, live_window,
+                                      detector_kwargs)
             session = MultiQuerySession(env, settings, verify="warn")
             for query, plan in zip(queries, plans):
                 session.submit(plan, query.payload_bytes, label=f"s{query.stream_id}")

@@ -73,8 +73,23 @@ SCENARIOS: Tuple[str, ...] = (
     "degrade-uplink",
 )
 
+#: Repair events: undo an earlier degradation (nothing to replan).
+RESTORE_SCENARIOS: Tuple[str, ...] = (
+    "restore-link",
+    "restore-uplink",
+)
+
+#: Benchmark-facing composite scenarios built from several events.
+COMPOSITE_SCENARIOS: Tuple[str, ...] = (
+    "correlated",
+    "flapping",
+)
+
 #: Default slowdown factor of the degradation scenarios.
 DEFAULT_DEGRADE_FACTOR = 8.0
+
+#: Degrade/restore cycles of the transient-flapping composite.
+FLAPPING_CYCLES = 3
 
 
 @dataclass(frozen=True)
@@ -89,18 +104,23 @@ class FaultEvent:
             (the default) lets the schedule's seeded RNG pick among the
             nodes that actually host running processes at fault time.
         factor: Slowdown multiplier of the degradation scenarios.
+        replan: Whether victim streams are torn down and redeployed.
+            ``False`` models a *transient* fault the session rides out in
+            place (the flapping composite); :data:`RESTORE_SCENARIOS`
+            events never replan regardless.
     """
 
     time: float
     scenario: str
     target: Optional[int] = None
     factor: float = DEFAULT_DEGRADE_FACTOR
+    replan: bool = True
 
     def __post_init__(self):
-        if self.scenario not in SCENARIOS:
+        if self.scenario not in SCENARIOS + RESTORE_SCENARIOS:
             raise QueryExecutionError(
                 f"unknown fault scenario {self.scenario!r}; "
-                f"expected one of {SCENARIOS}"
+                f"expected one of {SCENARIOS + RESTORE_SCENARIOS}"
             )
         if self.time < 0.0:
             raise QueryExecutionError(
@@ -148,6 +168,62 @@ class FaultSchedule:
             seed=seed,
         )
 
+    @staticmethod
+    def correlated(
+        at_time: float,
+        seed: int = 0,
+        target: Optional[int] = None,
+        factor: float = DEFAULT_DEGRADE_FACTOR,
+    ) -> "FaultSchedule":
+        """A correlated multi-fault: node death *and* uplink degradation.
+
+        Both strike in the same instant — the realistic cascade where a
+        rack event takes a compute node down and saturates the shared
+        ingress at once.  The victim must replan around the dead node
+        while every stream rides the slowed uplink.
+        """
+        return FaultSchedule(
+            events=(
+                FaultEvent(at_time, "kill-node", target=target),
+                FaultEvent(at_time, "degrade-uplink", factor=factor),
+            ),
+            seed=seed,
+        )
+
+    @staticmethod
+    def flapping(
+        at_time: float,
+        period: float,
+        cycles: int = FLAPPING_CYCLES,
+        seed: int = 0,
+        factor: float = DEFAULT_DEGRADE_FACTOR,
+    ) -> "FaultSchedule":
+        """A transiently flapping uplink: degrade/restore every half period.
+
+        No event replans — the streams ride each dip out in place, which
+        is exactly what the health detector's hysteresis should absorb
+        (``degraded`` on each dip, ``recovered`` after each restore,
+        never a spurious replacement).
+        """
+        if period <= 0.0:
+            raise QueryExecutionError(
+                f"flapping period must be > 0, got {period}"
+            )
+        if cycles < 1:
+            raise QueryExecutionError(
+                f"flapping needs at least one cycle, got {cycles}"
+            )
+        events: List[FaultEvent] = []
+        for cycle in range(cycles):
+            start = at_time + cycle * period
+            events.append(FaultEvent(
+                start, "degrade-uplink", factor=factor, replan=False,
+            ))
+            events.append(FaultEvent(
+                start + period / 2.0, "restore-uplink", replan=False,
+            ))
+        return FaultSchedule(events=tuple(events), seed=seed)
+
 
 @dataclass
 class StreamState:
@@ -186,6 +262,9 @@ class FaultedRunResult:
 
     degraded: List[str] = field(default_factory=list)
     """Human-readable descriptions of degraded links/uplinks."""
+
+    restored: List[str] = field(default_factory=list)
+    """Human-readable descriptions of repaired links/uplinks."""
 
     replacements: List[str] = field(default_factory=list)
     """RP prefixes of the replacement deployments, e.g. ``"s0+r1/"``."""
@@ -309,10 +388,17 @@ def run_faulted_session(
 
     failed_nodes: List[str] = []
     degraded: List[str] = []
+    restored: List[str] = []
+    degraded_links: List[Tuple[int, int]] = []
     replacements: List[str] = []
     for event in schedule.events:
         env.sim.run(until=event.time)
-        victims = _apply_event(env, event, states, rng, failed_nodes, degraded)
+        victims = _apply_event(
+            env, event, states, rng, failed_nodes, degraded, restored,
+            degraded_links,
+        )
+        if not event.replan:
+            continue  # a transient: the streams ride it out in place
         for state in victims:
             deployer.teardown(state.final)
             placed = deployer.place(state.plan, strategy, settings)
@@ -339,6 +425,7 @@ def run_faulted_session(
         fault_time=schedule.events[0].time if schedule.events else None,
         failed_nodes=failed_nodes,
         degraded=degraded,
+        restored=restored,
         replacements=replacements,
         flow_records=list(env.obs.flows.completed),
     )
@@ -359,8 +446,22 @@ def _apply_event(
     rng: random.Random,
     failed_nodes: List[str],
     degraded: List[str],
+    restored: List[str],
+    degraded_links: List[Tuple[int, int]],
 ) -> List[StreamState]:
-    """Damage the hardware; return the streams that must be replanned."""
+    """Damage (or repair) the hardware; return the streams to replan."""
+    if event.scenario == "restore-link":
+        while degraded_links:
+            a, b = degraded_links.pop()
+            env.torus.restore_link(a, b)
+            restored.append(f"torus {a}<->{b} restored")
+        return []
+
+    if event.scenario == "restore-uplink":
+        env.fabric.restore_uplink()
+        restored.append("eth uplink restored")
+        return []
+
     occupied = _occupied_bg_nodes(states)
     if event.scenario == "kill-node":
         candidates = sorted(occupied)
@@ -408,6 +509,7 @@ def _apply_event(
         path = env.torus.routes.route(src, dst)
         for a, b in zip(path, path[1:]):
             env.torus.degrade_link(a, b, event.factor)
+            degraded_links.append((a, b))
             degraded.append(f"torus {a}<->{b} x{event.factor:g}")
             _notify_failure(env, f"torus[{a}<->{b}]", "link",
                             f"degraded x{event.factor:g}")
@@ -454,10 +556,10 @@ class FaultTask:
             raise QueryExecutionError(
                 f"at_fraction must be in (0, 1), got {self.at_fraction}"
             )
-        if self.scenario not in SCENARIOS:
+        if self.scenario not in SCENARIOS + COMPOSITE_SCENARIOS:
             raise QueryExecutionError(
                 f"unknown fault scenario {self.scenario!r}; "
-                f"expected one of {SCENARIOS}"
+                f"expected one of {SCENARIOS + COMPOSITE_SCENARIOS}"
             )
 
 
@@ -483,6 +585,7 @@ class FaultOutcome:
     replacements: List[str]
     results_ok: bool
     flow_records: List[FlowRecord] = field(default_factory=list)
+    restored: List[str] = field(default_factory=list)
 
     @property
     def bandwidth_dip(self) -> float:
@@ -520,10 +623,24 @@ def run_fault_task(task: FaultTask) -> FaultOutcome:
             healthy_env, queries, FaultSchedule(), settings=task.settings
         )
         fault_time = task.at_fraction * healthy.makespan
-        schedule = FaultSchedule.single(
-            task.scenario, fault_time, seed=task.seed,
-            target=task.target, factor=task.factor,
-        )
+        if task.scenario == "correlated":
+            schedule = FaultSchedule.correlated(
+                fault_time, seed=task.seed,
+                target=task.target, factor=task.factor,
+            )
+        elif task.scenario == "flapping":
+            # Spread the degrade/restore cycles over the remaining healthy
+            # runtime — a pure function of the healthy makespan, so every
+            # worker derives the identical schedule.
+            period = (healthy.makespan - fault_time) / FLAPPING_CYCLES
+            schedule = FaultSchedule.flapping(
+                fault_time, period, seed=task.seed, factor=task.factor,
+            )
+        else:
+            schedule = FaultSchedule.single(
+                task.scenario, fault_time, seed=task.seed,
+                target=task.target, factor=task.factor,
+            )
         faulted_env = shared_template(config).fork(
             seed=config.seed, obs=Instrumentation(tracer=NULL_TRACER),
         )
@@ -558,4 +675,5 @@ def run_fault_task(task: FaultTask) -> FaultOutcome:
         replacements=faulted.replacements,
         results_ok=results_ok,
         flow_records=faulted.flow_records,
+        restored=faulted.restored,
     )

@@ -62,6 +62,36 @@ ROOT_RP_ID = "__client_manager__"
 
 
 @dataclass
+class MigrationRecord:
+    """The audit trail of one live migration attempt.
+
+    Attributes:
+        sp_id: The migrated stream process (unprefixed id).
+        source: Node id the SP ran on before the migration.
+        target: Node id the optimizer chose (where the SP runs after a
+            successful migration; a rolled-back attempt stays on ``source``).
+        rp_prefix: Prefix of the new deployment generation (``"<label>+gN/"``).
+        time: Simulated second the migration was initiated.
+        ok: True when the migrated plan passed verification and deployed.
+        rolled_back: True when verification rejected the move and the
+            deployment was restored at its original placement.
+        detail: Human-readable outcome (the verifier's complaint on rollback).
+        snapshot: Live operator state captured just before the old
+            generation was quiesced (:meth:`Deployment.snapshot_state`).
+    """
+
+    sp_id: str
+    source: str
+    target: str
+    rp_prefix: str
+    time: float
+    ok: bool
+    rolled_back: bool = False
+    detail: str = ""
+    snapshot: Dict[str, dict] = field(default_factory=dict)
+
+
+@dataclass
 class ExecutionReport:
     """Everything a measurement needs to know about one query run."""
 
@@ -406,6 +436,15 @@ class Deployment:
     def torn_down(self) -> bool:
         return self._torn_down
 
+    def snapshot_state(self) -> Dict[str, dict]:
+        """Live operator state of every RP, keyed by unprefixed sp id.
+
+        Captured by :meth:`Deployer.migrate` immediately before the old
+        generation is quiesced; the record is what a warm-started fork
+        would :meth:`~repro.engine.rp.RunningProcess.restore_state` from.
+        """
+        return {sp_id: rp.snapshot_state() for sp_id, rp in self.rps.items()}
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -635,3 +674,116 @@ class Deployer:
             return
         for live in reversed(self.deployments):
             live.teardown()
+
+    # ------------------------------------------------------------------
+    # Live migration
+    # ------------------------------------------------------------------
+    def _pinned_plan(
+        self, plan: Any, settings: ExecutionSettings, assignment: Dict[str, int]
+    ) -> PlacedPlan:
+        """A fresh instantiation of ``plan`` with every SP pinned."""
+        graph = plan.instantiate()
+        graph.validate()
+        for sp in graph.sps.values():
+            sp.allocation = AllocationSequence(assignment[sp.sp_id])
+        return PlacedPlan(
+            graph=graph, settings=settings, selector=None,
+            strategy_name="migration",
+        )
+
+    def migrate(
+        self,
+        deployment: Deployment,
+        plan: Any,
+        sp_id: str,
+        target: int,
+        rp_prefix: str,
+        verify: Optional[str] = "warn",
+    ) -> "tuple[Deployment, MigrationRecord]":
+        """Move one stream process of a live deployment to another node.
+
+        The migration lifecycle, end to end:
+
+        1. **snapshot** — capture the live operator state of every RP
+           (:meth:`Deployment.snapshot_state`), recorded for audit and
+           warm-start.
+        2. **quiesce** — :meth:`Deployment.teardown` terminates the old
+           generation's RPs (closing their inboxes and aborting in-flight
+           channels), returns their node slots, and rewinds the CNDB
+           round-robin cursors.
+        3. **re-verify** — the new placement (every SP pinned to its
+           current node, the victim pinned to ``target``) passes through
+           the static :class:`~repro.analysis.verifier.PlanVerifier`
+           against the *live* environment before any RP starts, per
+           ``verify`` (default ``"warn"``: errors raise).
+        4. **redeploy** — the verified plan starts under ``rp_prefix``
+           (a ``"<label>+gN/"`` generation suffix) and replays its streams
+           from the sources, so a migrated query still produces the exact
+           reference result.
+        5. **rollback** — if verification rejects the move, the deployment
+           is restored at its original placement (under the same new
+           prefix, unverified: it is the placement that just ran).
+
+        Verification cannot precede quiescence: the old generation's own
+        node slots would surface as ``SCSQ201`` cross-plan conflicts
+        against the new plan.  The rollback path is what bounds the cost
+        of that ordering to one redeploy at the old placement.
+
+        ``plan`` must be the deployment's source plan (anything with
+        ``instantiate()``).  Returns ``(new_deployment, record)``; the
+        caller starts the new deployment (:meth:`Deployment.start` /
+        :meth:`Deployment.run`).
+
+        Raises:
+            QueryExecutionError: For an unknown/root ``sp_id``, a
+                no-op ``target``, or a deployment already torn down.
+        """
+        if deployment.torn_down:
+            raise QueryExecutionError("cannot migrate a torn-down deployment")
+        if sp_id not in deployment.graph.sps:
+            raise QueryExecutionError(
+                f"unknown stream process {sp_id!r}; deployment has "
+                f"{sorted(deployment.graph.sps)}"
+            )
+        current = {
+            other_id: deployment.rps[other_id].node.index
+            for other_id in deployment.graph.sps
+        }
+        source_node = deployment.rps[sp_id].node
+        target_node = self.env.node(deployment.graph.sps[sp_id].cluster, target)
+        if target == source_node.index:
+            raise QueryExecutionError(
+                f"migration of {sp_id!r} targets its current node "
+                f"{source_node.node_id}"
+            )
+        snapshot = deployment.snapshot_state()
+        now = self.env.sim.now
+        moved = dict(current)
+        moved[sp_id] = target
+        deployment.teardown()
+        try:
+            replacement = self.deploy(
+                self._pinned_plan(plan, deployment.settings, moved),
+                rp_prefix=rp_prefix, verify=verify,
+            )
+        except PlanVerificationError as error:
+            replacement = self.deploy(
+                self._pinned_plan(plan, deployment.settings, current),
+                rp_prefix=rp_prefix, verify=None,
+            )
+            record = MigrationRecord(
+                sp_id=sp_id, source=source_node.node_id,
+                target=target_node.node_id, rp_prefix=rp_prefix, time=now,
+                ok=False, rolled_back=True,
+                detail=str(error).splitlines()[0],
+                snapshot=snapshot,
+            )
+            return replacement, record
+        record = MigrationRecord(
+            sp_id=sp_id, source=source_node.node_id,
+            target=target_node.node_id, rp_prefix=rp_prefix, time=now,
+            ok=True, detail=f"moved {sp_id} {source_node.node_id} -> "
+            f"{target_node.node_id}",
+            snapshot=snapshot,
+        )
+        return replacement, record

@@ -1,0 +1,346 @@
+"""Adaptive runtime: measurement-driven live migration of stream processes.
+
+This module closes the observe -> decide -> act loop across the stack:
+
+* **observe** — the :class:`~repro.obs.live.LiveSampler` windows carry
+  per-SP measured throughput, and the
+  :class:`~repro.obs.health.ContinuousBottleneckDetector` pushes typed
+  :class:`~repro.obs.health.HealthEvent` transitions to subscribed
+  listeners the moment a window closes;
+* **decide** — :meth:`~repro.optimizer.placement.CostBasedPlacer.
+  replace_one` scores moving each candidate SP with every other placement
+  held fixed, its analytic bounds calibrated by live measured/predicted
+  factors;
+* **act** — :meth:`~repro.coordinator.deployer.Deployer.migrate` runs the
+  quiesce -> snapshot -> re-verify -> redeploy -> replay lifecycle under a
+  ``<label>+gN/`` generation prefix, with rollback when the
+  :class:`~repro.analysis.verifier.PlanVerifier` rejects the move.
+
+The controller is deliberately conservative: it reacts only to detector
+state (whose high/low thresholds and up/down window counts are the first
+hysteresis layer), requires a minimum predicted improvement factor (the
+second), enforces a cooldown between migrations (the third), and stops
+at a small migration budget (the fourth) — a restart-based migration
+replays the stream from its sources, so thrash costs real time.
+
+Everything here is a pure function of the simulated event stream: no
+wall clock, no unseeded randomness, deterministic victim selection
+(labels and sp ids are visited in sorted order, strict-improvement
+tie-breaks keep the first).  The module is covered by the DET001–005
+hot-path lint rules (see ``repro.analysis.lint.HOT_MODULES``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.coordinator.deployer import Deployment, MigrationRecord
+from repro.hardware.environment import BLUEGENE
+from repro.obs.health import HealthEvent
+from repro.optimizer.placement import CostBasedPlacer
+from repro.util.errors import AllocationError, QueryExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.multiquery import MultiQueryResult, MultiQuerySession
+
+__all__ = ["AdaptiveConfig", "AdaptiveController"]
+
+#: Event kinds that arm an evaluation (a subject became unhealthy).
+_ALERT_KINDS = ("saturated", "degraded")
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Knobs of the adaptive runtime (all in simulated units).
+
+    Attributes:
+        check_interval: Stepped-execution horizon: how often the
+            controller regains control between ``sim.run(until=...)``
+            calls.  Defaults to the live sampler's stock window so every
+            closed window is seen at most one step late.
+        cooldown: Minimum simulated seconds between two migrations — the
+            post-action hysteresis that lets the detector's windows see
+            the effect of a move before another is considered.
+        budget: Maximum number of migrations per session.  Restart-based
+            migration replays streams from their sources, so the budget
+            defaults low.
+        improvement_factor: A move happens only when the calibrated
+            predicted bandwidth of the best candidate placement exceeds
+            the current placement's by this factor (> 1).
+        verify: Verification mode handed to
+            :meth:`~repro.coordinator.deployer.Deployer.migrate` —
+            ``"warn"`` (default) re-verifies every migration through the
+            static analyzer before it acts, ``"strict"`` also fails on
+            warnings.
+        min_factor / max_factor: Clamp on the measured/predicted
+            calibration factors, so one degenerate window cannot zero or
+            explode the cost model.
+    """
+
+    check_interval: float = 0.002
+    cooldown: float = 0.004
+    budget: int = 2
+    improvement_factor: float = 1.10
+    verify: Optional[str] = "warn"
+    min_factor: float = 0.05
+    max_factor: float = 20.0
+
+    def __post_init__(self):
+        if self.check_interval <= 0.0:
+            raise QueryExecutionError(
+                f"check_interval must be > 0, got {self.check_interval!r}"
+            )
+        if self.cooldown < 0.0:
+            raise QueryExecutionError(
+                f"cooldown must be >= 0, got {self.cooldown!r}"
+            )
+        if self.budget < 0:
+            raise QueryExecutionError(
+                f"budget must be >= 0, got {self.budget!r}"
+            )
+        if self.improvement_factor <= 1.0:
+            raise QueryExecutionError(
+                "improvement_factor must be > 1 (a migration must predict a "
+                f"strict improvement), got {self.improvement_factor!r}"
+            )
+        if self.verify not in (None, "warn", "strict"):
+            raise QueryExecutionError(
+                f"verify mode must be None, 'warn' or 'strict', "
+                f"not {self.verify!r}"
+            )
+        if not 0.0 < self.min_factor <= self.max_factor:
+            raise QueryExecutionError(
+                f"need 0 < min_factor <= max_factor, got "
+                f"{self.min_factor!r}/{self.max_factor!r}"
+            )
+
+
+def _is_running(deployment: Deployment) -> bool:
+    """True while a started deployment's driver has not completed."""
+    process = deployment._process
+    return (
+        process is not None
+        and not process.triggered
+        and not deployment.torn_down
+    )
+
+
+class AdaptiveController:
+    """Drives one adaptive :class:`~repro.core.multiquery.MultiQuerySession`.
+
+    Owned by :meth:`MultiQuerySession.run` when the session was created
+    with ``adaptive="on"`` (or an explicit :class:`AdaptiveConfig`); not
+    constructed directly in normal use.
+    """
+
+    def __init__(self, session: "MultiQuerySession",
+                 config: Optional[AdaptiveConfig] = None):
+        self.session = session
+        self.config = config or AdaptiveConfig()
+        self.migrations: List[MigrationRecord] = []
+        self._per_label: Dict[str, List[MigrationRecord]] = {}
+        self._generation: Dict[str, int] = {}
+        self._last_migration: Optional[float] = None
+        #: subject -> the alert that made it unhealthy; insertion-ordered,
+        #: pruned when the detector reports the subject recovered.
+        self._unhealthy: Dict[str, HealthEvent] = {}
+
+    # ------------------------------------------------------------------
+    # Observe: detector subscription
+    # ------------------------------------------------------------------
+    def _on_health(self, event: HealthEvent) -> None:
+        if event.kind in _ALERT_KINDS:
+            self._unhealthy[event.subject] = event
+        elif event.kind == "recovered":
+            self._unhealthy.pop(event.subject, None)
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+    def run(self) -> "MultiQueryResult":
+        """Start every query, then step the simulator, reacting between steps.
+
+        The loop advances the shared simulator ``check_interval`` at a
+        time (jumping ahead when the next event is farther out, so idle
+        tails cost no iterations) and evaluates a migration whenever the
+        detector currently reports an unhealthy subject.  It exits when
+        the event queue drains — exactly the condition under which the
+        classic single ``sim.run()`` returns.
+        """
+        from repro.core.multiquery import MultiQueryResult, QueryOutcome
+
+        session = self.session
+        env = session.env
+        live = env.obs.live
+        if not live.enabled:
+            raise QueryExecutionError(
+                "adaptive mode needs a live-instrumented environment: build "
+                "it with Instrumentation(live=LiveSampler(...)) so windows "
+                "and health events exist to react to"
+            )
+        sim = env.sim
+        interval = self.config.check_interval
+        for entry in session._entries:
+            entry.deployment.start(stop_after=entry.stop_after)
+        t0 = sim.now
+        detector = live.detector
+        detector.add_listener(self._on_health)
+        try:
+            while True:
+                upcoming = sim.peek()
+                if upcoming == float("inf"):
+                    break
+                sim.run(until=max(sim.now + interval, upcoming))
+                if self._unhealthy:
+                    self._maybe_migrate()
+        finally:
+            detector.remove_listener(self._on_health)
+
+        outcomes: List[QueryOutcome] = []
+        for entry in session._entries:
+            report = entry.deployment.finish()
+            assert entry.deployment.start_time is not None
+            total = entry.deployment.start_time + report.duration - t0
+            outcomes.append(QueryOutcome(
+                label=entry.label,
+                report=report,
+                payload_bytes=entry.payload_bytes,
+                total_duration=total,
+                migrations=list(self._per_label.get(entry.label, [])),
+            ))
+        return MultiQueryResult(
+            outcomes=outcomes, live=live, migrations=list(self.migrations),
+        )
+
+    # ------------------------------------------------------------------
+    # Decide: calibrated incremental re-placement
+    # ------------------------------------------------------------------
+    def _calibration(self) -> Optional[Dict[str, float]]:
+        """Measured/predicted factors per bound family, from the last window.
+
+        For each live query, the binding analytic bound (the family that
+        produces the current placement's minimum) is compared against the
+        measured delivery rate into that query's BlueGene stream processes
+        over the last closed live window.  Factors are averaged per family
+        and clamped, so the optimizer scores candidates against the
+        environment as *measured*, not just as modelled.
+        """
+        session = self.session
+        windows = session.env.obs.live.windows
+        if not windows:
+            return None
+        window = windows[-1]
+        span = window.span
+        if span <= 0.0:
+            return None
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for entry in session._entries:
+            deployment = entry.deployment
+            if not _is_running(deployment):
+                continue
+            placer = CostBasedPlacer(session.env, deployment.settings)
+            graph = deployment.graph
+            current = {
+                sp_id: deployment.rps[sp_id].node.index for sp_id in graph.sps
+            }
+            bounds = placer.predicted_bounds(graph, current)
+            if not bounds:
+                continue
+            family = min(bounds, key=lambda name: (bounds[name], name))
+            predicted = bounds[family]
+            if not 0.0 < predicted < float("inf"):
+                continue
+            measured = 0.0
+            for key, nbytes in window.sp_bytes.items():
+                prefix, _, sp_id = key.partition("/")
+                if prefix != entry.label:
+                    continue
+                sp = graph.sps.get(sp_id)
+                if sp is not None and sp.cluster == BLUEGENE:
+                    measured += nbytes
+            rate = measured / span
+            if rate <= 0.0:
+                continue
+            sums[family] = sums.get(family, 0.0) + rate / predicted
+            counts[family] = counts.get(family, 0) + 1
+        if not sums:
+            return None
+        config = self.config
+        return {
+            family: min(
+                max(sums[family] / counts[family], config.min_factor),
+                config.max_factor,
+            )
+            for family in sorted(sums)
+        }
+
+    def _best_move(
+        self, measured: Optional[Dict[str, float]]
+    ) -> Optional[Tuple[float, object, str, int]]:
+        """The highest-gain single-SP move across every live query.
+
+        Returns ``(gain, entry, sp_id, target_node_index)`` or ``None``.
+        Deterministic: entries in submission order, sp ids sorted, and a
+        later candidate replaces the incumbent only on strict improvement.
+        """
+        session = self.session
+        best: Optional[Tuple[float, object, str, int]] = None
+        for entry in session._entries:
+            deployment = entry.deployment
+            if not _is_running(deployment):
+                continue
+            placer = CostBasedPlacer(session.env, deployment.settings)
+            graph = deployment.graph
+            current = {
+                sp_id: deployment.rps[sp_id].node.index for sp_id in graph.sps
+            }
+            current_score = placer.predicted_bandwidth(graph, current, measured)
+            if not 0.0 < current_score < float("inf"):
+                continue
+            for sp_id in sorted(graph.sps):
+                if graph.sps[sp_id].cluster != BLUEGENE:
+                    continue
+                try:
+                    target, score = placer.replace_one(
+                        graph, sp_id, current, measured
+                    )
+                except AllocationError:
+                    continue
+                gain = score / current_score
+                if best is None or gain > best[0]:
+                    best = (gain, entry, sp_id, target)
+        return best
+
+    # ------------------------------------------------------------------
+    # Act: the migration
+    # ------------------------------------------------------------------
+    def _maybe_migrate(self) -> None:
+        session = self.session
+        config = self.config
+        sim = session.env.sim
+        if len(self.migrations) >= config.budget:
+            return
+        if (
+            self._last_migration is not None
+            and sim.now - self._last_migration < config.cooldown
+        ):
+            return
+        best = self._best_move(self._calibration())
+        if best is None or best[0] < config.improvement_factor:
+            return
+        _, entry, sp_id, target = best
+        generation = self._generation.get(entry.label, 0) + 1
+        prefix = f"{entry.label}+g{generation}/"
+        replacement, record = session.deployer.migrate(
+            entry.deployment, entry.plan, sp_id, target,
+            rp_prefix=prefix, verify=config.verify,
+        )
+        self._generation[entry.label] = generation
+        entry.deployment = replacement
+        session._labels[entry.label] = replacement
+        replacement.start(stop_after=entry.stop_after)
+        self.migrations.append(record)
+        self._per_label.setdefault(entry.label, []).append(record)
+        self._last_migration = sim.now

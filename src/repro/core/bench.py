@@ -115,8 +115,9 @@ def bench_points() -> List[BenchPoint]:
 
 
 #: Figure names run_bench() can produce (the sweep subsets plus the
-#: kernel-scale figure); the bench CLI's ``--only`` validates against this.
-BENCH_FIGURES = ("fig6", "fig8", "fig15", "scale")
+#: kernel-scale and adaptive-runtime figures); the bench CLI's ``--only``
+#: validates against this.
+BENCH_FIGURES = ("fig6", "fig8", "fig15", "scale", "adaptive")
 
 
 def run_bench(
@@ -196,6 +197,28 @@ def run_bench(
             progress=progress,
         )
         metrics.update(scale_result.metrics())
+    if figures is None or "adaptive" in figures:
+        from repro.core.experiments.adaptive import (
+            ADAPTIVE_POINTS,
+            run_adaptive_point,
+        )
+
+        started = time.perf_counter()
+        for point_name in ADAPTIVE_POINTS:
+            comparison = run_adaptive_point(point_name, smoke=True)
+            tag = f"adaptive[{point_name}]"
+            metrics[f"{tag}/static_mbps"] = comparison.static_mbps
+            metrics[f"{tag}/adaptive_mbps"] = comparison.adaptive_mbps
+            metrics[f"{tag}/recover_s"] = comparison.recover_s
+            metrics[f"{tag}/migrations"] = float(len(comparison.migrations))
+            if progress is not None:
+                progress(
+                    f"{tag}: {comparison.static_mbps:.1f} -> "
+                    f"{comparison.adaptive_mbps:.1f} Mbps "
+                    f"(x{comparison.speedup:.2f}, "
+                    f"{len(comparison.migrations)} migration(s))"
+                )
+        metrics["adaptive/wall_s"] = time.perf_counter() - started
     return metrics
 
 

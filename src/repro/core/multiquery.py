@@ -43,17 +43,33 @@ class QueryOutcome:
         payload_bytes: Payload volume the query streamed.
         solo_mbps: Bandwidth of the same plan running alone (when the
             caller measured one); ``interference`` derives from it.
+        total_duration: Session-relative completion time (seconds from the
+            session's start to this query's final delivery).  Set by the
+            adaptive runtime, where it covers migration downtime and
+            replay — ``mbps`` then uses it, so adaptive and static numbers
+            compare fairly.  ``None`` on the classic path (where it would
+            equal ``report.duration`` anyway).
+        migrations: Audit records of the live migrations this query went
+            through (:class:`~repro.coordinator.deployer.MigrationRecord`);
+            empty on the classic path.
     """
 
     label: str
     report: ExecutionReport
     payload_bytes: int
     solo_mbps: Optional[float] = None
+    total_duration: Optional[float] = None
+    migrations: List[object] = field(default_factory=list)
 
     @property
     def mbps(self) -> float:
         """Bandwidth under concurrency, in megabits/second."""
-        return self.payload_bytes * 8.0 / self.report.duration / MEGA
+        duration = (
+            self.total_duration
+            if self.total_duration is not None
+            else self.report.duration
+        )
+        return self.payload_bytes * 8.0 / duration / MEGA
 
     @property
     def interference(self) -> Optional[float]:
@@ -74,6 +90,9 @@ class MultiQueryResult:
     """The :class:`~repro.obs.live.LiveSampler` that watched the
     concurrent run, when the caller attached one (windowed utilization /
     latency series plus health events); None otherwise."""
+
+    migrations: List[object] = field(default_factory=list)
+    """Session-wide migration records in execution order (adaptive runs)."""
 
     def __getitem__(self, label: str) -> QueryOutcome:
         for outcome in self.outcomes:
@@ -100,6 +119,19 @@ class MultiQueryResult:
         return "\n".join(lines)
 
 
+@dataclass
+class _Entry:
+    """One submitted query: its deployment history and replay material."""
+
+    label: str
+    deployment: Deployment
+    payload_bytes: int
+    stop_after: Optional[float]
+    plan: object
+    """The compiled plan, kept so the adaptive runtime can re-instantiate
+    the graph for a migration generation."""
+
+
 class MultiQuerySession:
     """Runs several compiled plans concurrently on one environment.
 
@@ -121,21 +153,46 @@ class MultiQuerySession:
         env: Optional[Environment] = None,
         settings: Optional[ExecutionSettings] = None,
         verify: Optional[str] = None,
+        adaptive: object = "off",
     ):
         """``verify`` (``None``/``"warn"``/``"strict"``) statically checks
         every submitted plan against the session's live environment before
         deploying it — including double allocation against queries already
         submitted (``SCSQ201``), since earlier deployments hold their nodes
-        in the shared CNDBs."""
+        in the shared CNDBs.
+
+        ``adaptive`` opts the session into the measurement-driven runtime:
+        ``"off"`` (default) runs the classic single ``sim.run()`` loop,
+        bit-identically to sessions before the adaptive runtime existed;
+        ``"on"`` (or an :class:`~repro.core.adaptive.AdaptiveConfig`)
+        steps the simulator under an
+        :class:`~repro.core.adaptive.AdaptiveController` that may live-
+        migrate stream processes when the health detector finds a
+        bottleneck.  Adaptive sessions require a live-instrumented
+        environment (``Instrumentation(live=LiveSampler(...))``).
+        """
+        from repro.core.adaptive import AdaptiveConfig
+
         if verify not in (None, "warn", "strict"):
             raise QueryExecutionError(
                 f"verify mode must be None, 'warn' or 'strict', not {verify!r}"
+            )
+        if isinstance(adaptive, AdaptiveConfig):
+            self.adaptive: Optional[AdaptiveConfig] = adaptive
+        elif adaptive == "on":
+            self.adaptive = AdaptiveConfig()
+        elif adaptive == "off":
+            self.adaptive = None
+        else:
+            raise QueryExecutionError(
+                f"adaptive mode must be 'off', 'on' or an AdaptiveConfig, "
+                f"not {adaptive!r}"
             )
         self.env = env or Environment(EnvironmentConfig())
         self.settings = settings
         self.verify = verify
         self.deployer = Deployer(self.env)
-        self._entries: List[tuple] = []  # (label, deployment, payload, stop_after)
+        self._entries: List[_Entry] = []
         self._labels: Dict[str, Deployment] = {}
         self._ran = False
 
@@ -165,7 +222,10 @@ class MultiQuerySession:
             placed, rp_prefix=f"{label}/", verify=self.verify
         )
         self._labels[label] = deployment
-        self._entries.append((label, deployment, payload_bytes, stop_after))
+        self._entries.append(_Entry(
+            label=label, deployment=deployment, payload_bytes=payload_bytes,
+            stop_after=stop_after, plan=plan,
+        ))
         return label
 
     def deployment(self, label: str) -> Deployment:
@@ -184,17 +244,21 @@ class MultiQuerySession:
         if not self._entries:
             raise QueryExecutionError("no queries submitted")
         self._ran = True
-        for _, deployment, _, stop_after in self._entries:
-            deployment.start(stop_after=stop_after)
+        if self.adaptive is not None:
+            from repro.core.adaptive import AdaptiveController
+
+            return AdaptiveController(self, self.adaptive).run()
+        for entry in self._entries:
+            entry.deployment.start(stop_after=entry.stop_after)
         self.env.sim.run()
         return MultiQueryResult(
             outcomes=[
                 QueryOutcome(
-                    label=label,
-                    report=deployment.finish(),
-                    payload_bytes=payload_bytes,
+                    label=entry.label,
+                    report=entry.deployment.finish(),
+                    payload_bytes=entry.payload_bytes,
                 )
-                for label, deployment, payload_bytes, _ in self._entries
+                for entry in self._entries
             ]
         )
 

@@ -346,6 +346,50 @@ class RunningProcess:
             self.node.release()
 
     # ------------------------------------------------------------------
+    # Live-state snapshot (the engine half of snapshot/fork)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """This RP's live SQEP state as plain data (no sim references).
+
+        Captures every operator's :meth:`~repro.engine.operators.base.
+        Operator.snapshot_state` (in build order, i.e. children first) plus
+        the driver byte counters, so a migration record — or a warm-started
+        fork — knows exactly how far this RP had progressed.  Pure: the RP
+        keeps running.
+        """
+        return {
+            "rp_id": self.rp_id,
+            "node": self.node.node_id,
+            "operators": [op.snapshot_state() for op in self.operators],
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Warm-start this (built, not yet started) RP from a snapshot.
+
+        Operator states are restored positionally — the RP must execute the
+        same SQEP the snapshot was taken from.  Driver byte counters are
+        *not* restored: they count this incarnation's wire activity.
+        """
+        if self._started:
+            raise QueryExecutionError(
+                f"RP {self.rp_id}: restore_state() must precede start()"
+            )
+        if not self._built:
+            raise QueryExecutionError(
+                f"RP {self.rp_id}: build() before restore_state()"
+            )
+        snapshots = state["operators"]
+        if len(snapshots) != len(self.operators):
+            raise QueryExecutionError(
+                f"RP {self.rp_id}: snapshot has {len(snapshots)} operator "
+                f"state(s), plan builds {len(self.operators)}"
+            )
+        for operator, snapshot_data in zip(self.operators, snapshots):
+            operator.restore_state(snapshot_data)
+
+    # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     @property

@@ -104,6 +104,10 @@ class EthernetFabric:
             raise NetworkError(f"uplink slowdown factor must be >= 1, got {factor}")
         self._uplink_slowdown = float(factor)
 
+    def restore_uplink(self) -> None:
+        """Heal the shared uplink (reset the degradation factor to 1.0)."""
+        self._uplink_slowdown = 1.0
+
     @property
     def uplink_slowdown(self) -> float:
         """Current uplink degradation factor (1.0 = healthy)."""

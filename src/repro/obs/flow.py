@@ -147,6 +147,9 @@ class NullFlowRecorder:
             "flows on the Instrumentation to subscribe"
         )
 
+    def remove_listener(self, listener: Callable[[FlowRecord], None]) -> None:
+        pass
+
     def publish(self, metrics: "MetricsRegistry") -> None:
         pass
 
@@ -182,6 +185,17 @@ class FlowRecorder(NullFlowRecorder):
         every window boundary.
         """
         self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[FlowRecord], None]) -> None:
+        """Unsubscribe a completion listener (unknown listeners are ignored).
+
+        A detached listener never fires again — the adaptive runtime uses
+        this to drop its subscription when its migration budget is spent.
+        """
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Hooks (called by drivers and network models, behind `enabled`)

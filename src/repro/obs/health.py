@@ -33,7 +33,7 @@ deterministic, which the mid-run regression tests rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 __all__ = [
     "HealthEvent",
@@ -65,15 +65,17 @@ def resource_scope(resource: str) -> str:
 
 
 def base_stream(stream_id: str) -> str:
-    """The stable identity of a stream across replans.
+    """The stable identity of a stream across replans and migrations.
 
-    Deployment prefixes name streams ``"<label>/<edge>"`` and replacement
-    deployments ``"<label>+r<N>/<edge>"`` (see
-    :func:`repro.bench.faults.run_faulted_session`); both map to
+    Deployment prefixes name streams ``"<label>/<edge>"``; replacement
+    deployments suffix the label — ``"<label>+r<N>/<edge>"`` for fault
+    replans (:func:`repro.bench.faults.run_faulted_session`) and
+    ``"<label>+g<N>/<edge>"`` for migration generations
+    (:meth:`repro.coordinator.deployer.Deployer.migrate`).  All map to
     ``<label>``.  Unprefixed stream edges map to themselves.
     """
     prefix = stream_id.split("/", 1)[0]
-    return prefix.split("+r", 1)[0]
+    return prefix.split("+", 1)[0]
 
 
 @dataclass(frozen=True, slots=True)
@@ -149,7 +151,7 @@ class ContinuousBottleneckDetector:
         "high", "low", "up_windows", "down_windows", "stall_windows",
         "events", "_state", "_above", "_below", "_lead", "_lead_streak",
         "_lead_counts", "_stream_seen", "_stream_degraded", "_stall_streak",
-        "_recovered_prefixes",
+        "_recovered_prefixes", "_listeners",
     )
 
     def __init__(self, high: float = 0.85, low: float = 0.60,
@@ -177,6 +179,35 @@ class ContinuousBottleneckDetector:
         self._stream_degraded: Dict[str, bool] = {}
         self._stall_streak: Dict[str, int] = {}
         self._recovered_prefixes: Dict[str, bool] = {}
+        self._listeners: List[Callable[[HealthEvent], None]] = []
+
+    # ------------------------------------------------------------------
+    # The control feed: subscribable health-event emission
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: Callable[[HealthEvent], None]) -> None:
+        """Subscribe to health events the moment they are emitted.
+
+        This is the push feed an adaptive controller rides (mirroring
+        :meth:`repro.obs.flow.FlowRecorder.add_listener`): every event
+        appended to :attr:`events` — window transitions, fault hooks,
+        replacement deliveries — is also delivered to each listener, in
+        subscription order, synchronously at emission time.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[HealthEvent], None]) -> None:
+        """Detach a listener; unknown listeners are ignored (idempotent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _emit(self, events: List[HealthEvent]) -> None:
+        self.events.extend(events)
+        if self._listeners:
+            for event in events:
+                for listener in self._listeners:
+                    listener(event)
 
     # ------------------------------------------------------------------
     # Reading back
@@ -254,7 +285,7 @@ class ContinuousBottleneckDetector:
         emitted.extend(self._observe_streams(
             index, end, stream_bytes, stream_in_flight
         ))
-        self.events.extend(emitted)
+        self._emit(emitted)
         return emitted
 
     def _rerank(self, utilization: Mapping[str, float]) -> None:
@@ -323,15 +354,16 @@ class ContinuousBottleneckDetector:
             time=now, window=window, kind="degraded", scope=scope,
             subject=subject, detail=detail or "reported failed",
         )
-        self.events.append(event)
+        self._emit([event])
         return event
 
     def on_delivery(self, now: float, stream_id: str,
                     window: int = -1) -> Optional[HealthEvent]:
         """Note a flow delivery; first delivery of a replacement deployment
-        (``<label>+rN/...`` prefix) emits ``recovered`` for the stream."""
+        (``<label>+rN/...`` replan or ``<label>+gN/...`` migration prefix)
+        emits ``recovered`` for the stream."""
         prefix = stream_id.split("/", 1)[0]
-        if "+r" not in prefix or self._recovered_prefixes.get(prefix):
+        if "+" not in prefix or self._recovered_prefixes.get(prefix):
             return None
         self._recovered_prefixes[prefix] = True
         base = base_stream(stream_id)
@@ -342,5 +374,5 @@ class ContinuousBottleneckDetector:
             subject=f"stream:{base}",
             detail=f"replacement {prefix}/ delivered",
         )
-        self.events.append(event)
+        self._emit([event])
         return event

@@ -98,6 +98,10 @@ class WindowSample:
     """Store -> time-weighted mean level over the window."""
     stream_bytes: Dict[str, float] = field(default_factory=dict)
     """Base stream label -> bytes delivered inside the window."""
+    sp_bytes: Dict[str, float] = field(default_factory=dict)
+    """``<base_label>/<sp_id>`` -> bytes delivered *to* that stream
+    process inside the window (generation suffixes stripped, so a
+    migrated SP keeps one series across ``+gN`` redeployments)."""
 
     @property
     def span(self) -> float:
@@ -126,6 +130,7 @@ class WindowSample:
             "utilization": dict(self.utilization),
             "queues": dict(self.queues),
             "streams": dict(self.stream_bytes),
+            "sps": dict(self.sp_bytes),
         }
 
 
@@ -168,13 +173,14 @@ NULL_LIVE = NullLiveSampler()
 class _WindowAccumulator:
     """Mutable counters for the window currently being filled."""
 
-    __slots__ = ("flows", "nbytes", "sketch", "stream_bytes")
+    __slots__ = ("flows", "nbytes", "sketch", "stream_bytes", "sp_bytes")
 
     def __init__(self) -> None:
         self.flows = 0
         self.nbytes = 0
         self.sketch = LatencySketch()
         self.stream_bytes: Dict[str, float] = {}
+        self.sp_bytes: Dict[str, float] = {}
 
 
 class LiveSampler(NullLiveSampler):
@@ -322,6 +328,10 @@ class LiveSampler(NullLiveSampler):
         acc.nbytes += record.nbytes
         base = base_stream(record.stream_id)
         acc.stream_bytes[base] = acc.stream_bytes.get(base, 0.0) + record.nbytes
+        dst = record.stream_id.rsplit("->", 1)[-1]
+        prefix, _, sp = dst.partition("/")
+        sp_key = f"{prefix.split('+', 1)[0]}/{sp}" if sp else dst
+        acc.sp_bytes[sp_key] = acc.sp_bytes.get(sp_key, 0.0) + record.nbytes
         delivered = record.delivered if record.delivered is not None else 0.0
         self.detector.on_delivery(delivered, record.stream_id, window=self._index)
 
@@ -380,6 +390,7 @@ class LiveSampler(NullLiveSampler):
             utilization={k: utilization[k] for k in sorted(utilization)},
             queues={k: queues[k] for k in sorted(queues)},
             stream_bytes={k: acc.stream_bytes[k] for k in sorted(acc.stream_bytes)},
+            sp_bytes={k: acc.sp_bytes[k] for k in sorted(acc.sp_bytes)},
         )
         self._windows.append(sample)
         self._acc = _WindowAccumulator()

@@ -18,7 +18,7 @@ signature so large clusters do not blow up the search.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.coordinator.allocation import AllocationSequence, constant_node_of
 from repro.coordinator.graph import QueryGraph, SPDef
@@ -67,9 +67,66 @@ class CostBasedPlacer:
             sp.allocation = AllocationSequence(assignment[sp.sp_id])
         return assignment
 
-    def predicted_bandwidth(self, graph: QueryGraph, assignment: Dict[str, int]) -> float:
-        """The objective: predicted bottleneck bandwidth (bytes/s)."""
-        return self._objective(graph, assignment)
+    def predicted_bandwidth(
+        self,
+        graph: QueryGraph,
+        assignment: Dict[str, int],
+        measured_costs: Optional[Mapping[str, float]] = None,
+    ) -> float:
+        """The objective: predicted bottleneck bandwidth (bytes/s).
+
+        ``measured_costs`` optionally calibrates the analytic bounds with
+        live measurements (see :meth:`replace_one`).
+        """
+        return self._objective(graph, assignment, measured_costs)
+
+    def replace_one(
+        self,
+        graph: QueryGraph,
+        sp_id: str,
+        fixed_assignment: Mapping[str, int],
+        measured_costs: Optional[Mapping[str, float]] = None,
+    ) -> Tuple[int, float]:
+        """Score re-placing one SP with every other placement held fixed.
+
+        This is the incremental query the adaptive runtime asks while a
+        deployment is live: *if I could move only ``sp_id``, where would it
+        go and how good would the plan be?*  ``fixed_assignment`` maps every
+        other SP (and optionally ``sp_id`` itself — its entry is ignored) to
+        its current node index; candidates come from the **live** CNDB, so
+        nodes occupied by running RPs — including the victim's own node —
+        are naturally excluded and the answer is always a genuine move.
+
+        ``measured_costs`` maps a bound family (``"inbound"`` for the
+        be->bg funnel, ``"torus"`` for intra-BlueGene transfers) to a
+        measured/predicted calibration factor; each analytic bound is
+        multiplied by its family's factor before the min is taken, so live
+        throughput measurements correct the cost model where the simulation
+        (or reality) disagrees with it.
+
+        Returns ``(best_node_index, calibrated_predicted_bandwidth)``;
+        raises :class:`~repro.util.errors.AllocationError` when the victim
+        is unknown or no candidate node exists.
+        """
+        sp = graph.sps.get(sp_id)
+        if sp is None:
+            raise AllocationError(f"unknown stream process {sp_id!r}")
+        assignment: Dict[str, int] = dict(fixed_assignment)
+        assignment.pop(sp_id, None)
+        best_index: Optional[int] = None
+        best_score = -1.0
+        for candidate in self._candidates(sp.cluster, sp_id, graph, assignment):
+            assignment[sp_id] = candidate
+            score = self._objective(graph, assignment, measured_costs)
+            del assignment[sp_id]
+            if score > best_score:
+                best_score = score
+                best_index = candidate
+        if best_index is None:
+            raise AllocationError(
+                f"no candidate node in cluster {sp.cluster!r} for {sp_id!r}"
+            )
+        return best_index, best_score
 
     # ------------------------------------------------------------------
     # Search
@@ -113,7 +170,7 @@ class CostBasedPlacer:
         for node in cndb.all_nodes():
             occupancy = used.get(node.index, 0) + node.running_processes
             limit = node.capabilities.max_processes
-            if not node.capabilities.can_compute:
+            if node.failed or not node.capabilities.can_compute:
                 continue
             if limit is not None and occupancy >= limit:
                 continue
@@ -176,10 +233,52 @@ class CostBasedPlacer:
             return self.env.node(sp.cluster, pinned)
         return None
 
-    def _objective(self, graph: QueryGraph, assignment: Dict[str, int]) -> float:
+    @staticmethod
+    def _calibrated(
+        family: str, value: float, measured_costs: Optional[Mapping[str, float]]
+    ) -> float:
+        """Apply a bound family's measured/predicted correction factor."""
+        if not measured_costs:
+            return value
+        return value * float(measured_costs.get(family, 1.0))
+
+    def predicted_bounds(
+        self, graph: QueryGraph, assignment: Dict[str, int]
+    ) -> Dict[str, float]:
+        """Uncalibrated analytic bounds, keyed by bound family.
+
+        The tightest bound per family (``"inbound"``, ``"torus"``), in
+        bytes/s — what the adaptive runtime divides live measurements by to
+        learn its measured/predicted calibration factors.  Families without
+        a constraining edge in this placement are absent.
+        """
+        out: Dict[str, float] = {}
+        for family, value in self._labeled_bounds(graph, assignment):
+            if value < out.get(family, float("inf")):
+                out[family] = value
+        return out
+
+    def _objective(
+        self,
+        graph: QueryGraph,
+        assignment: Dict[str, int],
+        measured_costs: Optional[Mapping[str, float]] = None,
+    ) -> float:
         """Predicted bottleneck bandwidth over all placed stream edges."""
+        bounds = [
+            self._calibrated(family, value, measured_costs)
+            for family, value in self._labeled_bounds(graph, assignment)
+        ]
+        if not bounds:
+            return float("inf")
+        return min(bounds)
+
+    def _labeled_bounds(
+        self, graph: QueryGraph, assignment: Dict[str, int]
+    ) -> List[Tuple[str, float]]:
+        """Every analytic bound with its family label, in graph order."""
         params = self.env.params
-        bounds: List[float] = []
+        bounds: List[Tuple[str, float]] = []
         # Inbound (be -> bg) edges are pooled into one global shape.
         inbound_streams = 0
         inbound_hosts: Set[int] = set()
@@ -207,9 +306,10 @@ class CostBasedPlacer:
                     inbound_ios.add(self.env.bluegene.pset_of(consumer.index))
                     inbound_receivers.add(consumer.index)
                 if bg_producers:
-                    bounds.append(
-                        self._intra_bg_bound(consumer, bg_producers, assignment, graph)
-                    )
+                    bounds.append((
+                        "torus",
+                        self._intra_bg_bound(consumer, bg_producers, assignment, graph),
+                    ))
         if inbound_streams:
             shape = InboundShape(
                 streams=inbound_streams,
@@ -217,10 +317,8 @@ class CostBasedPlacer:
                 io_nodes=len(inbound_ios),
                 receivers=len(inbound_receivers),
             )
-            bounds.append(predict_inbound_bandwidth(params, shape))
-        if not bounds:
-            return float("inf")
-        return min(bounds)
+            bounds.append(("inbound", predict_inbound_bandwidth(params, shape)))
+        return bounds
 
     def _intra_bg_bound(
         self,

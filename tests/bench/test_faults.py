@@ -11,6 +11,7 @@ import pytest
 
 from repro.__main__ import main
 from repro.bench.faults import (
+    FLAPPING_CYCLES,
     FaultEvent,
     FaultSchedule,
     FaultTask,
@@ -59,6 +60,42 @@ class TestScheduleValidation:
         with pytest.raises(QueryExecutionError, match="scenario"):
             FaultTask(seed=0, streams=1, scenario="meteor")
 
+    def test_restore_events_are_schedulable(self):
+        # Repair events validate like any other; composites are task-level
+        # recipes, not raw events.
+        assert FaultEvent(0.2, "restore-uplink").replan
+        assert FaultEvent(0.2, "restore-link").factor
+        with pytest.raises(QueryExecutionError, match="scenario"):
+            FaultEvent(0.2, "correlated")
+
+    def test_composite_scenarios_are_tasks(self):
+        assert FaultTask(seed=0, streams=1, scenario="correlated")
+        assert FaultTask(seed=0, streams=1, scenario="flapping")
+
+    def test_correlated_schedule_strikes_in_one_window(self):
+        schedule = FaultSchedule.correlated(0.4, seed=3, factor=4.0)
+        assert [e.scenario for e in schedule.events] == [
+            "kill-node", "degrade-uplink",
+        ]
+        assert all(e.time == 0.4 for e in schedule.events)
+        assert all(e.replan for e in schedule.events)
+
+    def test_flapping_schedule_alternates_without_replanning(self):
+        schedule = FaultSchedule.flapping(0.1, period=0.02, cycles=3)
+        assert len(schedule.events) == 6
+        assert [e.scenario for e in schedule.events] == [
+            "degrade-uplink", "restore-uplink",
+        ] * 3
+        assert not any(e.replan for e in schedule.events)
+        times = [e.time for e in schedule.events]
+        assert times == sorted(times)
+
+    def test_flapping_validates_period_and_cycles(self):
+        with pytest.raises(QueryExecutionError, match="period"):
+            FaultSchedule.flapping(0.1, period=0.0)
+        with pytest.raises(QueryExecutionError, match="cycle"):
+            FaultSchedule.flapping(0.1, period=0.02, cycles=0)
+
 
 class TestScenarios:
     def test_kill_node_recovers_with_exact_results(self):
@@ -103,6 +140,33 @@ class TestScenarios:
         )
         assert outcome.results_ok
         assert outcome.degraded == ["eth uplink x8"]
+
+    def test_correlated_cascade_replans_around_both_faults(self):
+        """kill-node + degrade-uplink in one window: the victim replans
+        around the dead node while every stream rides the slowed ingress."""
+        outcome = run_fault_task(
+            FaultTask(seed=0, streams=2, scenario="correlated", scale=SMOKE_SCALE)
+        )
+        assert outcome.results_ok
+        assert len(outcome.failed_nodes) == 1
+        assert "eth uplink x8" in outcome.degraded
+        assert outcome.replacements
+        assert outcome.faulted_makespan > outcome.healthy_makespan
+
+    def test_flapping_transients_ride_out_without_replanning(self):
+        """Degrade/restore cycles never tear a stream down: the run rides
+        each dip out in place, and every result stays exact."""
+        outcome = run_fault_task(
+            FaultTask(seed=1, streams=2, scenario="flapping", scale=SMOKE_SCALE)
+        )
+        assert outcome.results_ok
+        assert not outcome.replacements and not outcome.failed_nodes
+        assert len(outcome.degraded) == FLAPPING_CYCLES
+        assert len(outcome.restored) == FLAPPING_CYCLES
+        assert all("restored" in entry for entry in outcome.restored)
+        # Without a replacement there is no recovery signal to measure.
+        assert outcome.recovery_s == 0.0
+        assert outcome.faulted_makespan >= outcome.healthy_makespan
 
     def test_same_seed_reproduces_identical_numbers(self):
         task = FaultTask(seed=4, streams=3, scenario="kill-node", scale=SMOKE_SCALE)

@@ -1,5 +1,6 @@
 """Integration tests: the cost-based placer rediscovers the paper's topologies."""
 
+import pytest
 
 from repro.coordinator import ClientManager
 from repro.core.experiments.ablations import automatic_inbound_query
@@ -108,3 +109,110 @@ class TestSessionIntegration:
         assignment = placer.place(graph)
         predicted = placer.predicted_bandwidth(graph, assignment)
         assert predicted > 0
+
+
+class TestIncrementalReplacement:
+    """replace_one + measured calibration: the adaptive runtime's query."""
+
+    def _placed(self):
+        env = Environment()
+        graph = compile_graph(env, MERGE_QUERY)
+        placer = CostBasedPlacer(env, ExecutionSettings(mpi_buffer_bytes=100_000))
+        assignment = placer.place(graph)
+        return env, graph, placer, assignment
+
+    def test_replace_one_scores_a_single_sp_move(self):
+        env, graph, placer, assignment = self._placed()
+        victim = next(sp_id for sp_id in graph.sps if sp_id.startswith("b"))
+        target, score = placer.replace_one(graph, victim, assignment)
+        assert score > 0.0
+        # Re-placing one SP with the rest fixed cannot beat the full
+        # refinement pass that produced this assignment.
+        assert score <= placer.predicted_bandwidth(graph, assignment)
+        # The fixed assignment is input, not state: no mutation.
+        assert assignment[victim] is not None
+
+    def test_replace_one_excludes_occupied_nodes(self):
+        """Candidates come from the live CNDB: a node holding a running RP
+        — including the victim's own — is never proposed, so against a live
+        deployment the answer is always a genuine move."""
+        env = Environment()
+        graph = compile_graph(env, MERGE_QUERY)
+        placer = CostBasedPlacer(env, ExecutionSettings(mpi_buffer_bytes=100_000))
+        assignment = placer.place(graph)
+        victim = next(sp_id for sp_id in graph.sps if sp_id.startswith("b"))
+        # Simulate the deployment holding its nodes.
+        for index in assignment.values():
+            env.bluegene.node(index).acquire()
+        try:
+            target, _ = placer.replace_one(graph, victim, assignment)
+        finally:
+            for index in assignment.values():
+                env.bluegene.node(index).release()
+        assert target not in set(assignment.values())
+
+    def test_unknown_victim_raises(self):
+        from repro.util.errors import AllocationError
+
+        env, graph, placer, assignment = self._placed()
+        with pytest.raises(AllocationError, match="unknown stream process"):
+            placer.replace_one(graph, "ghost@9", assignment)
+
+    def test_bounds_are_labelled_by_family(self):
+        env, graph, placer, assignment = self._placed()
+        bounds = placer.predicted_bounds(graph, assignment)
+        # An all-BlueGene merge constrains only the torus family.
+        assert set(bounds) == {"torus"}
+        assert bounds["torus"] == placer.predicted_bandwidth(graph, assignment)
+
+        inbound_env = Environment()
+        inbound_graph = compile_graph(
+            inbound_env, automatic_inbound_query(2, 500_000, 3)
+        )
+        inbound_placer = CostBasedPlacer(inbound_env, ExecutionSettings())
+        inbound_assignment = inbound_placer.place(inbound_graph)
+        assert "inbound" in inbound_placer.predicted_bounds(
+            inbound_graph, inbound_assignment
+        )
+
+    def test_measured_factor_scales_the_binding_bound(self):
+        """A measured/predicted factor of 0.5 on the binding family must
+        halve the objective — the cost model now speaks measured units."""
+        env, graph, placer, assignment = self._placed()
+        baseline = placer.predicted_bandwidth(graph, assignment)
+        calibrated = placer.predicted_bandwidth(
+            graph, assignment, {"torus": 0.5}
+        )
+        assert calibrated == pytest.approx(0.5 * baseline)
+        # A factor on an absent family changes nothing.
+        assert placer.predicted_bandwidth(
+            graph, assignment, {"inbound": 0.5}
+        ) == baseline
+
+    def test_calibration_preserves_the_argmax_under_uniform_factors(self):
+        """Scaling every candidate by one family factor cannot change which
+        node wins, only the score — so a stale-but-uniform calibration
+        degrades gracefully."""
+        env, graph, placer, assignment = self._placed()
+        victim = next(sp_id for sp_id in graph.sps if sp_id.startswith("b"))
+        plain_target, plain_score = placer.replace_one(graph, victim, assignment)
+        scaled_target, scaled_score = placer.replace_one(
+            graph, victim, assignment, {"torus": 0.25}
+        )
+        assert scaled_target == plain_target
+        assert scaled_score == pytest.approx(0.25 * plain_score)
+
+    def test_prediction_tracks_the_simulated_bandwidth(self):
+        """The calibration regression: on the placed merge topology the
+        analytic objective must stay within the cost model's committed
+        tolerance of the simulated rate, keeping measured/predicted factors
+        near 1 when nothing is wrong."""
+        settings = ExecutionSettings(mpi_buffer_bytes=100_000)
+        env = Environment()
+        graph = compile_graph(env, MERGE_QUERY)
+        placer = CostBasedPlacer(env, settings)
+        assignment = placer.place(graph)
+        predicted = placer.predicted_bandwidth(graph, assignment)
+        report = ClientManager(env).execute(graph, settings)
+        simulated = 2 * 200_000 * 10 / report.duration  # bytes/s
+        assert predicted == pytest.approx(simulated, rel=0.15)

@@ -206,3 +206,27 @@ class TestFaultedParallelDeterminism:
             # And on the injected failure itself.
             assert left.failed_nodes == right.failed_nodes
             assert left.replacements == right.replacements
+
+    def test_composite_scenarios_match_serial_exactly(self):
+        """Correlated and flapping schedules derive from the healthy
+        makespan inside the worker — still a pure function of the task, so
+        multi-event composites fan out bit-identically too."""
+        from repro.bench.faults import FaultTask, run_fault_task
+        from repro.bench.query_stream import SMOKE_SCALE
+
+        tasks = [
+            FaultTask(seed=0, streams=2, scenario="correlated", scale=SMOKE_SCALE),
+            FaultTask(seed=1, streams=2, scenario="flapping", scale=SMOKE_SCALE),
+        ]
+        serial = SweepExecutor(jobs=1).map(run_fault_task, tasks)
+        fanned = SweepExecutor(jobs=2).map(run_fault_task, tasks)
+        for left, right in zip(serial, fanned):
+            assert left.results_ok and right.results_ok
+            assert left.fault_time == right.fault_time
+            assert left.recovery_s == right.recovery_s
+            assert left.per_stream_mbps == right.per_stream_mbps
+            assert left.faulted_makespan == right.faulted_makespan
+            assert left.failed_nodes == right.failed_nodes
+            assert left.degraded == right.degraded
+            assert left.restored == right.restored
+            assert left.replacements == right.replacements

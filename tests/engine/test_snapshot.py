@@ -1,0 +1,107 @@
+"""Operator live-state snapshot/restore: the engine half of migration.
+
+A migration record must capture exactly how far each operator had
+progressed, and a warm-started fork must resume from that point: a
+restored source generates only its *remaining* items, a restored fold
+keeps its accumulator.  These are the properties ``Deployment.
+snapshot_state`` / ``RunningProcess.restore_state`` build on.
+"""
+
+import pytest
+
+from repro.engine import ExecutionSettings
+from repro.engine.context import ExecutionContext
+from repro.engine.operators import Count, GenerateArrays, Iota, Sum
+from repro.sim import Store
+from repro.util.errors import QueryExecutionError
+from tests.conftest import drain_store, feed_store
+
+
+def _ctx(env):
+    return ExecutionContext(env, env.node("bg", 0), ExecutionSettings())
+
+
+def _run_restored(env, operator_cls, state, inputs=(), **kwargs):
+    """Build a fresh operator, warm-start it from ``state``, run it."""
+    ctx = _ctx(env)
+    in_stores = [Store(env.sim, name=f"in{i}") for i in range(len(inputs))]
+    out_store = Store(env.sim, name="out")
+    operator = operator_cls(ctx, in_stores, out_store, **kwargs)
+    operator.restore_state(state)
+    for store, items in zip(in_stores, inputs):
+        feed_store(env.sim, store, items)
+    env.sim.process(operator.run(), name="restored-op")
+    collector = drain_store(env.sim, out_store)
+    env.sim.run()
+    assert collector.ok
+    return collector.value
+
+
+class TestSourceResume:
+    def test_gen_array_resumes_mid_stream(self, env):
+        ctx = _ctx(env)
+        source = GenerateArrays(ctx, [], Store(env.sim), nbytes=500, count=5)
+        source.sequence = 3  # as if three arrays were already emitted
+        state = source.snapshot_state()
+        assert state["name"] == "gen_array" and state["sequence"] == 3
+
+        emitted = _run_restored(
+            env, GenerateArrays, state, nbytes=500, count=5
+        )
+        assert [array.sequence for array in emitted] == [3, 4]
+
+    def test_iota_resumes_mid_range(self, env):
+        ctx = _ctx(env)
+        source = Iota(ctx, [], Store(env.sim), low=1, high=6)
+        source.position = 4
+        emitted = _run_restored(
+            env, Iota, source.snapshot_state(), low=1, high=6
+        )
+        assert emitted == [4, 5, 6]
+
+
+class TestFoldResume:
+    def test_count_keeps_its_accumulator(self, env):
+        ctx = _ctx(env)
+        fold = Count(ctx, [Store(env.sim)], Store(env.sim))
+        fold.acc, fold.n = 5, 5  # five objects already folded in
+        state = fold.snapshot_state()
+        assert state["acc"] == 5
+
+        emitted = _run_restored(env, Count, state, inputs=[["x", "y", "z"]])
+        assert emitted == [8]
+
+    def test_sum_keeps_its_accumulator(self, env):
+        ctx = _ctx(env)
+        fold = Sum(ctx, [Store(env.sim)], Store(env.sim))
+        fold.acc, fold.n = 10.5, 3
+        emitted = _run_restored(
+            env, Sum, fold.snapshot_state(), inputs=[[1, 2]]
+        )
+        assert emitted == [13.5]
+
+
+class TestSnapshotContract:
+    def test_round_trip_preserves_progress_counters(self, env):
+        ctx = _ctx(env)
+        fold = Count(ctx, [Store(env.sim)], Store(env.sim))
+        fold.objects_in, fold.objects_out = 7, 1
+        fold.acc, fold.n = 7, 7
+        clone = Count(_ctx(env), [Store(env.sim)], Store(env.sim))
+        clone.restore_state(fold.snapshot_state())
+        assert clone.snapshot_state() == fold.snapshot_state()
+
+    def test_restoring_onto_the_wrong_operator_raises(self, env):
+        ctx = _ctx(env)
+        fold = Count(ctx, [Store(env.sim)], Store(env.sim))
+        other = Iota(ctx, [], Store(env.sim), low=0, high=3)
+        with pytest.raises(QueryExecutionError, match="cannot restore"):
+            other.restore_state(fold.snapshot_state())
+
+    def test_snapshot_is_plain_data(self, env):
+        """Snapshots must be JSON-able: no operator, store, or sim refs."""
+        import json
+
+        ctx = _ctx(env)
+        source = GenerateArrays(ctx, [], Store(env.sim), nbytes=100, count=2)
+        json.dumps(source.snapshot_state())  # must not raise

@@ -1,0 +1,118 @@
+"""Subscribable control feeds: flow and health-event listeners.
+
+The adaptive runtime rides push subscriptions instead of polling:
+``FlowRecorder.add_listener`` delivers every sealed flow record and
+``ContinuousBottleneckDetector.add_listener`` every health event, at
+emission time.  The contract under test is symmetric on both feeds — a
+subscribed listener sees every event, and a **detached listener never
+fires again** (so controllers and forked environments cannot leak stale
+callbacks).
+"""
+
+import pytest
+
+from repro.obs.flow import NULL_FLOWS, FlowRecorder, NullFlowRecorder
+from repro.obs.health import ContinuousBottleneckDetector
+
+
+class _Buffer:
+    """The minimal WireBuffer surface the flow recorder reads."""
+
+    def __init__(self, buffer_id, stream_id="s0/x", nbytes=1000):
+        self.buffer_id = buffer_id
+        self.stream_id = stream_id
+        self.source = "a@1"
+        self.nbytes = nbytes
+        self.eos = False
+
+
+class TestFlowListeners:
+    def test_listener_sees_every_completion(self):
+        recorder = FlowRecorder()
+        seen = []
+        recorder.add_listener(seen.append)
+        for index in range(3):
+            buffer = _Buffer(index)
+            recorder.begin(buffer, 0.0)
+            recorder.complete(buffer, 1.0 + index)
+        assert [record.buffer_id for record in seen] == [0, 1, 2]
+        assert seen == recorder.completed
+
+    def test_detached_listener_never_fires_again(self):
+        recorder = FlowRecorder()
+        seen = []
+        listener = seen.append
+        recorder.add_listener(listener)
+        first = _Buffer(0)
+        recorder.begin(first, 0.0)
+        recorder.complete(first, 1.0)
+        recorder.remove_listener(listener)
+        second = _Buffer(1)
+        recorder.begin(second, 2.0)
+        recorder.complete(second, 3.0)
+        assert len(seen) == 1  # the detached listener missed the second flow
+        assert len(recorder.completed) == 2  # the recorder itself did not
+
+    def test_remove_is_idempotent(self):
+        recorder = FlowRecorder()
+        listener = lambda record: None  # noqa: E731
+        recorder.remove_listener(listener)  # never added: ignored
+        recorder.add_listener(listener)
+        recorder.remove_listener(listener)
+        recorder.remove_listener(listener)  # already gone: ignored
+
+    def test_null_recorder_rejects_subscription(self):
+        with pytest.raises(RuntimeError, match="disabled flow recorder"):
+            NULL_FLOWS.add_listener(lambda record: None)
+        NULL_FLOWS.remove_listener(lambda record: None)  # detach is a no-op
+        assert not NullFlowRecorder().enabled
+
+
+def _window(detector, index, utilization):
+    span = 0.001
+    return detector.observe_window(
+        index, index * span, (index + 1) * span, utilization, {}, {}
+    )
+
+
+class TestHealthListeners:
+    def test_listener_receives_emitted_events(self):
+        detector = ContinuousBottleneckDetector(up_windows=2)
+        seen = []
+        detector.add_listener(seen.append)
+        _window(detector, 0, {"cpu[0]": 0.95})
+        assert seen == []  # one hot window is below the hysteresis count
+        _window(detector, 1, {"cpu[0]": 0.95})
+        assert [event.kind for event in seen] == ["saturated"]
+        assert seen[0].subject == "cpu[0]"
+        assert seen == detector.events
+
+    def test_detached_listener_never_fires_again(self):
+        detector = ContinuousBottleneckDetector(up_windows=1, down_windows=1)
+        seen = []
+        detector.add_listener(seen.append)
+        _window(detector, 0, {"cpu[0]": 0.95})
+        assert [event.kind for event in seen] == ["saturated"]
+        detector.remove_listener(seen.append)
+        _window(detector, 1, {"cpu[0]": 0.1})
+        assert len(seen) == 1  # the recovery fired without us
+        assert [event.kind for event in detector.events] == [
+            "saturated",
+            "recovered",
+        ]
+
+    def test_remove_is_idempotent(self):
+        detector = ContinuousBottleneckDetector()
+        listener = lambda event: None  # noqa: E731
+        detector.remove_listener(listener)
+        detector.add_listener(listener)
+        detector.remove_listener(listener)
+        detector.remove_listener(listener)
+
+    def test_listeners_fire_in_subscription_order(self):
+        detector = ContinuousBottleneckDetector(up_windows=1)
+        order = []
+        detector.add_listener(lambda event: order.append("first"))
+        detector.add_listener(lambda event: order.append("second"))
+        _window(detector, 0, {"cpu[0]": 0.95})
+        assert order == ["first", "second"]
