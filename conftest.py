@@ -1,0 +1,15 @@
+"""Root pytest bootstrap: src-layout path and the sanitizer plugin.
+
+Lives at the repository root (not under ``tests/``) because
+``pytest_plugins`` must be declared in the rootdir conftest.  The path
+insert makes ``import repro`` work without an explicit ``PYTHONPATH=src``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+pytest_plugins = ("repro.analysis.pytest_plugin",)

@@ -695,6 +695,26 @@ def _add_live_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sanitize_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the dynamic sanitizer: audit every deployment "
+             "teardown/migration for leaked processes, inboxes, carriers, "
+             "node slots and listeners, and exit 1 on findings (in-process "
+             "runs only — subprocess workers of --jobs N are not audited)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="replay under the seeded shuffle scheduler: same-instant "
+             "same-rank events dispatch in a seed-derived order, so any "
+             "metric drift between seeds exposes a schedule race",
+    )
+    # Marks this subcommand for main()'s sanitizer wrapper.  `analyze`
+    # also has a --sanitize flag but opens its own scope in cli.py, so
+    # the wrapper must not double-wrap it (scopes do not nest).
+    parser.set_defaults(_sanitize_wrap=True)
+
+
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", metavar="PATH", default=None,
@@ -816,6 +836,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_live_flags(b)
     _add_detector_flags(b)
+    _add_sanitize_flags(b)
     b.set_defaults(func=_bench)
     a = sub.add_parser(
         "adaptive",
@@ -842,6 +863,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(the CI smoke job uploads this artifact)",
     )
     _add_detector_flags(a)
+    _add_sanitize_flags(a)
     a.set_defaults(func=_adaptive)
     t = sub.add_parser(
         "top",
@@ -912,7 +934,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "_sanitize_wrap", False) and (
+        args.sanitize or args.chaos_seed is not None
+    ):
+        return _run_sanitized(args)
     code = args.func(args)
+    return 0 if code is None else int(code)
+
+
+def _run_sanitized(args) -> int:
+    """Run one subcommand under the sanitizer and/or the chaos scheduler."""
+    from contextlib import ExitStack
+
+    from repro.analysis import sanitize
+
+    scope = None
+    with ExitStack() as stack:
+        if getattr(args, "chaos_seed", None) is not None:
+            stack.enter_context(sanitize.chaos(args.chaos_seed))
+        if getattr(args, "sanitize", False):
+            scope = stack.enter_context(
+                sanitize.sanitizer(label=f"cli:{args.command}", strict=False)
+            )
+        code = args.func(args)
+    if scope is not None and scope.report.diagnostics:
+        print(scope.report.format_text(), file=sys.stderr)
+        return 1
     return 0 if code is None else int(code)
 
 

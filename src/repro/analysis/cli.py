@@ -13,11 +13,12 @@ runs to keep the experiment definitions deployable.
 
 from __future__ import annotations
 
+import argparse
 import importlib.util
 import json
 import sys
 from pathlib import Path
-from typing import Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
 from repro.analysis.snapshot import EnvironmentSnapshot
@@ -199,7 +200,80 @@ def _bench_statements() -> List[Tuple[str, str]]:
     return statements
 
 
-def run_analyze(args) -> int:
+def _parse_seeds(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"analyze: --chaos-seeds wants comma-separated integers, got {text!r}"
+        ) from None
+
+
+def _sanitize_clean_run(seeds: List[int]) -> "AnalysisReport":
+    """The dynamic self-check: a real harness must be sanitizer-clean.
+
+    Runs the small Figure 6 point-to-point query under every chaos seed
+    inside one sanitizer scope — leak audits at teardown, an env-level
+    quiescence audit per run, and the cross-seed ``SAN101`` comparison
+    over the result duration plus the stream-level flow fingerprint.
+    """
+    from repro.analysis import sanitize
+    from repro.coordinator.deployer import Deployer
+    from repro.core.experiments.fig6 import point_to_point_query, scaled_workload
+    from repro.hardware.environment import Environment, EnvironmentConfig
+    from repro.obs import Instrumentation
+    from repro.obs.flow import FlowRecorder
+
+    array_bytes, count = scaled_workload(4096, 120)
+    plan = compile_plan(point_to_point_query(array_bytes, count))
+
+    def harness() -> Dict[str, Any]:
+        env = Environment(
+            EnvironmentConfig(), obs=Instrumentation(flows=FlowRecorder())
+        )
+        deployer = Deployer(env)
+        deployment = deployer.deploy(deployer.place(plan))
+        report = deployment.run()
+        deployment.teardown()
+        sanitize.assert_quiescent(env, raise_on_findings=False)
+        return {
+            "duration": report.duration,
+            "flows": sanitize.flow_fingerprint(env.obs.flows),
+        }
+
+    with sanitize.sanitizer(label="sanitize:fig6", strict=False) as scope:
+        sanitize.run_shuffled(harness, seeds=seeds, label="sanitize:fig6")
+    return scope.report
+
+
+def _run_sanitize(args: argparse.Namespace) -> Tuple[List["AnalysisReport"], int]:
+    """The ``--sanitize`` mode: defect harnesses or the clean self-check."""
+    from repro.analysis.defects import DEFECTS, run_defect
+
+    seeds = _parse_seeds(args.chaos_seeds)
+    if not seeds:
+        raise SystemExit("analyze: --chaos-seeds must name at least one seed")
+    reports: List[AnalysisReport] = []
+    if args.defects:
+        codes = (
+            sorted(DEFECTS)
+            if "all" in args.defects
+            else list(dict.fromkeys(args.defects))
+        )
+        for code in codes:
+            if code not in DEFECTS:
+                raise SystemExit(
+                    f"analyze: unknown defect {code!r} (expected one of "
+                    f"{sorted(DEFECTS)} or 'all')"
+                )
+            reports.append(run_defect(code))
+    else:
+        reports.append(_sanitize_clean_run(seeds))
+    failed = [r for r in reports if not r.ok(strict=args.strict)]
+    return reports, 1 if failed else 0
+
+
+def run_analyze(args: argparse.Namespace) -> int:
     statements: List[Tuple[str, str]] = []
     for index, text in enumerate(args.queries):
         for sub_index, stmt in enumerate(split_statements(text)):
@@ -214,16 +288,48 @@ def run_analyze(args) -> int:
         statements.extend(_sweep_statements())
     if args.bench:
         statements.extend(_bench_statements())
+    if args.sanitize:
+        sanitize_reports, sanitize_exit = _run_sanitize(args)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "ok": sanitize_exit == 0,
+                        "strict": args.strict,
+                        "reports": [
+                            json.loads(r.to_json()) for r in sanitize_reports
+                        ],
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            for report in sanitize_reports:
+                print(report.format_text(verbose=args.verbose))
+            failing = sum(
+                1 for r in sanitize_reports if not r.ok(strict=args.strict)
+            )
+            print(
+                f"analyze --sanitize: {len(sanitize_reports)} report(s), "
+                f"{failing} with findings"
+            )
+        if not statements:
+            return sanitize_exit
+        static_exit = _run_static(args, statements)
+        return max(sanitize_exit, static_exit)
     if not statements:
         print(
             "analyze: nothing to verify (pass queries, --file, --example, "
-            "--sweeps, or --bench)",
+            "--sweeps, --bench, or --sanitize)",
             file=sys.stderr,
         )
         return 2
+    return _run_static(args, statements)
+
+
+def _run_static(args: argparse.Namespace, statements: List[Tuple[str, str]]) -> int:
 
     reports = _verify_statements(statements)
-
     failed = [r for r in reports if not r.ok(strict=args.strict)]
     if args.json:
         print(
@@ -249,7 +355,7 @@ def run_analyze(args) -> int:
     return 1 if failed else 0
 
 
-def add_analyze_parser(sub) -> None:
+def add_analyze_parser(sub: Any) -> None:
     """Register the ``analyze`` subcommand on a subparsers object."""
     p = sub.add_parser(
         "analyze",
@@ -294,6 +400,30 @@ def add_analyze_parser(sub) -> None:
         action="store_true",
         help="verify every deck query of the benchmark harness "
         "(see docs/benchmarking.md)",
+    )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the dynamic sanitizers (leak audit + chaos replay of a "
+        "reference harness); with --defect, run seeded-defect harnesses "
+        "instead — exits non-zero whenever findings exist",
+    )
+    p.add_argument(
+        "--defect",
+        dest="defects",
+        action="append",
+        default=[],
+        metavar="SANxxx",
+        help="with --sanitize: run this seeded-defect micro-harness "
+        "(repeatable; 'all' runs every one).  Each is expected to produce "
+        "its SAN code, so the exit status is non-zero",
+    )
+    p.add_argument(
+        "--chaos-seeds",
+        default="0,1,2",
+        metavar="N,N,...",
+        help="comma-separated ShuffleScheduler seeds for --sanitize chaos "
+        "replay (default: 0,1,2)",
     )
     p.add_argument(
         "--strict",

@@ -66,6 +66,17 @@ CATALOG: Dict[str, Tuple[Severity, str]] = {
     # SCSQ4xx — cost-model capacity bounds
     "SCSQ401": (Severity.WARNING, "inbound streams share one I/O-node proxy (link-bound)"),
     "SCSQ402": (Severity.INFO, "multiple sender hosts share the ingress uplink"),
+    # SAN1xx — schedule-race sanitizer (chaos replay)
+    "SAN101": (Severity.ERROR, "harness result depends on same-instant event dispatch order"),
+    # SAN2xx — leak sanitizer (teardown / migration quiescence)
+    "SAN201": (Severity.ERROR, "live process survived deployment teardown"),
+    "SAN202": (Severity.ERROR, "inbox left open after deployment teardown"),
+    "SAN203": (Severity.ERROR, "kernel store has blocked waiters after teardown"),
+    "SAN204": (Severity.ERROR, "wire carrier registration leaked past teardown"),
+    "SAN205": (Severity.ERROR, "node occupancy not returned to the CNDB"),
+    "SAN206": (Severity.ERROR, "observability listener leaked past its owner's lifetime"),
+    # SAN3xx — liveness analyzer
+    "SAN301": (Severity.ERROR, "simulation wedged: waiters outstanding with no runnable event"),
 }
 
 

@@ -24,6 +24,16 @@ Rules (``DET00x``):
 * **DET005** — observability hook calls (``*.obs.on_*``, ``*.flows.*``)
   must be guarded by an ``if ....enabled`` test, so the disabled
   singleton costs nothing.
+* **DET006** — listener lifecycle (anywhere in ``repro``): every
+  ``add_listener()`` call must pass an ``owner=`` tag (the ``SAN206``
+  leak census names leaks by owner), and a scope that subscribes a
+  listener must somewhere call ``remove_listener()``.  Deliberate
+  environment-lifetime subscriptions suppress the rule with a comment.
+* **DET007** — no reliance on raw scheduler internals (``_heap``,
+  ``_buckets``, ``_times``...) outside ``repro.sim``: same-instant
+  bucket layout is backend-specific and permuted by the chaos
+  scheduler, so reading it re-introduces exactly the schedule-order
+  dependence the ``SAN101`` sanitizer exists to catch.
 
 Run standalone (CI does)::
 
@@ -343,6 +353,111 @@ class ObsGuardRule(LintRule):
             )
 
 
+class ListenerLifecycleRule(LintRule):
+    code = "DET006"
+    title = "listener subscription without owner tag or matching detach"
+    hot_path_only = False
+
+    @staticmethod
+    def _listener_calls(scope: ast.AST) -> Tuple[List[ast.Call], int]:
+        adds: List[ast.Call] = []
+        removes = 0
+        for node in ast.walk(scope):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            if node.func.attr == "add_listener":
+                adds.append(node)
+            elif node.func.attr == "remove_listener":
+                removes += 1
+        return adds, removes
+
+    def check(self, tree: ast.Module, path: Path) -> Iterable[Tuple[int, str]]:
+        classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+        claimed: Set[int] = set()
+        scopes: List[Tuple[str, ast.AST]] = [
+            (f"class {cls.name}", cls) for cls in classes
+        ]
+        for _label, cls in scopes:
+            for node in ast.walk(cls):
+                claimed.add(id(node))
+        for label, scope in scopes:
+            adds, removes = self._listener_calls(scope)
+            yield from self._judge(label, adds, removes)
+        # Module-level calls (outside every class definition).
+        module_adds: List[ast.Call] = []
+        module_removes = 0
+        for node in ast.walk(tree):
+            if id(node) in claimed or not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            if node.func.attr == "add_listener":
+                module_adds.append(node)
+            elif node.func.attr == "remove_listener":
+                module_removes += 1
+        yield from self._judge("module scope", module_adds, module_removes)
+
+    @staticmethod
+    def _judge(
+        label: str, adds: List[ast.Call], removes: int
+    ) -> Iterable[Tuple[int, str]]:
+        for call in adds:
+            if not any(kw.arg == "owner" for kw in call.keywords):
+                yield (
+                    call.lineno,
+                    "add_listener() without an owner= tag; the SAN206 "
+                    "listener census cannot name the component responsible "
+                    "for detaching it",
+                )
+            if removes == 0:
+                yield (
+                    call.lineno,
+                    f"{label} subscribes a listener but never calls "
+                    "remove_listener(); the subscription outlives its owner "
+                    "(SAN206 at runtime) unless it is environment-lifetime — "
+                    "suppress with a justifying comment if so",
+                )
+
+
+class SchedulerInternalsRule(LintRule):
+    code = "DET007"
+    title = "reliance on raw scheduler internals outside the kernel"
+    hot_path_only = False
+
+    #: Private queue-layout attributes of the scheduler backends.  Their
+    #: same-instant bucket order is backend-specific (and permuted by the
+    #: chaos ShuffleScheduler); only the kernel itself may walk them.
+    INTERNALS = ("_heap", "_buckets", "_times", "_next_seq")
+
+    def applies_to(self, path: Path) -> bool:
+        parts = path.parts
+        if "repro" not in parts:
+            return False
+        rest = parts[parts.index("repro") + 1:]
+        # The kernel is the one sanctioned reader of its own layout.
+        return bool(rest) and rest[0] != "sim"
+
+    def check(self, tree: ast.Module, path: Path) -> Iterable[Tuple[int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in self.INTERNALS:
+                continue
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                continue  # a class's own attribute, not a scheduler's
+            yield (
+                node.lineno,
+                f"access to scheduler internal .{node.attr}: same-instant "
+                "bucket layout is backend-specific and shuffled under "
+                "chaos; use the EventScheduler interface (push/pop/"
+                "next_time) instead",
+            )
+
+
 #: The rule registry, in execution (and documentation) order.
 RULES: Tuple[LintRule, ...] = (
     WallClockRule(),
@@ -350,6 +465,8 @@ RULES: Tuple[LintRule, ...] = (
     SetIterationRule(),
     SlotsRule(),
     ObsGuardRule(),
+    ListenerLifecycleRule(),
+    SchedulerInternalsRule(),
 )
 
 
@@ -379,11 +496,14 @@ def lint_file(path: Path, rules: Sequence[LintRule] = RULES) -> List[Diagnostic]
 
 
 def _default_paths() -> List[Path]:
-    """The hot packages of the source tree this module belongs to."""
-    src = Path(__file__).resolve().parent.parent
-    paths = [src / package for package in HOT_PACKAGES]
-    paths.extend(src.joinpath(*module) for module in HOT_MODULES)
-    return [path for path in paths if path.exists()]
+    """The whole ``repro`` package: per-rule ``applies_to`` scopes checks.
+
+    Historically only the hot packages were walked; the everywhere-rules
+    (``DET006``/``DET007``) widened the default to the full tree — the
+    hot-path rules still restrict themselves via :data:`HOT_PACKAGES` /
+    :data:`HOT_MODULES`.
+    """
+    return [Path(__file__).resolve().parent.parent]
 
 
 def lint_paths(paths: Sequence[Path]) -> List[Diagnostic]:

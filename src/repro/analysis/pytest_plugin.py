@@ -1,0 +1,99 @@
+"""Pytest integration of the dynamic sanitizers.
+
+Two opt-in modes, registered on the test suite by the repository's root
+``conftest.py``:
+
+* ``--sanitize`` — every test runs inside a
+  :func:`repro.analysis.sanitize.sanitizer` scope: each
+  ``Deployment.teardown()`` / ``Deployer.migrate()`` the test triggers is
+  audited for leaks, and a test whose scope ends with findings **fails**
+  with the ``SANxxx`` report.  Deployments torn down while their simulator
+  still had queued events get their liveness audit at test end, and only
+  if the queue drained by then — a test may legitimately abandon a
+  half-run simulation.  Mark a test ``@pytest.mark.no_sanitize`` to exempt
+  it (e.g. tests that construct deliberately-leaky wreckage).
+
+* ``--chaos-seed N`` — tests marked ``@pytest.mark.chaos`` run under
+  :func:`repro.analysis.sanitize.chaos`: every default-configured
+  simulator they build gets a seeded
+  :class:`~repro.sim.scheduler.ShuffleScheduler` and the order-independent
+  :class:`~repro.net.jitter.KeyedJitter`.  Chaos-marked tests assert
+  seed-independence of their own results, so running the suite under
+  several ``--chaos-seed`` values (CI does 3) is a schedule-race sweep.
+
+Both modes compose: ``pytest --sanitize --chaos-seed 7``.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from typing import Iterator
+
+import pytest
+
+from repro.analysis import sanitize
+
+__all__ = ["pytest_addoption", "pytest_configure", "pytest_runtest_call"]
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    group = parser.getgroup("sanitize", "repro dynamic sanitizers")
+    group.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="audit every deployment teardown/migration for leaks "
+        "(SAN2xx/SAN3xx) and fail tests whose sanitizer scope has findings",
+    )
+    group.addoption(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run @pytest.mark.chaos tests under ShuffleScheduler(N) and "
+        "keyed jitter (same-instant event order permuted)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "chaos: replay this test under the chaos scheduler when "
+        "--chaos-seed is given",
+    )
+    config.addinivalue_line(
+        "markers",
+        "no_sanitize: exempt this test from the --sanitize leak audit "
+        "(it builds deliberately-leaky state)",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item: pytest.Item) -> Iterator[None]:
+    chaos_seed = item.config.getoption("--chaos-seed")
+    apply_chaos = (
+        chaos_seed is not None
+        and item.get_closest_marker("chaos") is not None
+    )
+    apply_sanitizer = (
+        item.config.getoption("--sanitize")
+        and item.get_closest_marker("no_sanitize") is None
+        # A nested scope (a test exercising the sanitizer itself) would
+        # refuse to start; such tests audit themselves already.
+        and not sanitize.enabled()
+    )
+    scope = None
+    with ExitStack() as stack:
+        if apply_chaos:
+            stack.enter_context(sanitize.chaos(chaos_seed))
+        if apply_sanitizer:
+            scope = stack.enter_context(
+                sanitize.sanitizer(label=item.nodeid, strict=False)
+            )
+        result = yield
+    if scope is not None and not scope.report.ok():
+        pytest.fail(
+            "sanitizer findings:\n" + scope.report.format_text(),
+            pytrace=False,
+        )
+    return result

@@ -44,7 +44,9 @@ def _copy_cndb(cndb: ComputeNodeDatabase) -> ComputeNodeDatabase:
 class EnvironmentSnapshot:
     """A mutable private copy of placement-relevant environment state."""
 
-    def __init__(self, cndbs: Dict[str, ComputeNodeDatabase], params: NetworkParams):
+    def __init__(
+        self, cndbs: Dict[str, ComputeNodeDatabase], params: NetworkParams
+    ) -> None:
         self.cndbs = cndbs
         self.params = params
 

@@ -31,7 +31,7 @@ detects double allocation across concurrently deployed plans).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.diagnostics import AnalysisReport, diagnostic
 from repro.analysis.snapshot import EnvironmentSnapshot
@@ -53,7 +53,7 @@ from repro.util.units import MEGA
 __all__ = ["PlanVerifier", "verify_plan"]
 
 
-def _graph_of(plan) -> QueryGraph:
+def _graph_of(plan: Any) -> QueryGraph:
     """Accept a DeploymentPlan, PlacedPlan, or bare QueryGraph."""
     graph = getattr(plan, "graph", plan)
     if not isinstance(graph, QueryGraph):
@@ -75,7 +75,7 @@ class PlanVerifier:
         self,
         snapshot: Optional[EnvironmentSnapshot] = None,
         selector: Optional[NodeSelector] = None,
-    ):
+    ) -> None:
         self.snapshot = snapshot or EnvironmentSnapshot.from_config()
         self.selector = selector or NaiveSelector()
         #: node_id -> sp label, for nodes acquired by earlier verified plans.
@@ -88,7 +88,10 @@ class PlanVerifier:
     # Entry point
     # ------------------------------------------------------------------
     def verify(
-        self, plan, label: str = "query", selector: Optional[NodeSelector] = None
+        self,
+        plan: Any,
+        label: str = "query",
+        selector: Optional[NodeSelector] = None,
     ) -> AnalysisReport:
         """Run every pass over one plan; returns the full report.
 
@@ -290,7 +293,7 @@ class PlanVerifier:
         self,
         sp: SPDef,
         sequence: AllocationSequence,
-        cndb,
+        cndb: Any,
         acquired_here: Set[str],
         report: AnalysisReport,
     ) -> Optional[Node]:
@@ -479,9 +482,9 @@ class PlanVerifier:
 
 
 def verify_plan(
-    plan,
-    env=None,
-    config=None,
+    plan: Any,
+    env: Any = None,
+    config: Any = None,
     label: str = "query",
     selector: Optional[NodeSelector] = None,
 ) -> AnalysisReport:

@@ -359,8 +359,34 @@ class Deployment:
         self.setup_latency = setup_latency
         self.start_time: Optional[float] = None
         self._process = None
+        self._collector = None
         self._stop_token: Optional[StopToken] = None
         self._torn_down = False
+        # Per-deployment flow accounting: a completion listener scoped to
+        # this deployment's streams, attached for its lifetime and detached
+        # by teardown() (the leak sanitizer's SAN206 census flags it if a
+        # teardown path ever forgets).
+        self.flows_delivered = 0
+        self.flow_bytes = 0
+        self._flow_listener: Optional[Any] = None
+        flows = env.obs.flows
+        if flows.enabled:
+            self._stream_sources = frozenset(
+                rp.rp_id for rp in self.rps.values()
+            )
+            self._flow_listener = self._observe_flow
+            flows.add_listener(self._observe_flow, owner=self.owner_tag)
+
+    @property
+    def owner_tag(self) -> str:
+        """Identity of this deployment in the obs listener census."""
+        return f"deployment:{self.rp_prefix.rstrip('/') or ROOT_RP_ID}"
+
+    def _observe_flow(self, record: Any) -> None:
+        source, _, _ = record.stream_id.partition("->")
+        if source in self._stream_sources:
+            self.flows_delivered += 1
+            self.flow_bytes += record.nbytes
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -431,10 +457,50 @@ class Deployment:
             rp.release_node()
         for cluster, cursor in self._cursor_snapshot.items():
             self.env.cndb(cluster)._rr_cursor = cursor
+        # Interrupt the collector: an external teardown (fault harness,
+        # migration of a wedged query) would otherwise leave it blocked on
+        # the root result store forever.  Only the collector is interrupted
+        # directly — its failure propagates through _drive's any_of wait,
+        # whose handler unwinds the driver; interrupting _drive as well
+        # would orphan the pending condition event undefused.
+        if self._collector is not None and self._collector.is_alive:
+            self._collector.interrupt("deployment torn down")
+        for process in (self._process, self._collector):
+            if process is not None and process.is_alive:
+                process._add_callback(
+                    lambda event: setattr(event, "_defused", True)
+                )
+        # Terminated receivers never consume their EOS, so the in-flight
+        # flow records of this deployment's streams would otherwise sit in
+        # the recorder's table forever (SAN204 at quiescence).  Dropping is
+        # a no-op for streams that ran to completion.
+        flows = self.env.obs.flows
+        if flows.enabled:
+            for stream_id in self.stream_ids():
+                flows.drop_stream(stream_id)
+        if self._flow_listener is not None:
+            self.env.obs.flows.remove_listener(self._flow_listener)
+            self._flow_listener = None
+        from repro.analysis import sanitize
+
+        if sanitize.enabled():
+            sanitize.audit_teardown(self)
 
     @property
     def torn_down(self) -> bool:
         return self._torn_down
+
+    def stream_ids(self) -> List[str]:
+        """Every wire stream this deployment's senders opened, sorted."""
+        return sorted(
+            sender.stream_id
+            for rp in self.rps.values()
+            for sender in rp.senders
+        )
+
+    def census(self) -> Dict[str, dict]:
+        """Quiescence-relevant state of every RP (leak-sanitizer feed)."""
+        return {rp_id: rp.census() for rp_id, rp in sorted(self.rps.items())}
 
     def snapshot_state(self) -> Dict[str, dict]:
         """Live operator state of every RP, keyed by unprefixed sp id.
@@ -501,6 +567,13 @@ class Deployment:
         if self.setup_latency:
             # bgCC polls the feCC for new subqueries before RPs exist there.
             yield sim.timeout(self.setup_latency)
+        if self._torn_down:
+            # Torn down before the driver's first step (e.g. a same-instant
+            # fault replan): starting the RPs of a dead generation would
+            # run a zombie query that wedges on its closed inboxes.
+            if stop_token is not None:
+                stop_token.cancel()
+            return [], sim.now
         # Any RP process crash fails this event, aborting the query promptly
         # (otherwise a dead operator would leave its subscribers waiting on
         # a stream that never ends).
@@ -511,6 +584,10 @@ class Deployment:
         collector = sim.process(
             self._collect(collected), name=self.rp_prefix + "cm-collector"
         )
+        # Tracked so teardown() can interrupt it: a deployment torn down
+        # externally (fault harness, migration of a wedged query) must not
+        # leave its collector blocked on the root result store forever.
+        self._collector = collector
         waits = [collector, failure]
         if stop_token is not None:
             waits.append(stop_token.event)
@@ -778,6 +855,9 @@ class Deployer:
                 detail=str(error).splitlines()[0],
                 snapshot=snapshot,
             )
+            from repro.analysis import sanitize
+            if sanitize.enabled():
+                sanitize.audit_migrate(deployment, replacement, self.env)
             return replacement, record
         record = MigrationRecord(
             sp_id=sp_id, source=source_node.node_id,
@@ -786,4 +866,7 @@ class Deployer:
             f"{target_node.node_id}",
             snapshot=snapshot,
         )
+        from repro.analysis import sanitize
+        if sanitize.enabled():
+            sanitize.audit_migrate(deployment, replacement, self.env)
         return replacement, record

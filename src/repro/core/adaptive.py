@@ -185,7 +185,7 @@ class AdaptiveController:
             entry.deployment.start(stop_after=entry.stop_after)
         t0 = sim.now
         detector = live.detector
-        detector.add_listener(self._on_health)
+        detector.add_listener(self._on_health, owner="adaptive-controller")
         try:
             while True:
                 upcoming = sim.peek()

@@ -95,3 +95,22 @@ class Inbox:
     def depth(self) -> int:
         """Buffers currently deposited and not yet taken by the driver."""
         return self._items.size
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (deposits are dropped from then on)."""
+        return self._closed
+
+    @property
+    def pending_gets(self) -> int:
+        """Driver gets currently blocked waiting for a deposit."""
+        return self._items.pending_gets
+
+    @property
+    def blocked_deposits(self) -> int:
+        """Network deposits currently blocked waiting for a free slot."""
+        return self._tokens.pending_gets
+
+    def kernel_stores(self) -> "list[Store]":
+        """The kernel stores backing this inbox (waiter introspection)."""
+        return [self._tokens, self._items]

@@ -390,6 +390,69 @@ class RunningProcess:
             operator.restore_state(snapshot_data)
 
     # ------------------------------------------------------------------
+    # Census (the engine half of the leak/liveness sanitizer)
+    # ------------------------------------------------------------------
+    @property
+    def node_released(self) -> bool:
+        """True once this RP's node slot went back to its CNDB."""
+        return self._node_released
+
+    def live_processes(self) -> list:
+        """Every kernel process of this RP that is still alive.
+
+        Includes the senders' transmit processes: they outlive a normal
+        driver shutdown only when a carrier wedged, which is exactly what
+        the sanitizer is looking for.
+        """
+        transmitters = [
+            sender.transmit_process
+            for sender in self.senders
+            if sender.transmit_process is not None
+        ]
+        return [
+            process
+            for process in self._processes + transmitters
+            if process.is_alive
+        ]
+
+    def kernel_stores(self) -> List[Store]:
+        """Every kernel store this RP's processes block on.
+
+        Operator queues, subscriber feeds, sender hand-off stores, and the
+        input inbox pools — the population the liveness analyzer classifies
+        bare wait events against.
+        """
+        stores: List[Store] = []
+        if self.result_store is not None:
+            stores.append(self.result_store)
+        stores.extend(self._subscriber_stores)
+        stores.extend(self._sender_stores.values())
+        for port in self.input_ports:
+            stores.extend(port.inbox.kernel_stores())
+        return stores
+
+    def census(self) -> dict:
+        """Quiescence-relevant state of this RP as plain data.
+
+        Read by the leak sanitizer after teardown: a quiescent RP has no
+        live processes, only closed inboxes, no blocked store getters, and
+        a released node slot.
+        """
+        return {
+            "rp_id": self.rp_id,
+            "live_processes": [p.name for p in self.live_processes()],
+            "open_inboxes": [
+                port.inbox.name
+                for port in self.input_ports
+                if not port.inbox.closed
+            ],
+            "pending_gets": sum(
+                store.pending_gets for store in self.kernel_stores()
+            ),
+            "node_released": self._node_released,
+        }
+
+    # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     @property

@@ -20,7 +20,7 @@ from repro.hardware.linux_cluster import LinuxCluster, LinuxClusterConfig
 from repro.hardware.node import PPC440D, Node, NodeKind
 from repro.net.channels import Channel, LatencyChannel, MpiChannel, TcpChannel
 from repro.net.ethernet import EthernetFabric
-from repro.net.jitter import Jitter
+from repro.net.jitter import make_jitter
 from repro.net.params import NetworkParams
 from repro.net.torus import RouteTable, TorusNetwork
 from repro.sim import Resource, Simulator, Store
@@ -269,7 +269,7 @@ class Environment:
         self.template = template
         self.sim = Simulator(obs=obs)
         self.obs = self.sim.obs
-        self.jitter = Jitter(magnitude=config.params.jitter, seed=config.seed)
+        self.jitter = make_jitter(magnitude=config.params.jitter, seed=config.seed)
         self.bluegene = template.bluegene
         self.backend = template.backend
         self.frontend = template.frontend

@@ -10,6 +10,8 @@ five-repeat statistics are meaningful while staying reproducible.
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
 
 from repro.util.errors import SimulationError
 
@@ -33,3 +35,68 @@ class Jitter:
     def apply(self, cost: float) -> float:
         """``cost`` scaled by one noise factor (never negative)."""
         return cost * self.scale()
+
+
+class KeyedJitter(Jitter):
+    """Schedule-order-independent jitter: the factor is keyed by the cost.
+
+    The stock :class:`Jitter` draws from one sequential generator, so the
+    factor a transfer gets depends on *how many draws happened before it* —
+    i.e. on the exact event dispatch order.  That coupling is fine for
+    normal runs (the order is deterministic) but poisons the schedule-race
+    detector: replaying a harness under a permuted same-instant order
+    permutes the draw sequence and every result diverges for a reason that
+    has nothing to do with the code under test.
+
+    This variant derives each factor as a pure function of ``(seed, cost)``
+    — equal modelled costs get equal noise, and no draw observes any other
+    draw — so results become invariant under any legal dispatch order while
+    the noise stays seeded and reproducible.  It is installed only by the
+    chaos harness (:func:`jitter_override` via
+    :func:`repro.analysis.sanitize.chaos`); golden baselines are produced
+    with the sequential generator and are untouched.
+    """
+
+    def apply(self, cost: float) -> float:
+        if self.magnitude == 0.0:
+            return cost
+        # Numeric-only tuple hash: stable across processes and supported
+        # Python versions (no string hash randomization involved).
+        noise = random.Random(hash((self.seed, cost))).uniform(
+            -self.magnitude, self.magnitude
+        )
+        return cost * (1.0 + noise)
+
+    def scale(self) -> float:
+        """Context-free draws cannot be keyed; pin them to the midpoint."""
+        return 1.0
+
+
+#: When set, :func:`make_jitter` builds through this factory instead of the
+#: stock :class:`Jitter`.  Installed (scoped) by :func:`jitter_override`.
+_FACTORY_OVERRIDE: Optional[Callable[[float, int], Jitter]] = None
+
+
+@contextmanager
+def jitter_override(factory: Callable[[float, int], Jitter]) -> Iterator[None]:
+    """Scope within which environments draw jitter from ``factory``.
+
+    ``factory`` is called as ``factory(magnitude, seed)`` by every
+    :func:`make_jitter` in the scope (i.e. every environment built inside
+    it).  Overrides do not nest — an inner scope replaces the outer factory
+    and restores it on exit.
+    """
+    global _FACTORY_OVERRIDE
+    previous = _FACTORY_OVERRIDE
+    _FACTORY_OVERRIDE = factory
+    try:
+        yield
+    finally:
+        _FACTORY_OVERRIDE = previous
+
+
+def make_jitter(magnitude: float = 0.0, seed: int = 0) -> Jitter:
+    """The jitter source an environment should use (override-aware)."""
+    if _FACTORY_OVERRIDE is not None:
+        return _FACTORY_OVERRIDE(magnitude, seed)
+    return Jitter(magnitude, seed)

@@ -238,6 +238,20 @@ class TorusNetwork:
         if streams is not None:
             streams.discard(stream_id)
 
+    def active_stream_census(self) -> List[Tuple[int, str]]:
+        """Every still-registered ``(node, stream_id)``, sorted.
+
+        A quiescent torus has none: carriers unregister on close/abort, so
+        anything left is a leaked registration (it would tax the receive
+        switching cost of every later deployment on that node).  Read by
+        the leak sanitizer (``SAN204``).
+        """
+        return sorted(
+            (node, stream_id)
+            for node, streams in self._active_streams.items()
+            for stream_id in sorted(streams)
+        )
+
     def incoming_stream_count(self, node: int) -> int:
         """Streams currently terminating at ``node`` (min 1 for costing)."""
         return max(1, len(self._active_streams.get(node, ())))

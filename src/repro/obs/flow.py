@@ -141,7 +141,9 @@ class NullFlowRecorder:
     def in_flight_streams(self) -> Dict[str, int]:
         return {}
 
-    def add_listener(self, listener: Callable[[FlowRecord], None]) -> None:
+    def add_listener(
+        self, listener: Callable[[FlowRecord], None], owner: str = ""
+    ) -> None:
         raise RuntimeError(
             "the disabled flow recorder never completes a flow; enable "
             "flows on the Instrumentation to subscribe"
@@ -149,6 +151,13 @@ class NullFlowRecorder:
 
     def remove_listener(self, listener: Callable[[FlowRecord], None]) -> None:
         pass
+
+    def listener_owners(self) -> List[str]:
+        return []
+
+    @property
+    def listener_count(self) -> int:
+        return 0
 
     def publish(self, metrics: "MetricsRegistry") -> None:
         pass
@@ -175,16 +184,25 @@ class FlowRecorder(NullFlowRecorder):
         self._in_flight: Dict[int, FlowRecord] = {}
         self._completed: List[FlowRecord] = []
         self._listeners: List[Callable[[FlowRecord], None]] = []
+        #: Owner tag of each listener, parallel to ``_listeners``.  The
+        #: leak sanitizer's census (``SAN206``) names leaked subscriptions
+        #: by owner, so lifecycle code must pass one.
+        self._listener_owners: List[str] = []
         self.dropped = 0
 
-    def add_listener(self, listener: Callable[[FlowRecord], None]) -> None:
+    def add_listener(
+        self, listener: Callable[[FlowRecord], None], owner: str = ""
+    ) -> None:
         """Subscribe to flow completions (called with each sealed record).
 
         This is the push feed the live sampler rides: latency sketches
         update at completion time instead of scanning ``completed`` at
-        every window boundary.
+        every window boundary.  ``owner`` tags the subscription for the
+        leak sanitizer's listener census — pass the label of the component
+        responsible for detaching it.
         """
         self._listeners.append(listener)
+        self._listener_owners.append(owner)
 
     def remove_listener(self, listener: Callable[[FlowRecord], None]) -> None:
         """Unsubscribe a completion listener (unknown listeners are ignored).
@@ -193,9 +211,20 @@ class FlowRecorder(NullFlowRecorder):
         this to drop its subscription when its migration budget is spent.
         """
         try:
-            self._listeners.remove(listener)
+            index = self._listeners.index(listener)
         except ValueError:
-            pass
+            return
+        del self._listeners[index]
+        del self._listener_owners[index]
+
+    def listener_owners(self) -> List[str]:
+        """Owner tags of the live subscriptions (census for the sanitizer)."""
+        return list(self._listener_owners)
+
+    @property
+    def listener_count(self) -> int:
+        """Number of live completion subscriptions."""
+        return len(self._listeners)
 
     # ------------------------------------------------------------------
     # Hooks (called by drivers and network models, behind `enabled`)

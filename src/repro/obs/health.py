@@ -151,7 +151,7 @@ class ContinuousBottleneckDetector:
         "high", "low", "up_windows", "down_windows", "stall_windows",
         "events", "_state", "_above", "_below", "_lead", "_lead_streak",
         "_lead_counts", "_stream_seen", "_stream_degraded", "_stall_streak",
-        "_recovered_prefixes", "_listeners",
+        "_recovered_prefixes", "_listeners", "_listener_owners",
     )
 
     def __init__(self, high: float = 0.85, low: float = 0.60,
@@ -180,27 +180,43 @@ class ContinuousBottleneckDetector:
         self._stall_streak: Dict[str, int] = {}
         self._recovered_prefixes: Dict[str, bool] = {}
         self._listeners: List[Callable[[HealthEvent], None]] = []
+        self._listener_owners: List[str] = []
 
     # ------------------------------------------------------------------
     # The control feed: subscribable health-event emission
     # ------------------------------------------------------------------
-    def add_listener(self, listener: Callable[[HealthEvent], None]) -> None:
+    def add_listener(
+        self, listener: Callable[[HealthEvent], None], owner: str = ""
+    ) -> None:
         """Subscribe to health events the moment they are emitted.
 
         This is the push feed an adaptive controller rides (mirroring
         :meth:`repro.obs.flow.FlowRecorder.add_listener`): every event
         appended to :attr:`events` — window transitions, fault hooks,
         replacement deliveries — is also delivered to each listener, in
-        subscription order, synchronously at emission time.
+        subscription order, synchronously at emission time.  ``owner``
+        tags the subscription for the leak sanitizer's listener census.
         """
         self._listeners.append(listener)
+        self._listener_owners.append(owner)
 
     def remove_listener(self, listener: Callable[[HealthEvent], None]) -> None:
         """Detach a listener; unknown listeners are ignored (idempotent)."""
         try:
-            self._listeners.remove(listener)
+            index = self._listeners.index(listener)
         except ValueError:
-            pass
+            return
+        del self._listeners[index]
+        del self._listener_owners[index]
+
+    def listener_owners(self) -> List[str]:
+        """Owner tags of the live subscriptions (census for the sanitizer)."""
+        return list(self._listener_owners)
+
+    @property
+    def listener_count(self) -> int:
+        """Number of live health subscriptions."""
+        return len(self._listeners)
 
     def _emit(self, events: List[HealthEvent]) -> None:
         self.events.extend(events)

@@ -247,7 +247,12 @@ class LiveSampler(NullLiveSampler):
             )
         self._obs = obs
         if obs.flows.enabled:
-            obs.flows.add_listener(self._observe_flow)
+            # Hub-lifetime subscription: the sampler lives and dies with its
+            # Instrumentation, so the sanitizer's listener census treats the
+            # "live-sampler" owner as expected, not leaked.
+            obs.flows.add_listener(  # lint: disable=DET006
+                self._observe_flow, owner="live-sampler"
+            )
 
     @property
     def windows(self) -> List[WindowSample]:

@@ -20,7 +20,9 @@ from repro.sim.scheduler import (
     CalendarQueue,
     EventScheduler,
     HeapScheduler,
+    ShuffleScheduler,
     make_scheduler,
+    scheduler_override,
 )
 
 __all__ = [
@@ -37,7 +39,9 @@ __all__ = [
     "EventScheduler",
     "HeapScheduler",
     "CalendarQueue",
+    "ShuffleScheduler",
     "SCHEDULERS",
     "DEFAULT_SCHEDULER",
     "make_scheduler",
+    "scheduler_override",
 ]

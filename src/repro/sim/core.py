@@ -28,7 +28,7 @@ Typical use::
 from __future__ import annotations
 
 from heapq import heappop
-from typing import Any, Generator, Optional, Union
+from typing import Any, Generator, Iterable, Optional, Union
 
 from repro.obs.instrument import NULL_OBS, NullInstrumentation
 from repro.sim.events import _NORMAL, _URGENT, AllOf, AnyOf, Event, Process, Timeout
@@ -62,7 +62,7 @@ class Simulator:
         self,
         obs: Optional[NullInstrumentation] = None,
         scheduler: Union[str, EventScheduler, None] = None,
-    ):
+    ) -> None:
         self._now: float = 0.0
         self._scheduler: EventScheduler = make_scheduler(scheduler)
         # Bound once: the inline scheduling sites in sim.events/sim.resources
@@ -112,11 +112,11 @@ class Simulator:
         """Start a new process running ``generator``."""
         return Process(self, generator, name=name)
 
-    def all_of(self, events) -> AllOf:
+    def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that triggers when all of ``events`` have triggered."""
         return AllOf(self, list(events))
 
-    def any_of(self, events) -> AnyOf:
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that triggers when any of ``events`` has triggered."""
         return AnyOf(self, list(events))
 

@@ -39,7 +39,7 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
@@ -126,7 +126,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
         # Field-by-field init (no super() chain) plus an inlined schedule:
@@ -151,7 +151,7 @@ class Initialize(Event):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", process: "Process"):
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
         super().__init__(sim)
         self._ok = True
         self._value = None
@@ -166,7 +166,7 @@ class Interrupt(Exception):
         cause: Arbitrary value describing why the interrupt happened.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -182,7 +182,7 @@ class Process(Event):
 
     __slots__ = ("name", "_generator", "_target")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
         super().__init__(sim)
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"process body must be a generator, got {generator!r}")
@@ -282,7 +282,7 @@ class Condition(Event):
 
     __slots__ = ("_events", "_pending")
 
-    def __init__(self, sim: "Simulator", events: Sequence[Event]):
+    def __init__(self, sim: "Simulator", events: Sequence[Event]) -> None:
         super().__init__(sim)
         self._events = tuple(events)
         self._pending = len(self._events)

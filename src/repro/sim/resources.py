@@ -37,7 +37,7 @@ class Request(Event):
 
     __slots__ = ("resource",)
 
-    def __init__(self, resource: "Resource"):
+    def __init__(self, resource: "Resource") -> None:
         # Field-by-field init (no super() chain): requests are created for
         # every link/co-processor acquisition on the transfer hot path.
         self.sim = resource.sim
@@ -50,7 +50,7 @@ class Request(Event):
     def __enter__(self) -> "Request":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> None:
         self.resource.release(self)
 
     def cancel(self) -> None:
@@ -63,7 +63,7 @@ class StorePut(Event):
 
     __slots__ = ("item",)
 
-    def __init__(self, sim: "Simulator", item: Any):
+    def __init__(self, sim: "Simulator", item: Any) -> None:
         # Field-by-field init (no super() chain): Store.put is on the
         # per-buffer hot path of every driver transfer.
         self.sim = sim
@@ -79,7 +79,7 @@ class Resource:
 
     __slots__ = ("sim", "capacity", "name", "_users", "_waiting")
 
-    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
         self.sim = sim
@@ -162,7 +162,7 @@ class Store:
 
     __slots__ = ("sim", "capacity", "name", "_items", "_putters", "_getters")
 
-    def __init__(self, sim: "Simulator", capacity: float = float("inf"), name: str = ""):
+    def __init__(self, sim: "Simulator", capacity: float = float("inf"), name: str = "") -> None:
         if capacity < 1:
             raise SimulationError(f"store capacity must be >= 1, got {capacity}")
         self.sim = sim

@@ -42,8 +42,10 @@ heap order demands.
 
 from __future__ import annotations
 
+import random
+from contextlib import contextmanager
 from heapq import heappop, heappush
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.util.errors import SimulationError
 
@@ -190,14 +192,120 @@ class CalendarQueue(EventScheduler):
         return self.next_time() != _INF
 
 
+class ShuffleScheduler(EventScheduler):
+    """Chaos backend: a legal dispatch order that is *not* insertion order.
+
+    The kernel's determinism contract pins the total order
+    ``(when, rank, seq)``; the only degree of freedom a correct simulation
+    may not depend on is the ``seq`` tie-break — the FIFO order of events
+    sharing one ``(when, rank)`` slot.  This scheduler dispatches time- and
+    rank-correct but permutes exactly that tie-break with a seeded
+    generator, so replaying a harness under a few shuffle seeds and
+    comparing results is a schedule-race detector (the ``SAN101`` check in
+    :mod:`repro.analysis.sanitize`): any divergence means some component
+    relied on same-instant insertion order.
+
+    The permutation is swap-remove (pick a random live index, backfill with
+    the last element), so push and pop stay ``O(1)`` amortized and the
+    shuffle is a pure function of the seed and the push/pop interleaving.
+    Never the default — selected explicitly (``scheduler="shuffle"`` or an
+    instance with a chosen seed) or through :func:`scheduler_override`.
+    """
+
+    __slots__ = ("seed", "_rng", "_buckets", "_times", "_count")
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        # when -> [urgent list, normal list]; lists are unordered (swap-
+        # remove), which is the whole point.
+        self._buckets: Dict[float, List[List["Event"]]] = {}
+        self._times: List[float] = []  # heap of distinct pending times
+        self._count = 0
+
+    def push(self, when: float, rank: int, event: "Event") -> None:
+        try:
+            self._buckets[when][rank].append(event)
+        except KeyError:
+            bucket: List[List["Event"]] = [[], []]
+            bucket[rank].append(event)
+            self._buckets[when] = bucket
+            heappush(self._times, when)
+        self._count += 1
+
+    def pop(self) -> Optional[Tuple[float, "Event"]]:
+        times = self._times
+        buckets = self._buckets
+        while times:
+            when = times[0]
+            bucket = buckets[when]
+            for group in bucket:
+                size = len(group)
+                if size:
+                    index = self._rng.randrange(size) if size > 1 else 0
+                    event = group[index]
+                    group[index] = group[-1]
+                    group.pop()
+                    self._count -= 1
+                    return when, event
+            del buckets[when]
+            heappop(times)
+        return None
+
+    def next_time(self) -> float:
+        times = self._times
+        buckets = self._buckets
+        while times:
+            when = times[0]
+            bucket = buckets[when]
+            if bucket[0] or bucket[1]:
+                return when
+            del buckets[when]
+            heappop(times)
+        return _INF
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+
 #: Registry of scheduler backends selectable by name.
-SCHEDULERS = {
+SCHEDULERS: Dict[str, Callable[[], EventScheduler]] = {
     "heap": HeapScheduler,
     "calendar": CalendarQueue,
+    "shuffle": ShuffleScheduler,
 }
 
 #: Backend a bare ``Simulator()`` gets.
 DEFAULT_SCHEDULER = "calendar"
+
+#: When set, :func:`make_scheduler` resolves a ``None`` spec through this
+#: factory instead of :data:`DEFAULT_SCHEDULER`.  Installed (scoped) by
+#: :func:`scheduler_override`; the chaos harness uses it to put a seeded
+#: :class:`ShuffleScheduler` under every simulator a replayed harness
+#: builds, without the harness knowing.
+_DEFAULT_OVERRIDE: Optional[Callable[[], EventScheduler]] = None
+
+
+@contextmanager
+def scheduler_override(
+    factory: Callable[[], EventScheduler],
+) -> Iterator[None]:
+    """Scope within which default-configured simulators use ``factory``.
+
+    Only ``scheduler=None`` construction is affected; explicit names and
+    instances keep their meaning.  Overrides do not nest — re-entering
+    replaces the outer factory for the inner scope and restores it after.
+    """
+    global _DEFAULT_OVERRIDE
+    previous = _DEFAULT_OVERRIDE
+    _DEFAULT_OVERRIDE = factory
+    try:
+        yield
+    finally:
+        _DEFAULT_OVERRIDE = previous
 
 
 def make_scheduler(
@@ -205,10 +313,13 @@ def make_scheduler(
 ) -> EventScheduler:
     """Resolve a scheduler spec: a name, a ready instance, or ``None``.
 
-    ``None`` selects :data:`DEFAULT_SCHEDULER`; an :class:`EventScheduler`
+    ``None`` selects the :func:`scheduler_override` factory when one is
+    installed, else :data:`DEFAULT_SCHEDULER`; an :class:`EventScheduler`
     instance is returned as-is (it must be empty and unshared).
     """
     if spec is None:
+        if _DEFAULT_OVERRIDE is not None:
+            return _DEFAULT_OVERRIDE()
         spec = DEFAULT_SCHEDULER
     if isinstance(spec, EventScheduler):
         return spec

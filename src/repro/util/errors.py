@@ -84,3 +84,21 @@ class PlanVerificationError(QueryError):
     def __init__(self, message: str, diagnostics=()):
         super().__init__(message)
         self.diagnostics = list(diagnostics)
+
+
+class SanitizationError(ReproError):
+    """A dynamic sanitizer pass found defects (leaks, races, wedged waiters).
+
+    Raised when a strict :func:`repro.analysis.sanitize.sanitizer` scope
+    exits with findings, or by
+    :func:`repro.analysis.sanitize.assert_quiescent` when an environment
+    still holds leaked state after every deployment was torn down.
+
+    Attributes:
+        diagnostics: The ``SANxxx`` :class:`repro.analysis.Diagnostic`
+            objects behind the failure.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)

@@ -242,5 +242,6 @@ class TestCLI:
 
     def test_rule_registry_is_complete(self):
         assert [rule.code for rule in RULES] == [
-            "DET001", "DET002", "DET003", "DET004", "DET005"
+            "DET001", "DET002", "DET003", "DET004", "DET005",
+            "DET006", "DET007",
         ]

@@ -1,0 +1,238 @@
+"""The dynamic sanitizer: SAN codes fire on seeded defects, real
+lifecycles stay clean, and the chaos scheduler is wired correctly.
+
+Every test that opens its own :func:`repro.analysis.sanitize.sanitizer`
+scope (or deliberately builds wreckage) is marked ``no_sanitize`` so the
+suite-wide ``--sanitize`` plugin mode does not double-audit it.
+"""
+
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.defects import DEFECTS
+from repro.coordinator.deployer import Deployer
+from repro.core.experiments.fig6 import point_to_point_query
+from repro.hardware.environment import Environment, EnvironmentConfig
+from repro.obs import Instrumentation
+from repro.obs.flow import FlowRecorder
+from repro.scsql.plan import compile_plan
+from repro.sim import ShuffleScheduler, Simulator
+from repro.util.errors import SanitizationError
+
+#: The exact code set each seeded-defect harness fires.  A leaked live
+#: process (SAN201) necessarily also wedges the drained queue (SAN301),
+#: so those two harnesses report both codes.
+EXPECTED_CODES = {
+    "SAN101": {"SAN101"},
+    "SAN201": {"SAN201", "SAN301"},
+    "SAN202": {"SAN202"},
+    "SAN203": {"SAN203"},
+    "SAN204": {"SAN204"},
+    "SAN205": {"SAN205"},
+    "SAN206": {"SAN206"},
+    "SAN301": {"SAN201", "SAN301"},
+}
+
+MERGE_QUERY = """
+select extract(c)
+from sp a, sp b, sp c
+where c=sp(count(merge({a,b})), 'bg', 0)
+and a=sp(gen_array(100000,4), 'bg', 1)
+and b=sp(gen_array(100000,4), 'bg', 2);
+"""
+
+
+def _deployed_fig6(flows=False):
+    obs = Instrumentation(flows=FlowRecorder()) if flows else None
+    env = Environment(EnvironmentConfig(), obs=obs)
+    deployer = Deployer(env)
+    plan = compile_plan(point_to_point_query(1024, 8))
+    deployment = deployer.deploy(deployer.place(plan))
+    return env, deployer, plan, deployment
+
+
+@pytest.mark.no_sanitize
+class TestDefectHarnesses:
+    """One intentional bug per code: the executable SAN specification."""
+
+    @pytest.mark.parametrize("code", sorted(DEFECTS))
+    def test_defect_fires_exactly_its_codes(self, code):
+        report = DEFECTS[code]()
+        fired = {diagnostic.code for diagnostic in report.diagnostics}
+        assert fired == EXPECTED_CODES[code]
+
+    def test_registry_covers_every_san_code(self):
+        from repro.analysis.diagnostics import CATALOG
+
+        san_codes = {code for code in CATALOG if code.startswith("SAN")}
+        assert set(DEFECTS) == san_codes
+
+    def test_defect_diagnostics_carry_messages(self):
+        report = DEFECTS["SAN204"]()
+        (diagnostic,) = report.diagnostics
+        assert "defect->ghost" in diagnostic.message
+
+
+@pytest.mark.no_sanitize
+class TestListenerLifecycle:
+    """Satellite regression: teardown/migrate detach their flow listeners,
+    and external teardown reaps the deployment's own driver processes."""
+
+    def test_teardown_detaches_the_flow_listener(self):
+        env, _deployer, _plan, deployment = _deployed_fig6(flows=True)
+        assert deployment.owner_tag in env.obs.flows.listener_owners()
+        deployment.run()
+        deployment.teardown()
+        assert deployment.owner_tag not in env.obs.flows.listener_owners()
+
+    def test_migrate_detaches_the_old_generations_listener(self):
+        env = Environment(
+            EnvironmentConfig(), obs=Instrumentation(flows=FlowRecorder())
+        )
+        deployer = Deployer(env)
+        plan = compile_plan(MERGE_QUERY)
+        deployment = deployer.deploy(deployer.place(plan), rp_prefix="q/")
+        deployment.start()
+        env.sim.run(until=0.005)
+        replacement, record = deployer.migrate(
+            deployment, plan, "b@2", 3, rp_prefix="q+g1/"
+        )
+        assert record.ok
+        owners = env.obs.flows.listener_owners()
+        assert deployment.owner_tag not in owners
+        assert owners.count(replacement.owner_tag) == 1
+        replacement.start()
+        env.sim.run()
+        replacement.finish()
+        replacement.teardown()
+        sanitize.assert_quiescent(env)
+
+    def test_external_teardown_interrupts_the_collector(self):
+        """A deployment torn down mid-run must not leave its cm-collector
+        blocked on the root result store (the leak SAN203 first caught)."""
+        env, _deployer, _plan, deployment = _deployed_fig6()
+        deployment.start()
+        env.sim.run(until=1e-5)
+        deployment.teardown()
+        env.sim.run()
+        sanitize.assert_quiescent(env)
+
+    def test_same_instant_teardown_never_starts_a_zombie(self):
+        """Teardown before the driver's first step (a same-instant fault
+        replan) must not let the driver start the RPs of a dead query."""
+        env, _deployer, _plan, deployment = _deployed_fig6()
+        deployment.start()
+        deployment.teardown()
+        env.sim.run()
+        assert all(
+            not rp.live_processes() for rp in deployment.rps.values()
+        )
+        sanitize.assert_quiescent(env)
+
+
+@pytest.mark.no_sanitize
+class TestSanitizerScope:
+    def test_scope_enables_and_restores(self):
+        assert not sanitize.enabled()
+        with sanitize.sanitizer(label="scope-test", strict=False) as scope:
+            assert sanitize.enabled()
+            assert sanitize.current() is scope
+        assert not sanitize.enabled()
+
+    def test_scopes_do_not_nest(self):
+        with sanitize.sanitizer(label="outer", strict=False):
+            with pytest.raises(SanitizationError, match="nest"):
+                with sanitize.sanitizer(label="inner"):
+                    pass
+
+    def test_strict_scope_raises_on_findings(self):
+        """A finding recorded anywhere in the scope — here a torus
+        registration no deployment owns, surfaced by the env-level
+        quiescence audit — raises at scope exit."""
+        with pytest.raises(SanitizationError) as excinfo:
+            with sanitize.sanitizer(label="strict-test", strict=True):
+                env, _deployer, _plan, deployment = _deployed_fig6()
+                env.torus.register_stream(0, "leak->nowhere")
+                deployment.run()
+                deployment.teardown()
+                sanitize.assert_quiescent(env, raise_on_findings=False)
+        codes = {diagnostic.code for diagnostic in excinfo.value.diagnostics}
+        assert "SAN204" in codes
+
+    def test_clean_run_raises_nothing(self):
+        with sanitize.sanitizer(label="clean-test", strict=True):
+            env, _deployer, _plan, deployment = _deployed_fig6()
+            deployment.run()
+            deployment.teardown()
+            sanitize.assert_quiescent(env)
+
+
+@pytest.mark.no_sanitize
+class TestChaosMode:
+    def test_chaos_installs_a_seeded_shuffle_scheduler(self):
+        with sanitize.chaos(5):
+            scheduler = Simulator().scheduler
+            assert isinstance(scheduler, ShuffleScheduler)
+            assert scheduler.seed == 5
+        assert not isinstance(Simulator().scheduler, ShuffleScheduler)
+
+    def test_run_shuffled_accepts_an_order_independent_harness(self):
+        def harness():
+            sim = Simulator()
+            seen = set()
+
+            def note(tag):
+                yield sim.timeout(0.0)
+                seen.add(tag)
+
+            for tag in range(6):
+                sim.process(note(tag))
+            sim.run()
+            return sorted(seen)
+
+        report, outcomes = sanitize.run_shuffled(
+            harness, seeds=(0, 1, 2), label="order-independent"
+        )
+        assert report.diagnostics == []
+        assert outcomes == [list(range(6))] * 3
+
+    def test_run_shuffled_flags_an_order_dependent_harness(self):
+        def harness():
+            sim = Simulator()
+            order = []
+
+            def note(tag):
+                yield sim.timeout(0.0)
+                order.append(tag)
+
+            for tag in range(8):
+                sim.process(note(tag))
+            sim.run()
+            return tuple(order)
+
+        report, _outcomes = sanitize.run_shuffled(
+            harness, seeds=(0, 1, 2, 3), label="order-dependent"
+        )
+        assert {d.code for d in report.diagnostics} == {"SAN101"}
+
+
+@pytest.mark.no_sanitize
+class TestAssertQuiescent:
+    def test_fresh_environment_is_quiescent(self):
+        env = Environment(EnvironmentConfig())
+        sanitize.assert_quiescent(env)
+
+    def test_env_lifetime_owners_are_tolerated(self):
+        env, _deployer, _plan, deployment = _deployed_fig6(flows=True)
+        env.obs.flows.add_listener(  # lint: disable=DET006
+            lambda record: None, owner="tolerated-owner"
+        )
+        deployment.run()
+        deployment.teardown()
+        sanitize.assert_quiescent(
+            env,
+            allowed_owners=sanitize.ENV_LIFETIME_OWNERS | {"tolerated-owner"},
+        )
+        with pytest.raises(SanitizationError) as excinfo:
+            sanitize.assert_quiescent(env)
+        assert {d.code for d in excinfo.value.diagnostics} == {"SAN206"}
